@@ -1,0 +1,152 @@
+//! A minimal database for the algebra layer: named relations and their
+//! transaction Δ-sets.
+//!
+//! Keeping this separate from [`amos_storage::Storage`] keeps the formal
+//! layer self-contained for tests and benchmarks; the real engine drives
+//! the ObjectLog evaluator against `Storage` directly.
+
+use std::collections::{HashMap, HashSet};
+
+use amos_storage::DeltaSet;
+use amos_types::Tuple;
+
+use amos_storage::StateEpoch;
+
+/// Named relations with per-relation Δ-sets.
+#[derive(Debug, Default, Clone)]
+pub struct AlgebraDb {
+    rels: HashMap<String, HashSet<Tuple>>,
+    deltas: HashMap<String, DeltaSet>,
+}
+
+impl AlgebraDb {
+    /// An empty database.
+    pub fn new() -> Self {
+        AlgebraDb::default()
+    }
+
+    /// Create (or reset) a relation with the given tuples.
+    pub fn set_relation(&mut self, name: &str, tuples: impl IntoIterator<Item = Tuple>) {
+        self.rels.insert(name.to_string(), tuples.into_iter().collect());
+    }
+
+    /// The current (new-state) contents of a relation; empty if unknown.
+    pub fn relation(&self, name: &str) -> HashSet<Tuple> {
+        self.rels.get(name).cloned().unwrap_or_default()
+    }
+
+    /// Apply a physical insert, updating the relation and its Δ-set.
+    pub fn insert(&mut self, name: &str, t: Tuple) -> bool {
+        if self.rels.entry(name.to_string()).or_default().insert(t.clone()) {
+            self.deltas.entry(name.to_string()).or_default().apply_insert(t);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Apply a physical delete, updating the relation and its Δ-set.
+    pub fn delete(&mut self, name: &str, t: &Tuple) -> bool {
+        if self
+            .rels
+            .get_mut(name)
+            .map(|s| s.remove(t))
+            .unwrap_or(false)
+        {
+            self.deltas.entry(name.to_string()).or_default().apply_delete(t.clone());
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The accumulated Δ-set of a relation (empty if unchanged).
+    pub fn delta(&self, name: &str) -> DeltaSet {
+        self.deltas.get(name).cloned().unwrap_or_default()
+    }
+
+    /// Δ₊ of a relation.
+    pub fn delta_plus(&self, name: &str) -> HashSet<Tuple> {
+        self.deltas
+            .get(name)
+            .map(|d| d.plus().clone())
+            .unwrap_or_default()
+    }
+
+    /// Δ₋ of a relation.
+    pub fn delta_minus(&self, name: &str) -> HashSet<Tuple> {
+        self.deltas
+            .get(name)
+            .map(|d| d.minus().clone())
+            .unwrap_or_default()
+    }
+
+    /// Membership of a base relation in the given epoch.
+    pub fn contains(&self, name: &str, t: &Tuple, epoch: StateEpoch) -> bool {
+        let now = self.rels.get(name).map(|s| s.contains(t)).unwrap_or(false);
+        match epoch {
+            StateEpoch::New => now,
+            StateEpoch::Old => {
+                let d = self.deltas.get(name);
+                let in_minus = d.map(|d| d.minus().contains(t)).unwrap_or(false);
+                let in_plus = d.map(|d| d.plus().contains(t)).unwrap_or(false);
+                (now || in_minus) && !in_plus
+            }
+        }
+    }
+
+    /// The full contents of a base relation in the given epoch
+    /// (`S_old = (S ∪ Δ₋S) − Δ₊S`).
+    pub fn state(&self, name: &str, epoch: StateEpoch) -> HashSet<Tuple> {
+        let now = self.relation(name);
+        match epoch {
+            StateEpoch::New => now,
+            StateEpoch::Old => match self.deltas.get(name) {
+                None => now,
+                Some(d) => {
+                    let mut old: HashSet<Tuple> =
+                        now.difference(d.plus()).cloned().collect();
+                    old.extend(d.minus().iter().cloned());
+                    old
+                }
+            },
+        }
+    }
+
+    /// Forget all Δ-sets (start of a new "transaction").
+    pub fn clear_deltas(&mut self) {
+        self.deltas.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amos_types::tuple;
+
+    #[test]
+    fn state_reconstruction() {
+        let mut db = AlgebraDb::new();
+        db.set_relation("q", [tuple![1], tuple![2]]);
+        db.insert("q", tuple![3]);
+        db.delete("q", &tuple![1]);
+
+        let new = db.state("q", StateEpoch::New);
+        let old = db.state("q", StateEpoch::Old);
+        assert_eq!(new, [tuple![2], tuple![3]].into_iter().collect());
+        assert_eq!(old, [tuple![1], tuple![2]].into_iter().collect());
+        assert!(db.contains("q", &tuple![1], StateEpoch::Old));
+        assert!(!db.contains("q", &tuple![1], StateEpoch::New));
+        assert!(!db.contains("q", &tuple![3], StateEpoch::Old));
+    }
+
+    #[test]
+    fn no_net_change_cancels() {
+        let mut db = AlgebraDb::new();
+        db.set_relation("q", [tuple![1]]);
+        db.delete("q", &tuple![1]);
+        db.insert("q", tuple![1]);
+        assert!(db.delta("q").is_empty());
+        assert_eq!(db.state("q", StateEpoch::Old), db.state("q", StateEpoch::New));
+    }
+}

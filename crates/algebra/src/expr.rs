@@ -1,0 +1,315 @@
+//! Relational-algebra expressions and their evaluation.
+//!
+//! The operators are exactly those of fig. 4 of the paper: selection σ,
+//! projection π, union ∪, difference −, cartesian product ×, equi-join ⋈,
+//! and intersection ∩, over named base relations.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use amos_storage::StateEpoch;
+use amos_types::Tuple;
+
+use crate::db::AlgebraDb;
+use crate::predicate::Predicate;
+
+/// A relational-algebra expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RelExpr {
+    /// A named base relation with a declared arity.
+    Rel(String, usize),
+    /// σ_pred
+    Select(Box<RelExpr>, Predicate),
+    /// π_cols (may reorder and duplicate columns)
+    Project(Box<RelExpr>, Vec<usize>),
+    /// Q ∪ R — both sides must have equal arity.
+    Union(Box<RelExpr>, Box<RelExpr>),
+    /// Q − R — both sides must have equal arity.
+    Diff(Box<RelExpr>, Box<RelExpr>),
+    /// Q × R — concatenated columns.
+    Product(Box<RelExpr>, Box<RelExpr>),
+    /// Q ⋈ R on pairs `(q_col, r_col)` — concatenated columns, keeping
+    /// both join columns (a π can drop duplicates afterwards).
+    Join(Box<RelExpr>, Box<RelExpr>, Vec<(usize, usize)>),
+    /// Q ∩ R — both sides must have equal arity.
+    Intersect(Box<RelExpr>, Box<RelExpr>),
+}
+
+impl RelExpr {
+    /// Shorthand for a base relation leaf.
+    pub fn rel(name: &str, arity: usize) -> Self {
+        RelExpr::Rel(name.to_string(), arity)
+    }
+
+    /// The output arity of this expression.
+    pub fn arity(&self) -> usize {
+        match self {
+            RelExpr::Rel(_, a) => *a,
+            RelExpr::Select(q, _) => q.arity(),
+            RelExpr::Project(_, cols) => cols.len(),
+            RelExpr::Union(q, _) | RelExpr::Diff(q, _) | RelExpr::Intersect(q, _) => q.arity(),
+            RelExpr::Product(q, r) | RelExpr::Join(q, r, _) => q.arity() + r.arity(),
+        }
+    }
+
+    /// All base-relation names this expression depends on — its
+    /// *influents* (paper §1), in first-occurrence order, deduplicated.
+    pub fn influents(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_influents(&mut out);
+        out
+    }
+
+    fn collect_influents(&self, out: &mut Vec<String>) {
+        match self {
+            RelExpr::Rel(n, _) => {
+                if !out.iter().any(|x| x == n) {
+                    out.push(n.clone());
+                }
+            }
+            RelExpr::Select(q, _) | RelExpr::Project(q, _) => q.collect_influents(out),
+            RelExpr::Union(q, r)
+            | RelExpr::Diff(q, r)
+            | RelExpr::Intersect(q, r)
+            | RelExpr::Product(q, r)
+            | RelExpr::Join(q, r, _) => {
+                q.collect_influents(out);
+                r.collect_influents(out);
+            }
+        }
+    }
+
+    /// Evaluate the expression against the database in the given state
+    /// epoch (new, or old via logical rollback of every base leaf).
+    pub fn eval(&self, db: &AlgebraDb, epoch: StateEpoch) -> HashSet<Tuple> {
+        match self {
+            RelExpr::Rel(name, _) => db.state(name, epoch),
+            RelExpr::Select(q, pred) => q
+                .eval(db, epoch)
+                .into_iter()
+                .filter(|t| pred.eval(t))
+                .collect(),
+            RelExpr::Project(q, cols) => q
+                .eval(db, epoch)
+                .into_iter()
+                .map(|t| t.project(cols))
+                .collect(),
+            RelExpr::Union(q, r) => {
+                let mut s = q.eval(db, epoch);
+                s.extend(r.eval(db, epoch));
+                s
+            }
+            RelExpr::Diff(q, r) => {
+                let rs = r.eval(db, epoch);
+                q.eval(db, epoch)
+                    .into_iter()
+                    .filter(|t| !rs.contains(t))
+                    .collect()
+            }
+            RelExpr::Intersect(q, r) => {
+                let rs = r.eval(db, epoch);
+                q.eval(db, epoch)
+                    .into_iter()
+                    .filter(|t| rs.contains(t))
+                    .collect()
+            }
+            RelExpr::Product(q, r) => {
+                let rs = r.eval(db, epoch);
+                let qs = q.eval(db, epoch);
+                let mut out = HashSet::with_capacity(qs.len() * rs.len());
+                for a in &qs {
+                    for b in &rs {
+                        out.insert(a.concat(b));
+                    }
+                }
+                out
+            }
+            RelExpr::Join(q, r, on) => {
+                // Hash join: build on the right operand keyed by its
+                // join columns, probe with the left.
+                let rs = r.eval(db, epoch);
+                let qs = q.eval(db, epoch);
+                let r_cols: Vec<usize> = on.iter().map(|&(_, rb)| rb).collect();
+                let q_cols: Vec<usize> = on.iter().map(|&(qa, _)| qa).collect();
+                let mut built: std::collections::HashMap<Tuple, Vec<&Tuple>> =
+                    std::collections::HashMap::with_capacity(rs.len());
+                for b in &rs {
+                    built.entry(b.project(&r_cols)).or_default().push(b);
+                }
+                let mut out = HashSet::new();
+                for a in &qs {
+                    if let Some(matches) = built.get(&a.project(&q_cols)) {
+                        for b in matches {
+                            out.insert(a.concat(b));
+                        }
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Point membership test: is `t` in the result of this expression in
+    /// the given epoch? Used by the §7.2 correction checks; cheaper than
+    /// full evaluation for selections/compositions but falls back to
+    /// evaluation under projections.
+    pub fn contains(&self, db: &AlgebraDb, t: &Tuple, epoch: StateEpoch) -> bool {
+        match self {
+            RelExpr::Rel(name, _) => db.contains(name, t, epoch),
+            RelExpr::Select(q, pred) => pred.eval(t) && q.contains(db, t, epoch),
+            RelExpr::Project(q, cols) => q
+                .eval(db, epoch)
+                .iter()
+                .any(|u| &u.project(cols) == t),
+            RelExpr::Union(q, r) => q.contains(db, t, epoch) || r.contains(db, t, epoch),
+            RelExpr::Diff(q, r) => q.contains(db, t, epoch) && !r.contains(db, t, epoch),
+            RelExpr::Intersect(q, r) => q.contains(db, t, epoch) && r.contains(db, t, epoch),
+            RelExpr::Product(q, r) => {
+                let qa = q.arity();
+                let (left, right) = split(t, qa);
+                q.contains(db, &left, epoch) && r.contains(db, &right, epoch)
+            }
+            RelExpr::Join(q, r, on) => {
+                let qa = q.arity();
+                let (left, right) = split(t, qa);
+                on.iter().all(|&(a, b)| left[a] == right[b])
+                    && q.contains(db, &left, epoch)
+                    && r.contains(db, &right, epoch)
+            }
+        }
+    }
+}
+
+fn split(t: &Tuple, at: usize) -> (Tuple, Tuple) {
+    let left: Tuple = t.values()[..at].iter().cloned().collect();
+    let right: Tuple = t.values()[at..].iter().cloned().collect();
+    (left, right)
+}
+
+impl fmt::Display for RelExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelExpr::Rel(n, _) => write!(f, "{n}"),
+            RelExpr::Select(q, p) => write!(f, "σ[{p}]({q})"),
+            RelExpr::Project(q, cols) => write!(f, "π{cols:?}({q})"),
+            RelExpr::Union(q, r) => write!(f, "({q} ∪ {r})"),
+            RelExpr::Diff(q, r) => write!(f, "({q} − {r})"),
+            RelExpr::Intersect(q, r) => write!(f, "({q} ∩ {r})"),
+            RelExpr::Product(q, r) => write!(f, "({q} × {r})"),
+            RelExpr::Join(q, r, on) => write!(f, "({q} ⋈{on:?} {r})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::CmpOp;
+    use amos_types::tuple;
+
+    fn db() -> AlgebraDb {
+        let mut db = AlgebraDb::new();
+        db.set_relation("q", [tuple![1, 1], tuple![2, 3]]);
+        db.set_relation("r", [tuple![1, 2], tuple![2, 3], tuple![3, 4]]);
+        db
+    }
+
+    #[test]
+    fn select_project() {
+        let db = db();
+        let e = RelExpr::Project(
+            Box::new(RelExpr::Select(
+                Box::new(RelExpr::rel("r", 2)),
+                Predicate::col_const(0, CmpOp::Ge, 2),
+            )),
+            vec![1],
+        );
+        let out = e.eval(&db, StateEpoch::New);
+        assert_eq!(out, [tuple![3], tuple![4]].into_iter().collect());
+        assert_eq!(e.arity(), 1);
+    }
+
+    #[test]
+    fn union_diff_intersect() {
+        let db = db();
+        let q = RelExpr::rel("q", 2);
+        let r = RelExpr::rel("r", 2);
+        let u = RelExpr::Union(Box::new(q.clone()), Box::new(r.clone()));
+        assert_eq!(u.eval(&db, StateEpoch::New).len(), 4);
+        let d = RelExpr::Diff(Box::new(q.clone()), Box::new(r.clone()));
+        assert_eq!(
+            d.eval(&db, StateEpoch::New),
+            [tuple![1, 1]].into_iter().collect()
+        );
+        let i = RelExpr::Intersect(Box::new(q), Box::new(r));
+        assert_eq!(
+            i.eval(&db, StateEpoch::New),
+            [tuple![2, 3]].into_iter().collect()
+        );
+    }
+
+    #[test]
+    fn product_and_join() {
+        let db = db();
+        let p = RelExpr::Product(Box::new(RelExpr::rel("q", 2)), Box::new(RelExpr::rel("r", 2)));
+        assert_eq!(p.eval(&db, StateEpoch::New).len(), 6);
+        assert_eq!(p.arity(), 4);
+
+        // q ⋈ r on q.1 = r.0 — the p(X,Z) ← q(X,Y) ∧ r(Y,Z) example of §4.3.
+        let j = RelExpr::Join(
+            Box::new(RelExpr::rel("q", 2)),
+            Box::new(RelExpr::rel("r", 2)),
+            vec![(1, 0)],
+        );
+        let out = j.eval(&db, StateEpoch::New);
+        assert_eq!(
+            out,
+            [tuple![1, 1, 1, 2], tuple![2, 3, 3, 4]].into_iter().collect()
+        );
+    }
+
+    #[test]
+    fn old_state_evaluation() {
+        let mut db = db();
+        db.insert("q", tuple![9, 9]);
+        db.delete("q", &tuple![1, 1]);
+        let q = RelExpr::rel("q", 2);
+        assert!(q.contains(&db, &tuple![1, 1], StateEpoch::Old));
+        assert!(!q.contains(&db, &tuple![9, 9], StateEpoch::Old));
+        assert_eq!(q.eval(&db, StateEpoch::Old).len(), 2);
+    }
+
+    #[test]
+    fn contains_agrees_with_eval() {
+        let db = db();
+        let exprs = vec![
+            RelExpr::Select(
+                Box::new(RelExpr::rel("r", 2)),
+                Predicate::col_col(0, CmpOp::Lt, 1),
+            ),
+            RelExpr::Project(Box::new(RelExpr::rel("r", 2)), vec![0]),
+            RelExpr::Join(
+                Box::new(RelExpr::rel("q", 2)),
+                Box::new(RelExpr::rel("r", 2)),
+                vec![(1, 0)],
+            ),
+        ];
+        for e in exprs {
+            for t in e.eval(&db, StateEpoch::New) {
+                assert!(e.contains(&db, &t, StateEpoch::New), "{e}: {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn influents_deduplicated() {
+        let e = RelExpr::Union(
+            Box::new(RelExpr::rel("q", 1)),
+            Box::new(RelExpr::Diff(
+                Box::new(RelExpr::rel("r", 1)),
+                Box::new(RelExpr::rel("q", 1)),
+            )),
+        );
+        assert_eq!(e.influents(), vec!["q".to_string(), "r".to_string()]);
+    }
+}

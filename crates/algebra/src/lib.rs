@@ -1,0 +1,37 @@
+//! # amos-algebra
+//!
+//! The relational-algebra face of the partial differencing calculus
+//! (paper §4.5–§4.6 and fig. 4).
+//!
+//! The paper maps its set-based difference calculus onto the relational
+//! operators: for `P` built from σ, π, ∪, −, ×, ⋈, ∩ over base relations,
+//! fig. 4 gives the **partial differentials** — for each influent `X`,
+//! the expressions computing the contributions of `Δ₊X`/`Δ₋X` to
+//! `Δ₊P`/`Δ₋P`, with sub-expressions evaluated in the *new* or *old*
+//! state as required.
+//!
+//! This crate implements that table *compositionally*: differencing an
+//! arbitrarily nested [`RelExpr`] produces one [`PartialDifferential`]
+//! per (influent, polarity) pair, each itself a small query
+//! ([`DiffExpr`]) over Δ-sets, new-state and old-state sub-expressions.
+//! Evaluating all of them and accumulating with `∪Δ` yields `ΔP`.
+//!
+//! Projection (and, in general, any operator that can derive the same
+//! output tuple from several input tuples) makes raw differentials
+//! over-approximate; §7.2's correction checks (membership in the new /
+//! old state) are available via [`diff::Correction`].
+//!
+//! The ObjectLog engine (`amos-objectlog`) is what the monitoring system
+//! actually executes; this crate is the formal layer used to validate the
+//! calculus (property tests per fig. 4 row) and to benchmark incremental
+//! vs. recomputed operator deltas.
+
+pub mod db;
+pub mod diff;
+pub mod expr;
+pub mod predicate;
+
+pub use db::AlgebraDb;
+pub use diff::{diff_expr, Correction, DiffExpr, PartialDifferential, Polarity};
+pub use expr::RelExpr;
+pub use predicate::Predicate;

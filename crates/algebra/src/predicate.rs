@@ -1,0 +1,141 @@
+//! Selection predicates for σ.
+
+use std::fmt;
+
+use amos_types::{Tuple, Value};
+
+pub use amos_types::CmpOp;
+
+/// One side of a comparison: a column reference or a constant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Operand {
+    /// `t[i]`
+    Col(usize),
+    /// A literal value.
+    Const(Value),
+}
+
+impl Operand {
+    fn resolve<'a>(&'a self, t: &'a Tuple) -> &'a Value {
+        match self {
+            Operand::Col(i) => &t[*i],
+            Operand::Const(v) => v,
+        }
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Col(i) => write!(f, "${i}"),
+            Operand::Const(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// A selection predicate over a single tuple.
+///
+/// Comparisons on incomparable runtime types evaluate to `false` (a σ
+/// never errors; mixed-type relations simply don't satisfy numeric
+/// conditions), matching set-oriented query semantics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Predicate {
+    /// Always true (σ_true = identity).
+    True,
+    /// `lhs op rhs`.
+    Cmp(Operand, CmpOp, Operand),
+    /// Conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// `t[col] op value`.
+    pub fn col_const(col: usize, op: CmpOp, v: impl Into<Value>) -> Self {
+        Predicate::Cmp(Operand::Col(col), op, Operand::Const(v.into()))
+    }
+
+    /// `t[a] op t[b]`.
+    pub fn col_col(a: usize, op: CmpOp, b: usize) -> Self {
+        Predicate::Cmp(Operand::Col(a), op, Operand::Col(b))
+    }
+
+    /// Evaluate the predicate on a tuple.
+    pub fn eval(&self, t: &Tuple) -> bool {
+        match self {
+            Predicate::True => true,
+            Predicate::Cmp(lhs, op, rhs) => {
+                match lhs.resolve(t).compare(rhs.resolve(t)) {
+                    Ok(ord) => op.matches(ord),
+                    Err(_) => false,
+                }
+            }
+            Predicate::And(a, b) => a.eval(t) && b.eval(t),
+            Predicate::Or(a, b) => a.eval(t) || b.eval(t),
+            Predicate::Not(p) => !p.eval(t),
+        }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::True => write!(f, "true"),
+            Predicate::Cmp(l, op, r) => write!(f, "{l} {op} {r}"),
+            Predicate::And(a, b) => write!(f, "({a} and {b})"),
+            Predicate::Or(a, b) => write!(f, "({a} or {b})"),
+            Predicate::Not(p) => write!(f, "not {p}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amos_types::tuple;
+
+    #[test]
+    fn comparisons() {
+        let t = tuple![3, 5];
+        assert!(Predicate::col_const(0, CmpOp::Lt, 5).eval(&t));
+        assert!(Predicate::col_col(0, CmpOp::Lt, 1).eval(&t));
+        assert!(!Predicate::col_col(0, CmpOp::Ge, 1).eval(&t));
+        assert!(Predicate::col_const(1, CmpOp::Eq, 5).eval(&t));
+        assert!(Predicate::col_const(1, CmpOp::Ne, 6).eval(&t));
+    }
+
+    #[test]
+    fn connectives() {
+        let t = tuple![3, 5];
+        let p = Predicate::And(
+            Box::new(Predicate::col_const(0, CmpOp::Gt, 1)),
+            Box::new(Predicate::col_const(1, CmpOp::Lt, 10)),
+        );
+        assert!(p.eval(&t));
+        assert!(!Predicate::Not(Box::new(p.clone())).eval(&t));
+        let q = Predicate::Or(
+            Box::new(Predicate::col_const(0, CmpOp::Gt, 100)),
+            Box::new(p),
+        );
+        assert!(q.eval(&t));
+    }
+
+    #[test]
+    fn incomparable_types_are_false() {
+        let t = tuple![3, "x"];
+        assert!(!Predicate::col_col(0, CmpOp::Lt, 1).eval(&t));
+        assert!(!Predicate::col_col(0, CmpOp::Eq, 1).eval(&t));
+    }
+
+    #[test]
+    fn display() {
+        let p = Predicate::And(
+            Box::new(Predicate::col_const(0, CmpOp::Lt, 5)),
+            Box::new(Predicate::True),
+        );
+        assert_eq!(p.to_string(), "($0 < 5 and true)");
+    }
+}

@@ -1,0 +1,189 @@
+//! Property tests validating fig. 4 of the paper: for every relational
+//! operator, the partial differentials compute the exact delta of the
+//! operator's result under random base data and random updates.
+//!
+//! * Per-row tests: each operator applied directly to two base relations
+//!   (the exact setting of fig. 4) must be **exact even without
+//!   correction checks** — except π, whose raw differentials
+//!   over-approximate (that is §7.2's point).
+//! * Whole-calculus test: for random *nested* expressions, `Strict`
+//!   correction equals naive recomputation, and raw differentials are
+//!   *complete* (never miss a real change).
+
+use std::collections::HashSet;
+
+use amos_algebra::diff::{delta_of, diff_expr, recompute_delta, Correction, Polarity};
+use amos_algebra::predicate::CmpOp;
+use amos_algebra::{AlgebraDb, Predicate, RelExpr};
+use amos_types::{tuple, Tuple};
+use proptest::prelude::*;
+
+fn small_tuple() -> impl Strategy<Value = Tuple> {
+    (0i64..5, 0i64..5).prop_map(|(a, b)| tuple![a, b])
+}
+
+fn tuples() -> impl Strategy<Value = Vec<Tuple>> {
+    prop::collection::vec(small_tuple(), 0..10)
+}
+
+fn updates() -> impl Strategy<Value = Vec<(bool, bool, Tuple)>> {
+    // (which relation: q/r, insert/delete, tuple)
+    prop::collection::vec((any::<bool>(), any::<bool>(), small_tuple()), 0..12)
+}
+
+/// Build the database, apply updates, and return it.
+fn build(q: Vec<Tuple>, r: Vec<Tuple>, ups: Vec<(bool, bool, Tuple)>) -> AlgebraDb {
+    let mut db = AlgebraDb::new();
+    db.set_relation("q", q);
+    db.set_relation("r", r);
+    for (on_q, is_insert, t) in ups {
+        let name = if on_q { "q" } else { "r" };
+        if is_insert {
+            db.insert(name, t);
+        } else {
+            db.delete(name, &t);
+        }
+    }
+    db
+}
+
+/// Operators whose raw fig. 4 differentials are exact (everything except π).
+fn exact_operators() -> Vec<(&'static str, RelExpr)> {
+    let q = || Box::new(RelExpr::rel("q", 2));
+    let r = || Box::new(RelExpr::rel("r", 2));
+    vec![
+        (
+            "select",
+            RelExpr::Select(q(), Predicate::col_col(0, CmpOp::Lt, 1)),
+        ),
+        ("union", RelExpr::Union(q(), r())),
+        ("diff", RelExpr::Diff(q(), r())),
+        ("product", RelExpr::Product(q(), r())),
+        ("join", RelExpr::Join(q(), r(), vec![(1, 0)])),
+        ("intersect", RelExpr::Intersect(q(), r())),
+    ]
+}
+
+proptest! {
+    /// fig. 4 rows σ, ∪, −, ×, ⋈, ∩: raw differentials (no correction)
+    /// are already exact when applied directly over base relations.
+    #[test]
+    fn fig4_rows_exact_without_correction(
+        q in tuples(), r in tuples(), ups in updates()
+    ) {
+        let db = build(q, r, ups);
+        for (name, expr) in exact_operators() {
+            let raw = delta_of(&expr, &db, Correction::None);
+            let truth = recompute_delta(&expr, &db);
+            prop_assert_eq!(&raw, &truth, "operator {} diverged", name);
+        }
+    }
+
+    /// fig. 4 row π: raw differentials are complete but may over-report;
+    /// Strict correction restores exactness.
+    #[test]
+    fn fig4_projection_row(q in tuples(), ups in updates()) {
+        let db = build(q, vec![], ups);
+        let expr = RelExpr::Project(Box::new(RelExpr::rel("q", 2)), vec![0]);
+        let truth = recompute_delta(&expr, &db);
+
+        // Completeness of the raw contributions (pre-∪Δ): collect raw sides.
+        let diffs = diff_expr(&expr);
+        let mut raw_plus: HashSet<Tuple> = HashSet::new();
+        let mut raw_minus: HashSet<Tuple> = HashSet::new();
+        for pd in &diffs {
+            match pd.output {
+                Polarity::Plus => raw_plus.extend(pd.expr.eval(&db)),
+                Polarity::Minus => raw_minus.extend(pd.expr.eval(&db)),
+            }
+        }
+        prop_assert!(truth.plus().is_subset(&raw_plus));
+        prop_assert!(truth.minus().is_subset(&raw_minus));
+
+        let strict = delta_of(&expr, &db, Correction::Strict);
+        prop_assert_eq!(&strict, &truth);
+    }
+
+    /// Whole-calculus theorem on nested expressions: Strict == naive
+    /// recompute; Negative correction never under-reports deletions nor
+    /// reports false insertions.
+    #[test]
+    fn nested_expressions_strict_is_exact(
+        q in tuples(), r in tuples(), ups in updates(), shape in 0u8..6
+    ) {
+        let db = build(q, r, ups);
+        let q2 = || Box::new(RelExpr::rel("q", 2));
+        let r2 = || Box::new(RelExpr::rel("r", 2));
+        let expr = match shape {
+            // π over join — the paper's running p(X,Z) ← q(X,Y) ∧ r(Y,Z)
+            0 => RelExpr::Project(
+                Box::new(RelExpr::Join(q2(), r2(), vec![(1, 0)])),
+                vec![0, 3],
+            ),
+            // (q ∪ r) − σ(q)
+            1 => RelExpr::Diff(
+                Box::new(RelExpr::Union(q2(), r2())),
+                Box::new(RelExpr::Select(q2(), Predicate::col_col(0, CmpOp::Le, 1))),
+            ),
+            // π(q × r)
+            2 => RelExpr::Project(Box::new(RelExpr::Product(q2(), r2())), vec![0, 2]),
+            // (q ∩ r) ∪ (q − r)  — equals q, with heavy overlap
+            3 => RelExpr::Union(
+                Box::new(RelExpr::Intersect(q2(), r2())),
+                Box::new(RelExpr::Diff(q2(), r2())),
+            ),
+            // σ(π(q) × π(r))
+            4 => RelExpr::Select(
+                Box::new(RelExpr::Product(
+                    Box::new(RelExpr::Project(q2(), vec![0])),
+                    Box::new(RelExpr::Project(r2(), vec![1])),
+                )),
+                Predicate::col_col(0, CmpOp::Lt, 1),
+            ),
+            // q − (r − q): double negation
+            _ => RelExpr::Diff(q2(), Box::new(RelExpr::Diff(r2(), q2()))),
+        };
+
+        let truth = recompute_delta(&expr, &db);
+        let strict = delta_of(&expr, &db, Correction::Strict);
+        prop_assert_eq!(&strict, &truth, "expr {}", expr);
+
+        // Negative correction: reported deletions are real; reported
+        // insertions are at least present in the new state.
+        let negative = delta_of(&expr, &db, Correction::Negative);
+        for t in negative.minus() {
+            prop_assert!(truth.minus().contains(t) , "false deletion {t} from {expr}");
+        }
+        for t in truth.minus() {
+            prop_assert!(negative.minus().contains(t), "missed deletion {t} from {expr}");
+        }
+        for t in truth.plus() {
+            prop_assert!(negative.plus().contains(t), "missed insertion {t} from {expr}");
+        }
+    }
+
+    /// Insertion-only transactions never produce negative deltas through
+    /// monotone operators (σ, π, ∪, ×, ⋈, ∩) — the basis for the paper's
+    /// observation that conditions often depend only on insertions.
+    #[test]
+    fn monotone_operators_with_insert_only_updates(
+        q in tuples(), r in tuples(),
+        ins in prop::collection::vec((any::<bool>(), small_tuple()), 0..8)
+    ) {
+        let mut db = AlgebraDb::new();
+        db.set_relation("q", q);
+        db.set_relation("r", r);
+        for (on_q, t) in ins {
+            db.insert(if on_q { "q" } else { "r" }, t);
+        }
+        for (name, expr) in exact_operators() {
+            if name == "diff" {
+                continue; // − is not monotone in its right operand
+            }
+            let d = delta_of(&expr, &db, Correction::Strict);
+            prop_assert!(d.minus().is_empty(), "{} produced deletions", name);
+        }
+        let pi = RelExpr::Project(Box::new(RelExpr::rel("q", 2)), vec![1]);
+        prop_assert!(delta_of(&pi, &db, Correction::Strict).minus().is_empty());
+    }
+}

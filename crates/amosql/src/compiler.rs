@@ -1,0 +1,657 @@
+//! The AMOSQL query compiler: flattening select expressions into
+//! ObjectLog clauses.
+//!
+//! This reproduces §3.2/§4.3 of the paper: nested function calls become
+//! body literals with generated `_G` variables, arithmetic becomes
+//! `Arith` goals, comparisons become `Cmp` goals, `for each T v` becomes
+//! a literal over the type's *extent* predicate, disjunction lifts to
+//! multiple clauses (DNF), and negation becomes negated literals /
+//! negated comparisons.
+//!
+//! For example the paper's
+//!
+//! ```text
+//! select i for each item i where quantity(i) < threshold(i)
+//! ```
+//!
+//! compiles to
+//!
+//! ```text
+//! cnd(I) ← item_extent(I) ∧ quantity(I,_G1) ∧ threshold(I,_G2) ∧ _G1 < _G2
+//! ```
+
+use std::collections::HashMap;
+
+use amos_objectlog::catalog::{Catalog, PredId};
+use amos_objectlog::clause::{Clause, Literal, Term, Var};
+use amos_storage::StateEpoch;
+use amos_types::{CmpOp, TypeRegistry, Value};
+
+use crate::ast::{Expr, Select, TypedVar};
+use crate::error::ParseError;
+
+/// Everything the compiler needs to resolve names.
+pub struct QueryEnv<'a> {
+    /// Predicate definitions (functions).
+    pub catalog: &'a Catalog,
+    /// The type lattice.
+    pub types: &'a TypeRegistry,
+    /// Extent predicate per user type name.
+    pub extents: &'a HashMap<String, PredId>,
+    /// Session interface variables (`:item1`), resolved to constants at
+    /// compile time.
+    pub iface: &'a HashMap<String, Value>,
+}
+
+impl QueryEnv<'_> {
+    fn resolve_iface(&self, name: &str) -> Result<Value, ParseError> {
+        self.iface.get(name).cloned().ok_or_else(|| {
+            ParseError::unpositioned(format!("unbound interface variable `:{name}`"))
+        })
+    }
+
+    fn lookup_fn(&self, name: &str) -> Result<PredId, ParseError> {
+        self.catalog
+            .lookup(name)
+            .map_err(|_| ParseError::unpositioned(format!("unknown function `{name}`")))
+    }
+
+    /// Whether a type has an extent (user types do; scalars don't).
+    fn extent_of(&self, type_name: &str) -> Result<Option<PredId>, ParseError> {
+        let id = self
+            .types
+            .lookup(type_name)
+            .map_err(|e| ParseError::unpositioned(e.to_string()))?;
+        if self.types.def(id).builtin {
+            Ok(None)
+        } else {
+            Ok(Some(*self.extents.get(type_name).ok_or_else(|| {
+                ParseError::unpositioned(format!("type `{type_name}` has no extent"))
+            })?))
+        }
+    }
+}
+
+/// The result of compiling a select: one or more clauses (disjunction),
+/// all with the same head layout.
+#[derive(Debug, Clone)]
+pub struct CompiledQuery {
+    /// The clauses.
+    pub clauses: Vec<Clause>,
+    /// Head arity (outer params + select expressions).
+    pub head_arity: usize,
+}
+
+/// An atom of the predicate after boolean normalization.
+#[derive(Debug, Clone)]
+enum Atom {
+    Cmp { op: CmpOp, lhs: Expr, rhs: Expr },
+    BoolCall { func: String, args: Vec<Expr>, negated: bool },
+}
+
+/// Normalize a boolean expression to DNF over atoms, pushing `not`
+/// inward (De Morgan; comparisons negate their operator; boolean calls
+/// toggle their negation flag).
+fn dnf(expr: &Expr, negated: bool) -> Result<Vec<Vec<Atom>>, ParseError> {
+    match expr {
+        Expr::And(a, b) => {
+            if negated {
+                // ¬(a ∧ b) = ¬a ∨ ¬b
+                let mut out = dnf(a, true)?;
+                out.extend(dnf(b, true)?);
+                Ok(out)
+            } else {
+                let left = dnf(a, false)?;
+                let right = dnf(b, false)?;
+                let mut out = Vec::with_capacity(left.len() * right.len());
+                for l in &left {
+                    for r in &right {
+                        let mut c = l.clone();
+                        c.extend(r.clone());
+                        out.push(c);
+                    }
+                }
+                Ok(out)
+            }
+        }
+        Expr::Or(a, b) => {
+            if negated {
+                // ¬(a ∨ b) = ¬a ∧ ¬b
+                let left = dnf(a, true)?;
+                let right = dnf(b, true)?;
+                let mut out = Vec::with_capacity(left.len() * right.len());
+                for l in &left {
+                    for r in &right {
+                        let mut c = l.clone();
+                        c.extend(r.clone());
+                        out.push(c);
+                    }
+                }
+                Ok(out)
+            } else {
+                let mut out = dnf(a, false)?;
+                out.extend(dnf(b, false)?);
+                Ok(out)
+            }
+        }
+        Expr::Not(e) => dnf(e, !negated),
+        Expr::Cmp { op, lhs, rhs } => {
+            let op = if negated { op.negated() } else { *op };
+            Ok(vec![vec![Atom::Cmp {
+                op,
+                lhs: (**lhs).clone(),
+                rhs: (**rhs).clone(),
+            }]])
+        }
+        Expr::Call { func, args } => Ok(vec![vec![Atom::BoolCall {
+            func: func.clone(),
+            args: args.clone(),
+            negated,
+        }]]),
+        Expr::Bool(true) => {
+            if negated {
+                Ok(vec![]) // false: no disjuncts
+            } else {
+                Ok(vec![vec![]]) // true: one empty conjunct
+            }
+        }
+        Expr::Bool(false) => {
+            if negated {
+                Ok(vec![vec![]])
+            } else {
+                Ok(vec![])
+            }
+        }
+        other => Err(ParseError::unpositioned(format!(
+            "expected boolean expression, found {other:?}"
+        ))),
+    }
+}
+
+/// Per-clause compilation state.
+struct ClauseCtx<'e, 'a> {
+    env: &'e QueryEnv<'a>,
+    vars: HashMap<String, Var>,
+    n_vars: u32,
+    body: Vec<Literal>,
+}
+
+impl<'e, 'a> ClauseCtx<'e, 'a> {
+    fn new(env: &'e QueryEnv<'a>) -> Self {
+        ClauseCtx {
+            env,
+            vars: HashMap::new(),
+            n_vars: 0,
+            body: Vec::new(),
+        }
+    }
+
+    fn fresh(&mut self) -> Var {
+        let v = Var(self.n_vars);
+        self.n_vars += 1;
+        v
+    }
+
+    fn declare(&mut self, name: &str) -> Result<Var, ParseError> {
+        if self.vars.contains_key(name) {
+            return Err(ParseError::unpositioned(format!(
+                "variable `{name}` declared twice"
+            )));
+        }
+        let v = self.fresh();
+        self.vars.insert(name.to_string(), v);
+        Ok(v)
+    }
+
+    fn lookup_var(&self, name: &str) -> Result<Var, ParseError> {
+        self.vars.get(name).copied().ok_or_else(|| {
+            ParseError::unpositioned(format!("undeclared variable `{name}`"))
+        })
+    }
+
+    /// Emit the extent literal for a typed variable (user types only).
+    fn emit_extent(&mut self, tv: &TypedVar, var: Var) -> Result<(), ParseError> {
+        if let Some(extent) = self.env.extent_of(&tv.type_name)? {
+            self.body.push(Literal::Pred {
+                pred: extent,
+                args: vec![Term::Var(var)],
+                negated: false,
+                epoch: StateEpoch::New,
+            });
+        }
+        Ok(())
+    }
+
+    /// Flatten a value expression to a term, emitting body literals for
+    /// calls and arithmetic.
+    fn flatten(&mut self, expr: &Expr) -> Result<Term, ParseError> {
+        match expr {
+            Expr::Var(name) => Ok(Term::Var(self.lookup_var(name)?)),
+            Expr::IfaceVar(name) => Ok(Term::Const(self.env.resolve_iface(name)?)),
+            Expr::Int(i) => Ok(Term::Const(Value::Int(*i))),
+            Expr::Real(r) => Ok(Term::Const(
+                Value::real(*r).map_err(|e| ParseError::unpositioned(e.to_string()))?,
+            )),
+            Expr::Str(s) => Ok(Term::Const(Value::str(s.as_str()))),
+            Expr::Bool(b) => Ok(Term::Const(Value::Bool(*b))),
+            Expr::Call { func, args } => {
+                let result = self.fresh();
+                self.emit_call(func, args, Term::Var(result), false)?;
+                Ok(Term::Var(result))
+            }
+            Expr::Arith { op, lhs, rhs } => {
+                let l = self.flatten(lhs)?;
+                let r = self.flatten(rhs)?;
+                let result = self.fresh();
+                self.body.push(Literal::Arith {
+                    op: *op,
+                    result: Term::Var(result),
+                    lhs: l,
+                    rhs: r,
+                });
+                Ok(Term::Var(result))
+            }
+            Expr::Neg(e) => {
+                let inner = self.flatten(e)?;
+                let result = self.fresh();
+                self.body.push(Literal::Arith {
+                    op: amos_types::ArithOp::Sub,
+                    result: Term::Var(result),
+                    lhs: Term::Const(Value::Int(0)),
+                    rhs: inner,
+                });
+                Ok(Term::Var(result))
+            }
+            Expr::Cmp { .. } | Expr::And(..) | Expr::Or(..) | Expr::Not(_) => Err(
+                ParseError::unpositioned("boolean expression used as a value".to_string()),
+            ),
+        }
+    }
+
+    /// Emit a function-call literal with an explicit result term.
+    fn emit_call(
+        &mut self,
+        func: &str,
+        args: &[Expr],
+        result: Term,
+        negated: bool,
+    ) -> Result<(), ParseError> {
+        let pred = self.env.lookup_fn(func)?;
+        let arity = self.env.catalog.def(pred).arity;
+        if args.len() + 1 != arity {
+            return Err(ParseError::unpositioned(format!(
+                "function `{func}` takes {} arguments, {} supplied",
+                arity - 1,
+                args.len()
+            )));
+        }
+        let mut terms = Vec::with_capacity(arity);
+        for a in args {
+            terms.push(self.flatten(a)?);
+        }
+        terms.push(result);
+        self.body.push(Literal::Pred {
+            pred,
+            args: terms,
+            negated,
+            epoch: StateEpoch::New,
+        });
+        Ok(())
+    }
+
+    /// Compile one atom into body literals.
+    fn emit_atom(&mut self, atom: &Atom) -> Result<(), ParseError> {
+        match atom {
+            Atom::BoolCall {
+                func,
+                args,
+                negated,
+            } => {
+                // A call in boolean position: result column = true.
+                self.emit_call(func, args, Term::Const(Value::Bool(true)), *negated)
+            }
+            Atom::Cmp { op, lhs, rhs } => {
+                // Equality with a call on one side folds the other side
+                // into the call's result column — `supplies(s) = i`
+                // becomes `supplies(S, I)` exactly as in the paper.
+                if *op == CmpOp::Eq {
+                    if let Expr::Call { func, args } = lhs {
+                        let r = self.flatten(rhs)?;
+                        return self.emit_call(func, args, r, false);
+                    }
+                    if let Expr::Call { func, args } = rhs {
+                        let l = self.flatten(lhs)?;
+                        return self.emit_call(func, args, l, false);
+                    }
+                }
+                // Inequality with a call on one side: `f(x) != v` means
+                // "the stored value differs", not negation-as-failure.
+                let l = self.flatten(lhs)?;
+                let r = self.flatten(rhs)?;
+                self.body.push(Literal::Cmp {
+                    op: *op,
+                    lhs: l,
+                    rhs: r,
+                });
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Compile a select with outer parameters: the produced clauses have
+/// head = `outer_params ++ select expressions`.
+pub fn compile_select(
+    env: &QueryEnv<'_>,
+    select: &Select,
+    outer_params: &[TypedVar],
+) -> Result<CompiledQuery, ParseError> {
+    let disjuncts = match &select.where_clause {
+        Some(pred) => dnf(pred, false)?,
+        None => vec![vec![]],
+    };
+    if disjuncts.is_empty() {
+        return Err(ParseError::unpositioned(
+            "condition is constant false".to_string(),
+        ));
+    }
+
+    let head_arity = outer_params.len() + select.exprs.len();
+    let mut clauses = Vec::with_capacity(disjuncts.len());
+    for conjunct in &disjuncts {
+        let mut ctx = ClauseCtx::new(env);
+        let mut head: Vec<Term> = Vec::with_capacity(head_arity);
+        // Declare params and for-each vars first so heads align across
+        // clauses.
+        for tv in outer_params {
+            let v = ctx.declare(&tv.var)?;
+            ctx.emit_extent(tv, v)?;
+            head.push(Term::Var(v));
+        }
+        for tv in &select.for_each {
+            let v = ctx.declare(&tv.var)?;
+            ctx.emit_extent(tv, v)?;
+        }
+        for atom in conjunct {
+            ctx.emit_atom(atom)?;
+        }
+        for e in &select.exprs {
+            let t = ctx.flatten(e)?;
+            head.push(t);
+        }
+        clauses.push(Clause {
+            n_vars: ctx.n_vars,
+            head,
+            body: ctx.body,
+        });
+    }
+    Ok(CompiledQuery {
+        clauses,
+        head_arity,
+    })
+}
+
+/// Compile a rule condition: head = `params ++ for-each vars`, which is
+/// exactly the data flow from condition to action (shared query
+/// variables, §1 "set-oriented action execution").
+pub fn compile_predicate(
+    env: &QueryEnv<'_>,
+    for_each: &[TypedVar],
+    predicate: &Expr,
+    params: &[TypedVar],
+) -> Result<CompiledQuery, ParseError> {
+    let select = Select {
+        exprs: for_each
+            .iter()
+            .map(|tv| Expr::Var(tv.var.clone()))
+            .collect(),
+        for_each: for_each.to_vec(),
+        where_clause: Some(predicate.clone()),
+    };
+    compile_select(env, &select, params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amos_objectlog::catalog::Catalog;
+    use amos_storage::Storage;
+    use amos_types::TypeId;
+
+    fn sig(n: usize) -> Vec<TypeId> {
+        vec![TypeId(0); n]
+    }
+
+    struct Env {
+        catalog: Catalog,
+        types: TypeRegistry,
+        extents: HashMap<String, PredId>,
+        iface: HashMap<String, Value>,
+    }
+
+    /// The paper's inventory schema.
+    fn setup() -> Env {
+        let mut storage = Storage::new();
+        let mut catalog = Catalog::new();
+        let mut types = TypeRegistry::new();
+        let mut extents = HashMap::new();
+
+        for ty in ["item", "supplier"] {
+            types.create(ty, None).unwrap();
+            let rel = storage.create_relation(format!("{ty}_extent"), 1).unwrap();
+            let pred = catalog
+                .define_stored(&format!("{ty}_extent"), sig(1), rel, 1)
+                .unwrap();
+            extents.insert(ty.to_string(), pred);
+        }
+        for (name, arity) in [
+            ("quantity", 2),
+            ("max_stock", 2),
+            ("min_stock", 2),
+            ("consume_freq", 2),
+            ("supplies", 2),
+            ("delivery_time", 3),
+            ("threshold", 2),
+            ("in_stock", 2), // boolean-valued
+        ] {
+            let rel = storage.create_relation(name, arity).unwrap();
+            catalog
+                .define_stored(name, sig(arity), rel, arity - 1)
+                .unwrap();
+        }
+        Env {
+            catalog,
+            types,
+            extents,
+            iface: HashMap::new(),
+        }
+    }
+
+    fn env<'a>(e: &'a Env) -> QueryEnv<'a> {
+        QueryEnv {
+            catalog: &e.catalog,
+            types: &e.types,
+            extents: &e.extents,
+            iface: &e.iface,
+        }
+    }
+
+    fn parse_select(src: &str) -> Select {
+        match crate::parser::parse(src).unwrap().remove(0) {
+            crate::ast::Statement::Select(s) => s,
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn flattens_the_paper_condition() {
+        let e = setup();
+        let sel = parse_select("select i for each item i where quantity(i) < threshold(i);");
+        let q = compile_select(&env(&e), &sel, &[]).unwrap();
+        assert_eq!(q.clauses.len(), 1);
+        assert_eq!(q.head_arity, 1);
+        let c = &q.clauses[0];
+        // extent + quantity + threshold + cmp
+        assert_eq!(c.body.len(), 4);
+        assert!(c.unsafe_var().is_none());
+        assert!(matches!(c.body[3], Literal::Cmp { op: CmpOp::Lt, .. }));
+    }
+
+    #[test]
+    fn threshold_body_matches_section_3_2() {
+        let e = setup();
+        // threshold(item i) -> integer as
+        //   select consume_freq(i) * delivery_time(i,s) + min_stock(i)
+        //   for each supplier s where supplies(s) = i
+        let sel = parse_select(
+            "select consume_freq(i) * delivery_time(i, s) + min_stock(i) \
+             for each supplier s where supplies(s) = i;",
+        );
+        let params = vec![TypedVar {
+            type_name: "item".into(),
+            var: "i".into(),
+        }];
+        let q = compile_select(&env(&e), &sel, &params).unwrap();
+        let c = &q.clauses[0];
+        assert_eq!(q.head_arity, 2, "i plus the result expression");
+        // `supplies(s) = i` folded into supplies(S, I) — no Unify goal.
+        let supplies = e.catalog.lookup("supplies").unwrap();
+        let lit = c
+            .body
+            .iter()
+            .find(|l| l.pred() == Some(supplies))
+            .expect("supplies literal present");
+        match lit {
+            Literal::Pred { args, .. } => {
+                assert_eq!(args.len(), 2);
+                assert!(matches!(args[1], Term::Var(_)));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Two arith goals: mul then add.
+        let ariths = c
+            .body
+            .iter()
+            .filter(|l| matches!(l, Literal::Arith { .. }))
+            .count();
+        assert_eq!(ariths, 2);
+        assert!(c.unsafe_var().is_none());
+    }
+
+    #[test]
+    fn disjunction_lifts_to_clauses() {
+        let e = setup();
+        let sel = parse_select(
+            "select i for each item i where quantity(i) < 10 or quantity(i) > 100;",
+        );
+        let q = compile_select(&env(&e), &sel, &[]).unwrap();
+        assert_eq!(q.clauses.len(), 2);
+        for c in &q.clauses {
+            assert_eq!(c.head.len(), 1);
+            assert!(c.unsafe_var().is_none());
+        }
+    }
+
+    #[test]
+    fn negation_forms() {
+        let e = setup();
+        // not of comparison → negated operator
+        let sel = parse_select("select i for each item i where not (quantity(i) < 10);");
+        let q = compile_select(&env(&e), &sel, &[]).unwrap();
+        assert!(q.clauses[0]
+            .body
+            .iter()
+            .any(|l| matches!(l, Literal::Cmp { op: CmpOp::Ge, .. })));
+
+        // not of boolean call → negated literal
+        let sel = parse_select("select i for each item i where not in_stock(i);");
+        let q = compile_select(&env(&e), &sel, &[]).unwrap();
+        assert!(q.clauses[0]
+            .body
+            .iter()
+            .any(|l| matches!(l, Literal::Pred { negated: true, .. })));
+
+        // De Morgan over and
+        let sel = parse_select(
+            "select i for each item i where not (quantity(i) < 10 and in_stock(i));",
+        );
+        let q = compile_select(&env(&e), &sel, &[]).unwrap();
+        assert_eq!(q.clauses.len(), 2);
+    }
+
+    #[test]
+    fn interface_vars_resolve_to_constants() {
+        let mut e = setup();
+        e.iface
+            .insert("item1".to_string(), Value::Oid(amos_types::Oid::from_raw(7)));
+        let sel = parse_select("select quantity(:item1);");
+        let q = compile_select(&env(&e), &sel, &[]).unwrap();
+        let c = &q.clauses[0];
+        match &c.body[0] {
+            Literal::Pred { args, .. } => {
+                assert_eq!(args[0], Term::Const(Value::Oid(amos_types::Oid::from_raw(7))));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_reported() {
+        let e = setup();
+        let sel = parse_select("select i for each item i where nosuch(i) < 1;");
+        assert!(compile_select(&env(&e), &sel, &[])
+            .unwrap_err()
+            .message
+            .contains("unknown function"));
+
+        let sel = parse_select("select j for each item i where quantity(i) < 10;");
+        assert!(compile_select(&env(&e), &sel, &[])
+            .unwrap_err()
+            .message
+            .contains("undeclared variable"));
+
+        let sel = parse_select("select i for each item i where quantity(i, i) < 10;");
+        assert!(compile_select(&env(&e), &sel, &[])
+            .unwrap_err()
+            .message
+            .contains("takes 1 arguments"));
+
+        let sel = parse_select("select quantity(:missing);");
+        assert!(compile_select(&env(&e), &sel, &[])
+            .unwrap_err()
+            .message
+            .contains("unbound interface variable"));
+    }
+
+    #[test]
+    fn rule_condition_head_is_params_then_foreach() {
+        let e = setup();
+        let stmts = crate::parser::parse(
+            "create rule r(item i) as when for each supplier s \
+             where supplies(s) = i and quantity(i) < 10 do order(i);",
+        )
+        .unwrap();
+        let crate::ast::Statement::CreateRule {
+            params, condition, ..
+        } = &stmts[0]
+        else {
+            panic!()
+        };
+        let q = compile_predicate(&env(&e), &condition.for_each, &condition.predicate, params)
+            .unwrap();
+        assert_eq!(q.head_arity, 2, "param i + for-each s");
+        assert!(q.clauses[0].unsafe_var().is_none());
+    }
+
+    #[test]
+    fn constant_conditions() {
+        let e = setup();
+        let sel = parse_select("select i for each item i where true;");
+        let q = compile_select(&env(&e), &sel, &[]).unwrap();
+        assert_eq!(q.clauses.len(), 1);
+        assert_eq!(q.clauses[0].body.len(), 1, "just the extent literal");
+
+        let sel = parse_select("select i for each item i where false;");
+        assert!(compile_select(&env(&e), &sel, &[]).is_err());
+    }
+}

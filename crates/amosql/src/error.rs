@@ -1,0 +1,54 @@
+//! Parse and compile errors with source positions.
+
+use std::fmt;
+
+/// A positioned syntax or compilation error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Construct an error.
+    pub fn new(line: usize, col: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            line,
+            col,
+            message: message.into(),
+        }
+    }
+
+    /// An error without a useful position (end of input, semantic
+    /// errors during compilation).
+    pub fn unpositioned(message: impl Into<String>) -> Self {
+        ParseError::new(0, 0, message)
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}", self.message)
+        } else {
+            write!(f, "{}:{}: {}", self.line, self.col, self.message)
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(ParseError::new(3, 7, "boom").to_string(), "3:7: boom");
+        assert_eq!(ParseError::unpositioned("boom").to_string(), "boom");
+    }
+}

@@ -1,0 +1,314 @@
+//! Tokenizer for the AMOSQL subset.
+
+use std::fmt;
+
+use crate::error::ParseError;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (keywords are recognized by the parser).
+    Ident(String),
+    /// Interface variable `:name` (session-scoped, not stored — paper
+    /// §3.1 footnote 2).
+    IfaceVar(String),
+    /// Integer literal.
+    Int(i64),
+    /// Real literal.
+    Real(f64),
+    /// String literal (double quotes).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `->`
+    Arrow,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::IfaceVar(s) => write!(f, ":{s}"),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Real(r) => write!(f, "{r}"),
+            Token::Str(s) => write!(f, "\"{s}\""),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Comma => write!(f, ","),
+            Token::Semi => write!(f, ";"),
+            Token::Arrow => write!(f, "->"),
+            Token::Eq => write!(f, "="),
+            Token::Ne => write!(f, "!="),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Star => write!(f, "*"),
+            Token::Slash => write!(f, "/"),
+        }
+    }
+}
+
+/// A token plus its source position (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+/// Tokenize AMOSQL source. `--` comments run to end of line.
+pub fn tokenize(src: &str) -> Result<Vec<Spanned>, ParseError> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    let mut line = 1usize;
+    let mut col = 1usize;
+
+    macro_rules! push {
+        ($tok:expr, $len:expr) => {{
+            out.push(Spanned {
+                token: $tok,
+                line,
+                col,
+            });
+            i += $len;
+            col += $len;
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            ' ' | '\t' | '\r' => {
+                i += 1;
+                col += 1;
+            }
+            '-' if bytes.get(i + 1) == Some(&'-') => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '-' if bytes.get(i + 1) == Some(&'>') => push!(Token::Arrow, 2),
+            '-' => push!(Token::Minus, 1),
+            '(' => push!(Token::LParen, 1),
+            ')' => push!(Token::RParen, 1),
+            ',' => push!(Token::Comma, 1),
+            ';' => push!(Token::Semi, 1),
+            '=' => push!(Token::Eq, 1),
+            '!' if bytes.get(i + 1) == Some(&'=') => push!(Token::Ne, 2),
+            '<' if bytes.get(i + 1) == Some(&'=') => push!(Token::Le, 2),
+            '<' if bytes.get(i + 1) == Some(&'>') => push!(Token::Ne, 2),
+            '<' => push!(Token::Lt, 1),
+            '>' if bytes.get(i + 1) == Some(&'=') => push!(Token::Ge, 2),
+            '>' => push!(Token::Gt, 1),
+            '+' => push!(Token::Plus, 1),
+            '*' => push!(Token::Star, 1),
+            '/' => push!(Token::Slash, 1),
+            '"' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != '"' {
+                    j += 1;
+                }
+                if j == bytes.len() {
+                    return Err(ParseError::new(line, col, "unterminated string literal"));
+                }
+                let s: String = bytes[start..j].iter().collect();
+                let len = j - i + 1;
+                push!(Token::Str(s), len);
+            }
+            ':' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && (bytes[j].is_alphanumeric() || bytes[j] == '_') {
+                    j += 1;
+                }
+                if j == start {
+                    return Err(ParseError::new(line, col, "expected name after `:`"));
+                }
+                let s: String = bytes[start..j].iter().collect();
+                let len = j - i;
+                push!(Token::IfaceVar(s), len);
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+                let mut is_real = false;
+                if j < bytes.len()
+                    && bytes[j] == '.'
+                    && bytes.get(j + 1).map(|c| c.is_ascii_digit()).unwrap_or(false)
+                {
+                    is_real = true;
+                    j += 1;
+                    while j < bytes.len() && bytes[j].is_ascii_digit() {
+                        j += 1;
+                    }
+                }
+                let text: String = bytes[start..j].iter().collect();
+                let len = j - start;
+                if is_real {
+                    let v: f64 = text
+                        .parse()
+                        .map_err(|_| ParseError::new(line, col, "invalid real literal"))?;
+                    push!(Token::Real(v), len);
+                } else {
+                    let v: i64 = text
+                        .parse()
+                        .map_err(|_| ParseError::new(line, col, "integer literal overflow"))?;
+                    push!(Token::Int(v), len);
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() && (bytes[j].is_alphanumeric() || bytes[j] == '_') {
+                    j += 1;
+                }
+                let s: String = bytes[start..j].iter().collect();
+                let len = j - start;
+                push!(Token::Ident(s), len);
+            }
+            other => {
+                return Err(ParseError::new(
+                    line,
+                    col,
+                    format!("unexpected character `{other}`"),
+                ));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        tokenize(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            toks("create type item;"),
+            vec![
+                Token::Ident("create".into()),
+                Token::Ident("type".into()),
+                Token::Ident("item".into()),
+                Token::Semi
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_and_arrow() {
+        assert_eq!(
+            toks("-> = != < <= > >= + - * / <>"),
+            vec![
+                Token::Arrow,
+                Token::Eq,
+                Token::Ne,
+                Token::Lt,
+                Token::Le,
+                Token::Gt,
+                Token::Ge,
+                Token::Plus,
+                Token::Minus,
+                Token::Star,
+                Token::Slash,
+                Token::Ne,
+            ]
+        );
+    }
+
+    #[test]
+    fn interface_vars_and_literals() {
+        assert_eq!(
+            toks("set max_stock(:item1) = 5000;"),
+            vec![
+                Token::Ident("set".into()),
+                Token::Ident("max_stock".into()),
+                Token::LParen,
+                Token::IfaceVar("item1".into()),
+                Token::RParen,
+                Token::Eq,
+                Token::Int(5000),
+                Token::Semi
+            ]
+        );
+        assert_eq!(toks("3.25"), vec![Token::Real(3.25)]);
+        assert_eq!(toks("\"hello\""), vec![Token::Str("hello".into())]);
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            toks("a -- comment\n b"),
+            vec![Token::Ident("a".into()), Token::Ident("b".into())]
+        );
+    }
+
+    #[test]
+    fn minus_vs_arrow_vs_comment() {
+        assert_eq!(toks("a - b"), vec![
+            Token::Ident("a".into()),
+            Token::Minus,
+            Token::Ident("b".into())
+        ]);
+    }
+
+    #[test]
+    fn positions_tracked() {
+        let spanned = tokenize("a\n  b").unwrap();
+        assert_eq!((spanned[0].line, spanned[0].col), (1, 1));
+        assert_eq!((spanned[1].line, spanned[1].col), (2, 3));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("\"unterminated").is_err());
+        assert!(tokenize("@").is_err());
+        assert!(tokenize(": x").is_err());
+    }
+}

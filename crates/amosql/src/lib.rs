@@ -1,0 +1,33 @@
+//! # amos-amosql
+//!
+//! A working subset of AMOSQL — the OSQL-derived query language of AMOS
+//! (paper §3) — sufficient to run every listing in the paper verbatim
+//! (modulo whitespace): types, stored and derived functions, CA rules
+//! with `for each`/`where` conditions, instance creation, `set`/`add`/
+//! `remove` updates, queries, and rule (de)activation.
+//!
+//! The crate provides:
+//!
+//! * [`lexer`] — hand-rolled tokenizer (identifiers, `:interface`
+//!   variables, literals, operators, comments).
+//! * [`ast`] — statements and expressions.
+//! * [`parser`] — recursive-descent parser with positioned errors.
+//! * [`compiler`] — the *query compiler*: flattens nested function
+//!   calls, arithmetic, comparisons, conjunction/disjunction/negation
+//!   into ObjectLog clauses with generated `_G` variables, exactly like
+//!   the `cnd_monitor_items` expansion shown in §3.2/§4.3 of the paper.
+//!
+//! Execution of statements (DDL, updates, rule management) lives in
+//! `amos-db`, which drives this crate.
+
+pub mod ast;
+pub mod compiler;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+
+pub use ast::{Expr, ProcStmt, Select, Statement};
+pub use compiler::{compile_predicate, compile_select, CompiledQuery, QueryEnv};
+pub use error::ParseError;
+pub use parser::parse;

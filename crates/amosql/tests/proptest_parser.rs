@@ -1,0 +1,151 @@
+//! Property tests for the AMOSQL front-end:
+//!
+//! * **print ∘ parse = id** — randomly generated ASTs survive a
+//!   pretty-print → re-parse round trip unchanged;
+//! * **total lexer/parser** — arbitrary input never panics, it either
+//!   parses or returns a positioned error.
+
+use amos_amosql::ast::{Expr, Select, Statement, TypedVar};
+use amos_amosql::parser::parse;
+use amos_types::{ArithOp, CmpOp};
+use proptest::prelude::*;
+
+fn ident() -> impl Strategy<Value = String> {
+    // Avoid keywords; prefix makes collision impossible.
+    "[a-z][a-z0-9_]{0,6}".prop_map(|s| format!("v_{s}"))
+}
+
+fn leaf_expr() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        ident().prop_map(Expr::Var),
+        ident().prop_map(Expr::IfaceVar),
+        (0i64..10_000).prop_map(Expr::Int),
+        (0i64..1000, 1i64..100).prop_map(|(a, b)| Expr::Real(a as f64 + (b as f64) / 128.0)),
+        "[a-z ]{0,8}".prop_map(Expr::Str),
+        any::<bool>().prop_map(Expr::Bool),
+    ]
+}
+
+fn arith_op() -> impl Strategy<Value = ArithOp> {
+    prop_oneof![
+        Just(ArithOp::Add),
+        Just(ArithOp::Sub),
+        Just(ArithOp::Mul),
+        Just(ArithOp::Div),
+    ]
+}
+
+fn cmp_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+/// Value-position expressions (no booleans at the top).
+fn value_expr() -> impl Strategy<Value = Expr> {
+    leaf_expr().prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (ident(), prop::collection::vec(inner.clone(), 0..3))
+                .prop_map(|(func, args)| Expr::Call { func, args }),
+            (arith_op(), inner.clone(), inner.clone()).prop_map(|(op, lhs, rhs)| Expr::Arith {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            }),
+            inner.clone().prop_map(|e| Expr::Neg(Box::new(e))),
+        ]
+    })
+}
+
+/// Boolean-position expressions.
+fn bool_expr() -> impl Strategy<Value = Expr> {
+    let atom = prop_oneof![
+        (cmp_op(), value_expr(), value_expr()).prop_map(|(op, lhs, rhs)| Expr::Cmp {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }),
+        (ident(), prop::collection::vec(value_expr(), 0..2))
+            .prop_map(|(func, args)| Expr::Call { func, args }),
+    ];
+    atom.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+        ]
+    })
+}
+
+fn typed_var() -> impl Strategy<Value = TypedVar> {
+    (ident(), ident()).prop_map(|(type_name, var)| TypedVar { type_name, var })
+}
+
+fn select_stmt() -> impl Strategy<Value = Statement> {
+    (
+        prop::collection::vec(value_expr(), 1..3),
+        prop::collection::vec(typed_var(), 0..3),
+        prop::option::of(bool_expr()),
+    )
+        .prop_map(|(exprs, for_each, where_clause)| {
+            Statement::Select(Select {
+                exprs,
+                for_each,
+                where_clause,
+            })
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// print ∘ parse = id on random selects (the richest grammar corner).
+    #[test]
+    fn select_roundtrip(stmt in select_stmt()) {
+        let printed = stmt.to_string();
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("re-parse failed: {e}\nsource: {printed}"));
+        prop_assert_eq!(vec![stmt], reparsed, "source: {}", printed);
+    }
+
+    /// The lexer+parser are total: garbage input errors, never panics.
+    #[test]
+    fn parser_never_panics(input in "\\PC{0,80}") {
+        let _ = parse(&input);
+    }
+
+    /// Structured-ish garbage (token soup) also never panics.
+    #[test]
+    fn token_soup_never_panics(
+        words in prop::collection::vec(
+            prop_oneof![
+                Just("select".to_string()),
+                Just("create".to_string()),
+                Just("rule".to_string()),
+                Just("for".to_string()),
+                Just("each".to_string()),
+                Just("where".to_string()),
+                Just("(".to_string()),
+                Just(")".to_string()),
+                Just(";".to_string()),
+                Just(",".to_string()),
+                Just("->".to_string()),
+                Just("<".to_string()),
+                Just("=".to_string()),
+                Just(":x".to_string()),
+                Just("42".to_string()),
+                ident(),
+            ],
+            0..25,
+        )
+    ) {
+        let _ = parse(&words.join(" "));
+    }
+}

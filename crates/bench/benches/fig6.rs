@@ -1,0 +1,34 @@
+//! Criterion version of **fig. 6**: per-transaction cost of a single
+//! quantity update under incremental vs naive monitoring, across
+//! database sizes. The paper's claim: incremental is ~independent of
+//! database size, naive is linear.
+
+use amos_bench::InventoryWorld;
+use amos_core::MonitorMode;
+use amos_db::engine::NetworkPrep;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_single_update_tx");
+    group.sample_size(30);
+    for &n in &[10usize, 100, 1_000] {
+        for (label, mode) in [
+            ("incremental", MonitorMode::Incremental),
+            ("naive", MonitorMode::Naive),
+        ] {
+            let mut world = InventoryWorld::new(n, mode, NetworkPrep::Flat);
+            let mut v = 10_001i64;
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| {
+                    // Always a real net change, always above threshold.
+                    v += 1;
+                    world.tx_single_quantity_update(0, v);
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

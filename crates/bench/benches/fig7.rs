@@ -1,0 +1,34 @@
+//! Criterion version of **fig. 7**: one bulk transaction changing
+//! quantity, delivery time, and consume frequency of *all* items (three
+//! of the five partial differentials). The paper's claim: incremental is
+//! slower than naive by a roughly constant factor (≈1.6× on their
+//! hardware) independent of database size.
+
+use amos_bench::InventoryWorld;
+use amos_core::MonitorMode;
+use amos_db::engine::NetworkPrep;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_massive_update_tx");
+    group.sample_size(15);
+    for &n in &[10usize, 100, 1_000] {
+        for (label, mode) in [
+            ("incremental", MonitorMode::Incremental),
+            ("naive", MonitorMode::Naive),
+        ] {
+            let mut world = InventoryWorld::new(n, mode, NetworkPrep::Flat);
+            let mut round = 1i64;
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| {
+                    round += 1;
+                    world.tx_massive_update(round);
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion benches for **fig. 4**: per-operator incremental delta
+//! evaluation vs naive recomputation, at the relational-algebra level.
+//!
+//! For each operator row of fig. 4 we build two base relations of `n`
+//! tuples, apply a small update (one insert + one delete per relation),
+//! and compare:
+//!
+//! * `differential` — evaluate the fig. 4 partial differentials with
+//!   Strict correction (exact delta);
+//! * `recompute` — evaluate the operator in both states and diff.
+//!
+//! The differential side should be ~independent of `n` for selective
+//! operators, while recomputation is Ω(n).
+
+use amos_algebra::diff::{delta_from_differentials, diff_expr, recompute_delta, Correction};
+use amos_algebra::predicate::CmpOp;
+use amos_algebra::{AlgebraDb, Predicate, RelExpr};
+use amos_types::tuple;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn make_db(n: i64) -> AlgebraDb {
+    let mut db = AlgebraDb::new();
+    db.set_relation("q", (0..n).map(|i| tuple![i, i % 10]));
+    db.set_relation("r", (0..n).map(|i| tuple![i % 10, i]));
+    // A small update: one insert and one delete on each side.
+    db.insert("q", tuple![n + 1, 3]);
+    db.delete("q", &tuple![0, 0]);
+    db.insert("r", tuple![3, n + 1]);
+    db.delete("r", &tuple![0, 0]);
+    db
+}
+
+fn operators() -> Vec<(&'static str, RelExpr)> {
+    let q = || Box::new(RelExpr::rel("q", 2));
+    let r = || Box::new(RelExpr::rel("r", 2));
+    vec![
+        ("select", RelExpr::Select(q(), Predicate::col_const(1, CmpOp::Lt, 5))),
+        ("project", RelExpr::Project(q(), vec![1])),
+        ("union", RelExpr::Union(q(), r())),
+        ("diff", RelExpr::Diff(q(), r())),
+        ("join", RelExpr::Join(q(), r(), vec![(1, 0)])),
+        ("intersect", RelExpr::Intersect(q(), r())),
+    ]
+}
+
+fn bench_operators(c: &mut Criterion) {
+    for (name, expr) in operators() {
+        let mut group = c.benchmark_group(format!("fig4_{name}"));
+        group.sample_size(20);
+        for &n in &[100i64, 1_000] {
+            let db = make_db(n);
+            let diffs = diff_expr(&expr);
+            group.bench_with_input(BenchmarkId::new("differential", n), &n, |b, _| {
+                b.iter(|| delta_from_differentials(&expr, &diffs, &db, Correction::Strict));
+            });
+            group.bench_with_input(BenchmarkId::new("recompute", n), &n, |b, _| {
+                b.iter(|| recompute_delta(&expr, &db));
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_operators);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Regenerates the performance face of **fig. 4**: for every relational
+//! operator row, compare evaluating the partial differentials (seeded by
+//! a 4-tuple update) against naive recomputation of the operator delta,
+//! across relation sizes.
+//!
+//! Expected shape: differential evaluation is ~independent of relation
+//! size for σ, π, ∪, −, ∩, ⋈ (delta-seeded probes); recomputation is
+//! Ω(n). The ratio therefore grows linearly with n.
+//!
+//! Run with: `cargo run -p amos-bench --release --bin fig4`
+
+use amos_algebra::diff::{delta_from_differentials, diff_expr, recompute_delta, Correction};
+use amos_algebra::predicate::CmpOp;
+use amos_algebra::{AlgebraDb, Predicate, RelExpr};
+use amos_bench::time_secs;
+use amos_types::tuple;
+
+fn make_db(n: i64) -> AlgebraDb {
+    let mut db = AlgebraDb::new();
+    db.set_relation("q", (0..n).map(|i| tuple![i, i % 10]));
+    db.set_relation("r", (0..n).map(|i| tuple![i % 10, i]));
+    db.insert("q", tuple![n + 1, 3]);
+    db.delete("q", &tuple![0, 0]);
+    db.insert("r", tuple![3, n + 1]);
+    db.delete("r", &tuple![0, 0]);
+    db
+}
+
+fn operators() -> Vec<(&'static str, RelExpr)> {
+    let q = || Box::new(RelExpr::rel("q", 2));
+    let r = || Box::new(RelExpr::rel("r", 2));
+    vec![
+        ("select", RelExpr::Select(q(), Predicate::col_const(1, CmpOp::Lt, 5))),
+        ("project", RelExpr::Project(q(), vec![1])),
+        ("union", RelExpr::Union(q(), r())),
+        ("difference", RelExpr::Diff(q(), r())),
+        ("join", RelExpr::Join(q(), r(), vec![(1, 0)])),
+        ("intersect", RelExpr::Intersect(q(), r())),
+    ]
+}
+
+const DIFF_REPS: usize = 200;
+const RECOMP_REPS: usize = 10;
+
+fn main() {
+    println!("# Fig. 4 — per-operator: partial differentials vs recomputation");
+    println!("# (µs per delta evaluation; {DIFF_REPS}/{RECOMP_REPS} repetitions; 4-tuple update)");
+    println!(
+        "{:>12} {:>8} {:>16} {:>14} {:>10}",
+        "operator", "n", "differential_us", "recompute_us", "speedup"
+    );
+    for (name, expr) in operators() {
+        for &n in &[100i64, 1_000, 10_000] {
+            let db = make_db(n);
+            let diffs = diff_expr(&expr);
+            let d = time_secs(|| {
+                for _ in 0..DIFF_REPS {
+                    std::hint::black_box(delta_from_differentials(
+                        &expr,
+                        &diffs,
+                        &db,
+                        Correction::Strict,
+                    ));
+                }
+            }) * 1e6
+                / DIFF_REPS as f64;
+            let r = time_secs(|| {
+                for _ in 0..RECOMP_REPS {
+                    std::hint::black_box(recompute_delta(&expr, &db));
+                }
+            }) * 1e6
+                / RECOMP_REPS as f64;
+            println!(
+                "{:>12} {:>8} {:>16.1} {:>14.1} {:>10.1}",
+                name,
+                n,
+                d,
+                r,
+                r / d
+            );
+        }
+    }
+    println!();
+    println!("# Paper shape: differentials ~flat in n; recomputation Ω(n).");
+}

@@ -1,0 +1,45 @@
+//! Regenerates **fig. 6** of the paper: "100 transactions with 1 change
+//! to 1 partial differential" over database sizes 1 → 10 000.
+//!
+//! Expected shape (paper): incremental cost is ~independent of database
+//! size; naive cost grows linearly (it re-evaluates the whole condition,
+//! scanning all items, at every commit).
+//!
+//! Run with: `cargo run -p amos-bench --release --bin fig6`
+
+use amos_bench::{time_secs, InventoryWorld};
+use amos_core::MonitorMode;
+use amos_db::engine::NetworkPrep;
+
+const TRANSACTIONS: usize = 100;
+
+fn run(n_items: usize, mode: MonitorMode) -> f64 {
+    let mut world = InventoryWorld::new(n_items, mode, NetworkPrep::Flat);
+    // Warm up one transaction (index build, first materialization).
+    world.tx_single_quantity_update(0, 10_001);
+    time_secs(|| {
+        for i in 0..TRANSACTIONS {
+            // Always a real net change, always above threshold.
+            world.tx_single_quantity_update(i % n_items, 10_002 + i as i64);
+        }
+    })
+}
+
+fn main() {
+    println!("# Fig. 6 — {TRANSACTIONS} transactions, each with 1 change to 1 partial differential");
+    println!("# (times in milliseconds for all {TRANSACTIONS} transactions)");
+    println!("{:>8} {:>16} {:>12} {:>18}", "items", "incremental_ms", "naive_ms", "naive/incremental");
+    for &n in &[1usize, 10, 100, 1_000, 10_000] {
+        let inc = run(n, MonitorMode::Incremental) * 1e3;
+        let naive = run(n, MonitorMode::Naive) * 1e3;
+        println!(
+            "{:>8} {:>16.2} {:>12.2} {:>18.2}",
+            n,
+            inc,
+            naive,
+            naive / inc
+        );
+    }
+    println!();
+    println!("# Paper shape: incremental ≈ flat over db size; naive ≈ linear.");
+}

@@ -1,0 +1,132 @@
+//! Quantifies the §7.1 node-sharing trade-off: several rules whose
+//! conditions all reference `threshold`.
+//!
+//! * **flat** (full expansion, fig. 2): every rule's condition carries
+//!   its own copy of threshold's body — a `consume_freq` update executes
+//!   one differential *per rule*, each re-deriving the threshold join.
+//! * **bushy** (shared node, fig. 1): the update propagates through the
+//!   shared `threshold` node once; only the small node→condition edges
+//!   multiply per rule.
+//!
+//! "This would be beneficial if the threshold function is referenced in
+//! other rule conditions as well since this would enable node sharing."
+//!
+//! Run with: `cargo run -p amos-bench --release --bin sharing`
+
+use amos_bench::{time_secs, SCHEMA};
+use amos_db::engine::NetworkPrep;
+use amos_db::{Amos, EngineOptions, Value};
+use amos_types::Oid;
+
+const N_ITEMS: usize = 1_000;
+const TRANSACTIONS: usize = 100;
+
+fn build(prep: NetworkPrep, n_rules: usize) -> (Amos, Vec<Oid>, amos_storage::RelId) {
+    let mut db = Amos::with_options(EngineOptions {
+        network_prep: prep,
+        ..Default::default()
+    });
+    db.register_procedure("order", |_ctx, _| Ok(()));
+    db.register_procedure("noop", |_ctx, _| Ok(()));
+    db.execute(SCHEMA).expect("schema");
+    // Extra rules that also reference threshold(i).
+    for k in 0..n_rules.saturating_sub(1) {
+        db.execute(&format!(
+            "create rule extra_{k}() as \
+             when for each item i where quantity(i) < threshold(i) + {k} \
+             do noop(i);"
+        ))
+        .expect("extra rule");
+    }
+
+    let catalog = db.catalog();
+    let rel = |name: &str| {
+        catalog
+            .def(catalog.lookup(name).unwrap())
+            .stored_rel()
+            .unwrap()
+    };
+    let item_extent = rel("item_extent");
+    let supplier_extent = rel("supplier_extent");
+    let rels = [
+        rel("quantity"),
+        rel("max_stock"),
+        rel("min_stock"),
+        rel("consume_freq"),
+        rel("supplies"),
+        rel("delivery_time"),
+    ];
+    let (rq, rmax, rmin, rcf, rsup, rdt) =
+        (rels[0], rels[1], rels[2], rels[3], rels[4], rels[5]);
+    let consume_rel = rcf;
+    let mut items = Vec::with_capacity(N_ITEMS);
+    {
+        let storage = db.storage_mut();
+        for _ in 0..N_ITEMS {
+            let item = storage.fresh_oid();
+            let sup = storage.fresh_oid();
+            items.push(item);
+            let iv = Value::Oid(item);
+            let sv = Value::Oid(sup);
+            storage.insert(item_extent, amos_types::Tuple::new(vec![iv.clone()])).unwrap();
+            storage.insert(supplier_extent, amos_types::Tuple::new(vec![sv.clone()])).unwrap();
+            storage.set_functional(rq, std::slice::from_ref(&iv), &[Value::Int(10_000)]).unwrap();
+            storage.set_functional(rmax, std::slice::from_ref(&iv), &[Value::Int(20_000)]).unwrap();
+            storage.set_functional(rmin, std::slice::from_ref(&iv), &[Value::Int(100)]).unwrap();
+            storage.set_functional(rcf, std::slice::from_ref(&iv), &[Value::Int(20)]).unwrap();
+            storage.set_functional(rsup, std::slice::from_ref(&sv), std::slice::from_ref(&iv)).unwrap();
+            storage.set_functional(rdt, &[iv, sv], &[Value::Int(2)]).unwrap();
+        }
+    }
+    db.execute("activate monitor_items();").unwrap();
+    for k in 0..n_rules.saturating_sub(1) {
+        db.execute(&format!("activate extra_{k}();")).unwrap();
+    }
+    (db, items, consume_rel)
+}
+
+/// Time 100 transactions each updating one item's consume_freq — a
+/// threshold-side influent, so the sharing effect is maximal.
+fn run(prep: NetworkPrep, n_rules: usize) -> f64 {
+    let (mut db, items, consume_rel) = build(prep, n_rules);
+    let mut v = 21i64;
+    // Warm-up.
+    db.begin().unwrap();
+    db.storage_mut()
+        .set_functional(consume_rel, &[Value::Oid(items[0])], &[Value::Int(v)])
+        .unwrap();
+    db.commit().unwrap();
+    time_secs(|| {
+        for i in 0..TRANSACTIONS {
+            v += 1;
+            db.begin().unwrap();
+            db.storage_mut()
+                .set_functional(
+                    consume_rel,
+                    &[Value::Oid(items[i % items.len()])],
+                    &[Value::Int(v)],
+                )
+                .unwrap();
+            db.commit().unwrap();
+        }
+    }) * 1e3
+}
+
+fn main() {
+    println!("# §7.1 node sharing — {TRANSACTIONS} transactions updating consume_freq of one item");
+    println!("# ({N_ITEMS} items; rules all referencing threshold; times in ms)");
+    println!("{:>8} {:>10} {:>10} {:>12}", "rules", "flat_ms", "bushy_ms", "flat/bushy");
+    for &n_rules in &[1usize, 2, 4, 8] {
+        let flat = run(NetworkPrep::Flat, n_rules);
+        let bushy = run(NetworkPrep::Bushy, n_rules);
+        println!(
+            "{:>8} {:>10.2} {:>10.2} {:>12.2}",
+            n_rules,
+            flat,
+            bushy,
+            flat / bushy
+        );
+    }
+    println!();
+    println!("# Paper expectation (§7.1): sharing pays off as more rules reference threshold.");
+}

@@ -1,0 +1,97 @@
+//! Errors of the rule-monitoring core.
+
+use std::fmt;
+
+use amos_objectlog::ObjectLogError;
+use amos_storage::StorageError;
+
+/// Errors raised by differencing, propagation, and rule management.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// An ObjectLog error surfaced (compilation or evaluation).
+    ObjectLog(ObjectLogError),
+    /// A storage error surfaced.
+    Storage(StorageError),
+    /// No rule with this name.
+    UnknownRule(String),
+    /// A rule with this name already exists.
+    DuplicateRule(String),
+    /// The check phase did not reach a fixpoint within the iteration
+    /// limit — a rule cascade keeps re-triggering.
+    NonTerminatingRules {
+        /// The iteration limit that was hit.
+        limit: usize,
+    },
+    /// A rule action failed.
+    ActionFailed {
+        /// Rule name.
+        rule: String,
+        /// Failure description.
+        reason: String,
+    },
+    /// Activation arguments did not match the rule's parameter count.
+    ParameterArityMismatch {
+        /// Rule name.
+        rule: String,
+        /// Declared parameter count.
+        expected: usize,
+        /// Supplied argument count.
+        found: usize,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::ObjectLog(e) => write!(f, "{e}"),
+            CoreError::Storage(e) => write!(f, "{e}"),
+            CoreError::UnknownRule(n) => write!(f, "unknown rule `{n}`"),
+            CoreError::DuplicateRule(n) => write!(f, "rule `{n}` already exists"),
+            CoreError::NonTerminatingRules { limit } => {
+                write!(f, "rule cascade did not terminate within {limit} iterations")
+            }
+            CoreError::ActionFailed { rule, reason } => {
+                write!(f, "action of rule `{rule}` failed: {reason}")
+            }
+            CoreError::ParameterArityMismatch {
+                rule,
+                expected,
+                found,
+            } => write!(
+                f,
+                "rule `{rule}` takes {expected} parameters, {found} supplied"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<ObjectLogError> for CoreError {
+    fn from(e: ObjectLogError) -> Self {
+        CoreError::ObjectLog(e)
+    }
+}
+
+impl From<StorageError> for CoreError {
+    fn from(e: StorageError) -> Self {
+        CoreError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            CoreError::UnknownRule("r".into()).to_string(),
+            "unknown rule `r`"
+        );
+        assert_eq!(
+            CoreError::NonTerminatingRules { limit: 100 }.to_string(),
+            "rule cascade did not terminate within 100 iterations"
+        );
+    }
+}

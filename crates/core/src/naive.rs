@@ -1,0 +1,160 @@
+//! The naive condition monitor — the §6 baseline.
+//!
+//! "We have implemented both our incremental algorithm and a 'naive'
+//! condition monitoring algorithm that recomputes the whole rule
+//! condition every time an update has been made to an influent affecting
+//! a condition."
+//!
+//! The naive monitor materializes each condition's result at activation
+//! and, whenever any influent changed during a transaction, re-evaluates
+//! the full condition and diffs against the previous materialization to
+//! obtain the net changes. Its per-check cost is linear in the database
+//! size (it scans the condition's relations), which is exactly the
+//! behaviour fig. 6 plots; its memory cost is the materialization the
+//! incremental method avoids.
+
+use std::collections::{HashMap, HashSet};
+
+use amos_objectlog::catalog::{Catalog, PredId};
+use amos_objectlog::eval::{DeltaMap, EvalContext};
+use amos_storage::{DeltaSet, StateEpoch, Storage};
+use amos_types::Tuple;
+
+use crate::error::CoreError;
+
+/// Materialized previous results of monitored conditions.
+#[derive(Debug, Default, Clone)]
+pub struct NaiveMonitor {
+    previous: HashMap<PredId, HashSet<Tuple>>,
+}
+
+impl NaiveMonitor {
+    /// An empty monitor.
+    pub fn new() -> Self {
+        NaiveMonitor::default()
+    }
+
+    /// Start monitoring a condition: evaluate and materialize its current
+    /// result.
+    pub fn watch(
+        &mut self,
+        catalog: &Catalog,
+        storage: &Storage,
+        condition: PredId,
+    ) -> Result<(), CoreError> {
+        let result = full_eval(catalog, storage, condition)?;
+        self.previous.insert(condition, result);
+        Ok(())
+    }
+
+    /// Stop monitoring a condition and drop its materialization.
+    pub fn unwatch(&mut self, condition: PredId) {
+        self.previous.remove(&condition);
+    }
+
+    /// Whether a condition is being monitored.
+    pub fn is_watching(&self, condition: PredId) -> bool {
+        self.previous.contains_key(&condition)
+    }
+
+    /// The materialized previous result (for tests).
+    pub fn previous(&self, condition: PredId) -> Option<&HashSet<Tuple>> {
+        self.previous.get(&condition)
+    }
+
+    /// Mutable access to a materialization (hybrid bookkeeping).
+    pub fn previous_mut(&mut self, condition: PredId) -> Option<&mut HashSet<Tuple>> {
+        self.previous.get_mut(&condition)
+    }
+
+    /// Recompute a condition in full, diff against the previous
+    /// materialization, update it, and return the net changes.
+    pub fn check(
+        &mut self,
+        catalog: &Catalog,
+        storage: &Storage,
+        condition: PredId,
+    ) -> Result<DeltaSet, CoreError> {
+        let new = full_eval(catalog, storage, condition)?;
+        let old = self
+            .previous
+            .get(&condition)
+            .cloned()
+            .unwrap_or_default();
+        let delta = DeltaSet::from_parts(
+            new.difference(&old).cloned().collect(),
+            old.difference(&new).cloned().collect(),
+        );
+        self.previous.insert(condition, new);
+        Ok(delta)
+    }
+}
+
+/// Evaluate a condition predicate in full (unbound pattern, new state).
+pub fn full_eval(
+    catalog: &Catalog,
+    storage: &Storage,
+    condition: PredId,
+) -> Result<HashSet<Tuple>, CoreError> {
+    let deltas = DeltaMap::new();
+    let ctx = EvalContext::new(storage, catalog, &deltas);
+    let pattern = vec![None; catalog.def(condition).arity];
+    Ok(ctx.eval_pred(condition, &pattern, StateEpoch::New)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amos_objectlog::clause::{ClauseBuilder, Term};
+    use amos_types::{tuple, CmpOp, TypeId};
+
+    fn sig(n: usize) -> Vec<TypeId> {
+        vec![TypeId(0); n]
+    }
+
+    #[test]
+    fn materialize_diff_cycle() {
+        let mut storage = Storage::new();
+        let rq = storage.create_relation("q", 2).unwrap();
+        let mut catalog = Catalog::new();
+        let q = catalog.define_stored("q", sig(2), rq, 1).unwrap();
+        // low(X) ← q(X, V) ∧ V < 10
+        let low = catalog
+            .define_derived(
+                "low",
+                sig(1),
+                vec![ClauseBuilder::new(2)
+                    .head([Term::var(0)])
+                    .pred(q, [Term::var(0), Term::var(1)])
+                    .cmp(Term::var(1), CmpOp::Lt, Term::val(10))
+                    .build()],
+            )
+            .unwrap();
+        storage.insert(rq, tuple![1, 5]).unwrap();
+        storage.insert(rq, tuple![2, 50]).unwrap();
+
+        let mut naive = NaiveMonitor::new();
+        naive.watch(&catalog, &storage, low).unwrap();
+        assert_eq!(naive.previous(low).unwrap().len(), 1);
+
+        // No change → empty delta.
+        let d = naive.check(&catalog, &storage, low).unwrap();
+        assert!(d.is_empty());
+
+        // 2 drops low, 1 rises.
+        storage.delete(rq, &tuple![2, 50]).unwrap();
+        storage.insert(rq, tuple![2, 3]).unwrap();
+        storage.delete(rq, &tuple![1, 5]).unwrap();
+        storage.insert(rq, tuple![1, 99]).unwrap();
+        let d = naive.check(&catalog, &storage, low).unwrap();
+        assert_eq!(d.plus(), &[tuple![2]].into_iter().collect());
+        assert_eq!(d.minus(), &[tuple![1]].into_iter().collect());
+
+        // Materialization advanced: a second check is clean.
+        let d2 = naive.check(&catalog, &storage, low).unwrap();
+        assert!(d2.is_empty());
+
+        naive.unwatch(low);
+        assert!(!naive.is_watching(low));
+    }
+}

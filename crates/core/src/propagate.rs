@@ -1,0 +1,582 @@
+//! The breadth-first, bottom-up propagation algorithm (§5).
+//!
+//! > for each level (starting with the lowest level)
+//! >   for each changed node (a non-empty Δ-set)
+//! >     for each edge to an above node
+//! >       execute the partial differential(s) and accumulate the result
+//! >       in the Δ-set of the node above using ∪Δ
+//!
+//! Δ-sets of interior nodes are temporary "wave-front" materializations:
+//! each node's Δ-set is cleared as soon as its out-edges have been
+//! processed, so memory usage is bounded by the wave-front, not the
+//! database. Base-relation Δ-sets live in [`Storage`] (they are needed
+//! throughout for old-state logical rollback) and are *not* cleared here;
+//! condition-node Δ-sets are the algorithm's output.
+//!
+//! The breadth-first, bottom-up order guarantees that when a negative
+//! differential evaluates `Q_old` for some influent `Q`, every change to
+//! `Q` has already been propagated — `Q_old` over derived predicates
+//! reduces to evaluation over old base states, which are complete because
+//! base Δ-sets are retained.
+//!
+//! §7.2 correction checks are applied per candidate change at
+//! accumulation time ([`CheckLevel`]):
+//!
+//! * deletions are verified absent from the new state — mandatory
+//!   whenever deletions are propagated at all, because a false deletion
+//!   can cancel a true insertion through `∪Δ` and make rules
+//!   *under-react*, "which is unacceptable";
+//! * under [`CheckLevel::Strict`], insertions are verified absent from
+//!   the old state (and present in the new), giving exact
+//!   false→true transitions.
+
+use std::collections::HashMap;
+
+use amos_objectlog::catalog::{Catalog, PredId};
+use amos_objectlog::eval::{DeltaMap, EvalContext};
+use amos_storage::{DeltaSet, Polarity, StateEpoch, Storage};
+use amos_types::{Tuple, Value};
+
+use crate::error::CoreError;
+use crate::explain::FiredDifferential;
+use crate::network::PropagationNetwork;
+
+/// Which §7.2 checks to apply to candidate changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CheckLevel {
+    /// No checks — raw differentials. Only safe for insertion-only
+    /// monotone conditions; exposed for the ablation benchmarks.
+    Raw,
+    /// Verify deletions against the new state (mandatory check), accept
+    /// insertions as-is — *nervous* semantics may over-trigger.
+    #[default]
+    Nervous,
+    /// Additionally verify insertions against old and new state —
+    /// *strict* semantics (exact false→true transitions).
+    Strict,
+}
+
+/// The outcome of one propagation pass.
+#[derive(Debug, Default)]
+pub struct PropagationResult {
+    /// Net changes of each condition predicate.
+    pub condition_deltas: HashMap<PredId, DeltaSet>,
+    /// Which differentials executed, in execution order (explainability).
+    pub fired: Vec<FiredDifferential>,
+    /// Total candidate tuples produced by differentials (before checks).
+    pub candidates: usize,
+    /// Candidates rejected by §7.2 checks.
+    pub rejected: usize,
+}
+
+/// Run one breadth-first bottom-up propagation pass over the network,
+/// reading base-relation Δ-sets from `storage` and returning the
+/// condition-level net changes.
+pub fn propagate(
+    network: &PropagationNetwork,
+    catalog: &Catalog,
+    storage: &Storage,
+    check: CheckLevel,
+) -> Result<PropagationResult, CoreError> {
+    let mut result = PropagationResult::default();
+    // Wave-front Δ-sets, keyed by predicate. Level-0 nodes read straight
+    // from storage's accumulated transaction Δ-sets.
+    let mut wave: DeltaMap = DeltaMap::new();
+    for node in network.nodes() {
+        if node.level == 0 {
+            if let Some(rel) = catalog.def(node.pred).stored_rel() {
+                if let Some(delta) = storage.delta(rel) {
+                    if !delta.is_empty() {
+                        wave.insert(node.pred, delta.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    let levels = network.levels().len();
+    for level in 0..levels {
+        for node_id in &network.levels()[level] {
+            let node = &network.nodes()[node_id.0 as usize];
+            let changed = wave.get(&node.pred).map(|d| !d.is_empty()).unwrap_or(false);
+            if !changed {
+                continue;
+            }
+            // Linearly recursive node (§5 note 1): close its Δ-set to a
+            // fixpoint before firing out-edges to other nodes.
+            if catalog.is_self_recursive(node.pred) {
+                close_recursive_node(network, catalog, storage, node, &mut wave, check, &mut result)?;
+            }
+            for diff_id in &node.out_diffs {
+                let diff = network.differential(*diff_id);
+                // Self-differentials were consumed by the fixpoint
+                // closure above.
+                if diff.affected == node.pred {
+                    continue;
+                }
+                // Execute the differential's plan with the current wave
+                // as the Δ-environment.
+                let ctx = EvalContext::new(storage, catalog, &wave);
+                let mut produced: Vec<Tuple> = Vec::new();
+                let bindings = vec![None; diff.plan.n_vars as usize];
+                ctx.run_plan(
+                    &diff.plan,
+                    bindings,
+                    StateEpoch::New,
+                    0,
+                    &mut |b, head| {
+                        let vals: Option<Vec<Value>> = head
+                            .iter()
+                            .map(|t| match t {
+                                amos_objectlog::clause::Term::Const(v) => Some(v.clone()),
+                                amos_objectlog::clause::Term::Var(v) => {
+                                    b[v.0 as usize].clone()
+                                }
+                            })
+                            .collect();
+                        if let Some(vals) = vals {
+                            produced.push(Tuple::new(vals));
+                        }
+                        Ok(())
+                    },
+                )?;
+
+                result.candidates += produced.len();
+                // Candidates feeding a recursive node skip the per-tuple
+                // §7.2 checks: the fixpoint closure (or the exact
+                // recompute fallback on deletions) establishes
+                // correctness for the whole node at once, and per-tuple
+                // `holds` on a recursive predicate would re-run the
+                // fixpoint per candidate.
+                let effective_check = if catalog.is_self_recursive(diff.affected) {
+                    CheckLevel::Raw
+                } else {
+                    check
+                };
+                let mut accepted: Vec<Tuple> = Vec::new();
+                {
+                    let ctx = EvalContext::new(storage, catalog, &wave);
+                    for t in produced {
+                        if accept(&ctx, diff.affected, &t, diff.output, effective_check)? {
+                            accepted.push(t);
+                        } else {
+                            result.rejected += 1;
+                        }
+                    }
+                }
+                if !accepted.is_empty() || !matches!(check, CheckLevel::Raw) {
+                    result.fired.push(FiredDifferential {
+                        diff: *diff_id,
+                        affected: diff.affected,
+                        influent: diff.influent,
+                        seed: diff.seed,
+                        output: diff.output,
+                        tuples: accepted.clone(),
+                    });
+                }
+                let target = wave.entry(diff.affected).or_default();
+                for t in accepted {
+                    match diff.output {
+                        Polarity::Plus => target.delta_union_insert(t),
+                        Polarity::Minus => target.delta_union_delete(t),
+                    }
+                }
+            }
+            // Clear the processed node's wave-front Δ-set (the paper's
+            // space optimization). Base Δ-sets live in storage and are
+            // untouched; condition deltas are collected below before the
+            // wave map is dropped.
+            if !node.is_condition {
+                wave.remove(&node.pred);
+            }
+        }
+    }
+
+    for cond in network.conditions() {
+        let delta = wave.remove(cond).unwrap_or_default();
+        result.condition_deltas.insert(*cond, delta);
+    }
+    Ok(result)
+}
+
+/// Close a linearly recursive node's Δ-set to a fixpoint ("revisiting
+/// nodes below and using fixed point techniques", §5 note 1).
+///
+/// * Pure insertions: semi-naive — repeatedly execute the node's
+///   self-differentials (`ΔP/Δ₊P`) seeded by the newest frontier until
+///   a round derives nothing new.
+/// * Any deletions: fall back to exact recomputation of the node's
+///   delta (`<P_new − P_old, P_old − P_new>` via fixpoint evaluation in
+///   both states) — the DRed-style over-delete/re-derive dance is out
+///   of scope, and the fallback is always exact.
+///
+/// Under [`CheckLevel::Strict`] the closed insertions are additionally
+/// filtered against the node's old-state fixpoint (computed once).
+fn close_recursive_node(
+    network: &PropagationNetwork,
+    catalog: &Catalog,
+    storage: &Storage,
+    node: &crate::network::Node,
+    wave: &mut DeltaMap,
+    check: CheckLevel,
+    result: &mut PropagationResult,
+) -> Result<(), CoreError> {
+    let Some(delta) = wave.get(&node.pred) else {
+        return Ok(());
+    };
+    if !delta.minus().is_empty() {
+        // Deletions reached a recursive node: recompute exactly.
+        let exact = recompute_delta(catalog, storage, node.pred)?;
+        wave.insert(node.pred, exact);
+        return Ok(());
+    }
+
+    let self_diffs: Vec<&crate::differ::Differential> = node
+        .out_diffs
+        .iter()
+        .map(|d| network.differential(*d))
+        .filter(|d| d.affected == node.pred && d.seed == Polarity::Plus)
+        .collect();
+    let mut total: std::collections::HashSet<Tuple> = delta.plus().clone();
+    let mut frontier: std::collections::HashSet<Tuple> = total.clone();
+    while !frontier.is_empty() {
+        let mut fdelta = DeltaSet::new();
+        for t in frontier.drain() {
+            fdelta.apply_insert(t);
+        }
+        let mut fmap = DeltaMap::new();
+        fmap.insert(node.pred, fdelta);
+        let ctx = EvalContext::new(storage, catalog, &fmap);
+        let mut produced: Vec<Tuple> = Vec::new();
+        for diff in &self_diffs {
+            let bindings = vec![None; diff.plan.n_vars as usize];
+            ctx.run_plan(&diff.plan, bindings, StateEpoch::New, 0, &mut |b, head| {
+                if let Some(vals) = head
+                    .iter()
+                    .map(|t| match t {
+                        amos_objectlog::clause::Term::Const(v) => Some(v.clone()),
+                        amos_objectlog::clause::Term::Var(v) => b[v.0 as usize].clone(),
+                    })
+                    .collect::<Option<Vec<Value>>>()
+                {
+                    produced.push(Tuple::new(vals));
+                }
+                Ok(())
+            })?;
+        }
+        result.candidates += produced.len();
+        for t in produced {
+            if total.insert(t.clone()) {
+                frontier.insert(t);
+            }
+        }
+    }
+
+    // Strict: only genuinely new derivations (absent from the old
+    // fixpoint). The old state is computed once for the whole node.
+    if check == CheckLevel::Strict {
+        let empty = DeltaMap::new();
+        let ctx = EvalContext::new(storage, catalog, &empty);
+        let pattern = vec![None; catalog.def(node.pred).arity];
+        let old = ctx.eval_pred(node.pred, &pattern, StateEpoch::Old)?;
+        let before = total.len();
+        total.retain(|t| !old.contains(t));
+        result.rejected += before - total.len();
+    }
+
+    let mut closed = DeltaSet::new();
+    for t in total {
+        closed.delta_union_insert(t);
+    }
+    wave.insert(node.pred, closed);
+    Ok(())
+}
+
+/// Apply the §7.2 checks to one candidate change of `pred`.
+fn accept(
+    ctx: &EvalContext<'_>,
+    pred: PredId,
+    tuple: &Tuple,
+    output: Polarity,
+    check: CheckLevel,
+) -> Result<bool, CoreError> {
+    let pattern: Vec<Option<Value>> = tuple.values().iter().cloned().map(Some).collect();
+    Ok(match (check, output) {
+        (CheckLevel::Raw, _) => true,
+        // Mandatory: a propagated deletion must really be gone, or rules
+        // under-react.
+        (CheckLevel::Nervous, Polarity::Minus) | (CheckLevel::Strict, Polarity::Minus) => {
+            let still_present = ctx.holds(pred, &pattern, StateEpoch::New)?;
+            if still_present {
+                false
+            } else if check == CheckLevel::Strict {
+                // Strict deletions must also have held before.
+                ctx.holds(pred, &pattern, StateEpoch::Old)?
+            } else {
+                true
+            }
+        }
+        (CheckLevel::Nervous, Polarity::Plus) => true,
+        (CheckLevel::Strict, Polarity::Plus) => {
+            ctx.holds(pred, &pattern, StateEpoch::New)?
+                && !ctx.holds(pred, &pattern, StateEpoch::Old)?
+        }
+    })
+}
+
+/// Ground truth for tests and the naive baseline: the exact delta of a
+/// predicate, `<P_new − P_old, P_old − P_new>`, by full evaluation in
+/// both states.
+pub fn recompute_delta(
+    catalog: &Catalog,
+    storage: &Storage,
+    pred: PredId,
+) -> Result<DeltaSet, CoreError> {
+    let deltas = DeltaMap::new();
+    let ctx = EvalContext::new(storage, catalog, &deltas);
+    let arity = catalog.def(pred).arity;
+    let pattern = vec![None; arity];
+    let new = ctx.eval_pred(pred, &pattern, StateEpoch::New)?;
+    let old = ctx.eval_pred(pred, &pattern, StateEpoch::Old)?;
+    Ok(DeltaSet::from_parts(
+        new.difference(&old).cloned().collect(),
+        old.difference(&new).cloned().collect(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::differ::DiffScope;
+    use amos_objectlog::catalog::Catalog;
+    use amos_objectlog::clause::{ClauseBuilder, Term};
+    use amos_types::{tuple, CmpOp, TypeId};
+
+    fn sig(n: usize) -> Vec<TypeId> {
+        vec![TypeId(0); n]
+    }
+
+    struct Fix {
+        storage: Storage,
+        catalog: Catalog,
+        rq: amos_storage::RelId,
+        rr: amos_storage::RelId,
+        p: PredId,
+    }
+
+    /// p(X,Z) ← q(X,Y) ∧ r(Y,Z), monitored.
+    fn fixture() -> Fix {
+        let mut storage = Storage::new();
+        let rq = storage.create_relation("q", 2).unwrap();
+        let rr = storage.create_relation("r", 2).unwrap();
+        let mut catalog = Catalog::new();
+        let q = catalog.define_stored("q", sig(2), rq, 1).unwrap();
+        let r = catalog.define_stored("r", sig(2), rr, 1).unwrap();
+        let p = catalog
+            .define_derived(
+                "p",
+                sig(2),
+                vec![ClauseBuilder::new(3)
+                    .head([Term::var(0), Term::var(2)])
+                    .pred(q, [Term::var(0), Term::var(1)])
+                    .pred(r, [Term::var(1), Term::var(2)])
+                    .build()],
+            )
+            .unwrap();
+        storage.monitor(rq);
+        storage.monitor(rr);
+        storage.insert(rq, tuple![1, 1]).unwrap();
+        storage.insert(rr, tuple![1, 2]).unwrap();
+        storage.insert(rr, tuple![2, 3]).unwrap();
+        Fix {
+            storage,
+            catalog,
+            rq,
+            rr,
+            p,
+        }
+    }
+
+    /// §4.3: insert q(1,2), r(1,4) ⇒ Δ₊p = {(1,3),(1,4)}.
+    #[test]
+    fn positive_example_propagates() {
+        let mut f = fixture();
+        let net = PropagationNetwork::build(&f.catalog, &mut f.storage, &[f.p], DiffScope::Full)
+            .unwrap();
+        f.storage.begin().unwrap();
+        f.storage.insert(f.rq, tuple![1, 2]).unwrap();
+        f.storage.insert(f.rr, tuple![1, 4]).unwrap();
+
+        let result = propagate(&net, &f.catalog, &f.storage, CheckLevel::Strict).unwrap();
+        let dp = &result.condition_deltas[&f.p];
+        assert_eq!(
+            dp.plus(),
+            &[tuple![1, 3], tuple![1, 4]].into_iter().collect()
+        );
+        assert!(dp.minus().is_empty());
+        // Two differentials fired: Δp/Δ₊q and Δp/Δ₊r.
+        let fired: Vec<_> = result
+            .fired
+            .iter()
+            .filter(|f| !f.tuples.is_empty())
+            .collect();
+        assert_eq!(fired.len(), 2);
+    }
+
+    /// §4.4: mixed inserts and deletes ⇒ Δp = <{(1,4)}, {(1,2)}> — the
+    /// old state of q prevents the spurious deletion of (1,3).
+    #[test]
+    fn negative_example_uses_old_state() {
+        let mut f = fixture();
+        let net = PropagationNetwork::build(&f.catalog, &mut f.storage, &[f.p], DiffScope::Full)
+            .unwrap();
+        f.storage.begin().unwrap();
+        f.storage.insert(f.rq, tuple![1, 2]).unwrap();
+        f.storage.insert(f.rr, tuple![1, 4]).unwrap();
+        f.storage.delete(f.rr, &tuple![1, 2]).unwrap();
+        f.storage.delete(f.rr, &tuple![2, 3]).unwrap();
+
+        let result = propagate(&net, &f.catalog, &f.storage, CheckLevel::Nervous).unwrap();
+        let dp = &result.condition_deltas[&f.p];
+        assert_eq!(dp.plus(), &[tuple![1, 4]].into_iter().collect());
+        assert_eq!(dp.minus(), &[tuple![1, 2]].into_iter().collect());
+    }
+
+    /// Propagated deltas match naive recomputation (strict check level).
+    #[test]
+    fn matches_recompute() {
+        let mut f = fixture();
+        let net = PropagationNetwork::build(&f.catalog, &mut f.storage, &[f.p], DiffScope::Full)
+            .unwrap();
+        f.storage.begin().unwrap();
+        f.storage.insert(f.rq, tuple![2, 2]).unwrap();
+        f.storage.delete(f.rq, &tuple![1, 1]).unwrap();
+        f.storage.insert(f.rr, tuple![2, 9]).unwrap();
+
+        let result = propagate(&net, &f.catalog, &f.storage, CheckLevel::Strict).unwrap();
+        let truth = recompute_delta(&f.catalog, &f.storage, f.p).unwrap();
+        assert_eq!(&result.condition_deltas[&f.p], &truth);
+    }
+
+    /// No changes ⇒ empty result, nothing fired.
+    #[test]
+    fn no_changes_no_work() {
+        let mut f = fixture();
+        let net = PropagationNetwork::build(&f.catalog, &mut f.storage, &[f.p], DiffScope::Full)
+            .unwrap();
+        f.storage.begin().unwrap();
+        let result = propagate(&net, &f.catalog, &f.storage, CheckLevel::Strict).unwrap();
+        assert!(result.condition_deltas[&f.p].is_empty());
+        assert!(result.fired.is_empty());
+        assert_eq!(result.candidates, 0);
+    }
+
+    /// A transaction with no net effect propagates no change (logical
+    /// events only).
+    #[test]
+    fn cancelled_updates_propagate_nothing() {
+        let mut f = fixture();
+        let net = PropagationNetwork::build(&f.catalog, &mut f.storage, &[f.p], DiffScope::Full)
+            .unwrap();
+        f.storage.begin().unwrap();
+        f.storage.delete(f.rq, &tuple![1, 1]).unwrap();
+        f.storage.insert(f.rq, tuple![1, 1]).unwrap();
+        let result = propagate(&net, &f.catalog, &f.storage, CheckLevel::Strict).unwrap();
+        assert!(result.condition_deltas[&f.p].is_empty());
+        assert_eq!(result.candidates, 0, "empty Δ-sets never execute differentials");
+    }
+
+    /// Strict vs nervous: an insertion of an already-true instance is
+    /// filtered under strict, reported under nervous.
+    #[test]
+    fn strict_filters_already_true() {
+        let mut f = fixture();
+        // Make p(1,2) derivable twice: q(1,1) ∧ r(1,2) already holds; add
+        // q(1,2) ∧ r(2,2) as a second derivation.
+        f.storage.insert(f.rr, tuple![2, 2]).unwrap();
+        let net = PropagationNetwork::build(&f.catalog, &mut f.storage, &[f.p], DiffScope::Full)
+            .unwrap();
+        f.storage.begin().unwrap();
+        f.storage.insert(f.rq, tuple![1, 2]).unwrap();
+
+        let nervous = propagate(&net, &f.catalog, &f.storage, CheckLevel::Nervous).unwrap();
+        assert!(
+            nervous.condition_deltas[&f.p].plus().contains(&tuple![1, 2]),
+            "nervous over-reports the second derivation"
+        );
+        let strict = propagate(&net, &f.catalog, &f.storage, CheckLevel::Strict).unwrap();
+        assert!(
+            !strict.condition_deltas[&f.p].plus().contains(&tuple![1, 2]),
+            "strict suppresses already-true instances"
+        );
+        assert!(strict.condition_deltas[&f.p].plus().contains(&tuple![1, 3]));
+    }
+
+    /// The mandatory deletion check: deleting one derivation of a tuple
+    /// with another surviving must not propagate the deletion.
+    #[test]
+    fn deletion_check_prevents_under_reaction() {
+        let mut f = fixture();
+        // p(1,2) via q(1,1),r(1,2); add second derivation q(1,2),r(2,2).
+        f.storage.insert(f.rq, tuple![1, 2]).unwrap();
+        f.storage.insert(f.rr, tuple![2, 2]).unwrap();
+        let net = PropagationNetwork::build(&f.catalog, &mut f.storage, &[f.p], DiffScope::Full)
+            .unwrap();
+        f.storage.begin().unwrap();
+        f.storage.delete(f.rq, &tuple![1, 1]).unwrap();
+
+        let result = propagate(&net, &f.catalog, &f.storage, CheckLevel::Nervous).unwrap();
+        assert!(
+            !result.condition_deltas[&f.p].minus().contains(&tuple![1, 2]),
+            "p(1,2) still derivable — deletion must be filtered"
+        );
+        assert!(result.rejected > 0, "the check did reject the candidate");
+    }
+
+    /// Multi-level (bushy) propagation: changes pass through an
+    /// intermediate node.
+    #[test]
+    fn bushy_two_level_propagation() {
+        let mut f = fixture();
+        let q = f.catalog.lookup("q").unwrap();
+        let r = f.catalog.lookup("r").unwrap();
+        // mid(X,Z) ← q(X,Y) ∧ r(Y,Z);  top(X) ← mid(X,Z) ∧ Z < 100
+        let mid = f
+            .catalog
+            .define_derived(
+                "mid",
+                sig(2),
+                vec![ClauseBuilder::new(3)
+                    .head([Term::var(0), Term::var(2)])
+                    .pred(q, [Term::var(0), Term::var(1)])
+                    .pred(r, [Term::var(1), Term::var(2)])
+                    .build()],
+            )
+            .unwrap();
+        let top = f
+            .catalog
+            .define_derived(
+                "top",
+                sig(1),
+                vec![ClauseBuilder::new(2)
+                    .head([Term::var(0)])
+                    .pred(mid, [Term::var(0), Term::var(1)])
+                    .cmp(Term::var(1), CmpOp::Lt, Term::val(100))
+                    .build()],
+            )
+            .unwrap();
+        let net = PropagationNetwork::build(&f.catalog, &mut f.storage, &[top], DiffScope::Full)
+            .unwrap();
+        assert_eq!(net.levels().len(), 3);
+
+        f.storage.begin().unwrap();
+        f.storage.insert(f.rq, tuple![7, 2]).unwrap(); // q(7,2) ∧ r(2,3) ⇒ mid(7,3) ⇒ top(7)
+        let result = propagate(&net, &f.catalog, &f.storage, CheckLevel::Strict).unwrap();
+        assert_eq!(
+            result.condition_deltas[&top].plus(),
+            &[tuple![7]].into_iter().collect()
+        );
+        let truth = recompute_delta(&f.catalog, &f.storage, top).unwrap();
+        assert_eq!(&result.condition_deltas[&top], &truth);
+    }
+}

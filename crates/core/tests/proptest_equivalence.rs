@@ -1,0 +1,290 @@
+//! The central correctness theorem of the reproduction, property-tested:
+//! for random databases, random condition shapes, and random update
+//! transactions, the incrementally propagated condition delta equals the
+//! naive recomputation diff.
+//!
+//! Shapes exercised: conjunctive joins (the paper's running example),
+//! selections with arithmetic, negation, disjunction (multi-clause),
+//! flat and bushy (intermediate-node) networks, and repeated influent
+//! occurrences (self-joins).
+
+use std::collections::HashSet;
+
+use amos_core::differ::DiffScope;
+use amos_core::network::PropagationNetwork;
+use amos_core::propagate::{propagate, recompute_delta, CheckLevel};
+use amos_objectlog::catalog::{Catalog, PredId};
+use amos_objectlog::clause::{ClauseBuilder, Term};
+use amos_storage::{RelId, Storage};
+use amos_types::{tuple, ArithOp, CmpOp, Tuple, TypeId};
+use proptest::prelude::*;
+
+fn sig(n: usize) -> Vec<TypeId> {
+    vec![TypeId(0); n]
+}
+
+struct World {
+    storage: Storage,
+    catalog: Catalog,
+    rq: RelId,
+    rr: RelId,
+    cond: PredId,
+}
+
+/// Build a world with base relations q/2, r/2, a condition of the given
+/// shape, and initial contents.
+fn build_world(shape: u8, q0: &[Tuple], r0: &[Tuple]) -> World {
+    let mut storage = Storage::new();
+    let rq = storage.create_relation("q", 2).unwrap();
+    let rr = storage.create_relation("r", 2).unwrap();
+    let mut catalog = Catalog::new();
+    let q = catalog.define_stored("q", sig(2), rq, 1).unwrap();
+    let r = catalog.define_stored("r", sig(2), rr, 1).unwrap();
+
+    let cond = match shape % 6 {
+        // join: p(X,Z) ← q(X,Y) ∧ r(Y,Z)
+        0 => catalog
+            .define_derived(
+                "cond",
+                sig(2),
+                vec![ClauseBuilder::new(3)
+                    .head([Term::var(0), Term::var(2)])
+                    .pred(q, [Term::var(0), Term::var(1)])
+                    .pred(r, [Term::var(1), Term::var(2)])
+                    .build()],
+            )
+            .unwrap(),
+        // selection + arithmetic: p(X) ← q(X,V) ∧ W = V*2 ∧ W < 6
+        1 => catalog
+            .define_derived(
+                "cond",
+                sig(1),
+                vec![ClauseBuilder::new(3)
+                    .head([Term::var(0)])
+                    .pred(q, [Term::var(0), Term::var(1)])
+                    .arith(Term::var(2), Term::var(1), ArithOp::Mul, Term::val(2))
+                    .cmp(Term::var(2), CmpOp::Lt, Term::val(6))
+                    .build()],
+            )
+            .unwrap(),
+        // negation: p(X,Y) ← q(X,Y) ∧ ¬r(X,Y)
+        2 => catalog
+            .define_derived(
+                "cond",
+                sig(2),
+                vec![ClauseBuilder::new(2)
+                    .head([Term::var(0), Term::var(1)])
+                    .pred(q, [Term::var(0), Term::var(1)])
+                    .not_pred(r, [Term::var(0), Term::var(1)])
+                    .build()],
+            )
+            .unwrap(),
+        // disjunction: p(X) ← q(X,_) ; p(X) ← r(_,X)
+        3 => catalog
+            .define_derived(
+                "cond",
+                sig(1),
+                vec![
+                    ClauseBuilder::new(2)
+                        .head([Term::var(0)])
+                        .pred(q, [Term::var(0), Term::var(1)])
+                        .build(),
+                    ClauseBuilder::new(2)
+                        .head([Term::var(0)])
+                        .pred(r, [Term::var(1), Term::var(0)])
+                        .build(),
+                ],
+            )
+            .unwrap(),
+        // bushy: mid(X,Z) ← q(X,Y) ∧ r(Y,Z); p(X) ← mid(X,Z) ∧ Z < 4
+        4 => {
+            let mid = catalog
+                .define_derived(
+                    "mid",
+                    sig(2),
+                    vec![ClauseBuilder::new(3)
+                        .head([Term::var(0), Term::var(2)])
+                        .pred(q, [Term::var(0), Term::var(1)])
+                        .pred(r, [Term::var(1), Term::var(2)])
+                        .build()],
+                )
+                .unwrap();
+            catalog
+                .define_derived(
+                    "cond",
+                    sig(1),
+                    vec![ClauseBuilder::new(2)
+                        .head([Term::var(0)])
+                        .pred(mid, [Term::var(0), Term::var(1)])
+                        .cmp(Term::var(1), CmpOp::Lt, Term::val(4))
+                        .build()],
+                )
+                .unwrap()
+        }
+        // self-join: p(X,Z) ← q(X,Y) ∧ q(Y,Z)
+        _ => catalog
+            .define_derived(
+                "cond",
+                sig(2),
+                vec![ClauseBuilder::new(3)
+                    .head([Term::var(0), Term::var(2)])
+                    .pred(q, [Term::var(0), Term::var(1)])
+                    .pred(q, [Term::var(1), Term::var(2)])
+                    .build()],
+            )
+            .unwrap(),
+    };
+
+    for t in q0 {
+        storage.insert(rq, t.clone()).unwrap();
+    }
+    for t in r0 {
+        storage.insert(rr, t.clone()).unwrap();
+    }
+    storage.monitor(rq);
+    storage.monitor(rr);
+    World {
+        storage,
+        catalog,
+        rq,
+        rr,
+        cond,
+    }
+}
+
+fn small_tuple() -> impl Strategy<Value = Tuple> {
+    (0i64..5, 0i64..5).prop_map(|(a, b)| tuple![a, b])
+}
+
+fn tuples() -> impl Strategy<Value = Vec<Tuple>> {
+    prop::collection::vec(small_tuple(), 0..10)
+}
+
+fn updates() -> impl Strategy<Value = Vec<(bool, bool, Tuple)>> {
+    prop::collection::vec((any::<bool>(), any::<bool>(), small_tuple()), 0..15)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Strict propagation == naive recomputation for every shape.
+    #[test]
+    fn incremental_equals_naive(
+        shape in 0u8..6,
+        q0 in tuples(),
+        r0 in tuples(),
+        ups in updates(),
+    ) {
+        let mut w = build_world(shape, &q0, &r0);
+        let net = PropagationNetwork::build(
+            &w.catalog, &mut w.storage, &[w.cond], DiffScope::Full,
+        ).unwrap();
+
+        w.storage.begin().unwrap();
+        for (on_q, is_insert, t) in &ups {
+            let rel = if *on_q { w.rq } else { w.rr };
+            if *is_insert {
+                w.storage.insert(rel, t.clone()).unwrap();
+            } else {
+                w.storage.delete(rel, t).unwrap();
+            }
+        }
+
+        let result = propagate(&net, &w.catalog, &w.storage, CheckLevel::Strict).unwrap();
+        let truth = recompute_delta(&w.catalog, &w.storage, w.cond).unwrap();
+        prop_assert_eq!(
+            &result.condition_deltas[&w.cond], &truth,
+            "shape {} diverged", shape
+        );
+    }
+
+    /// Nervous propagation never misses a change (no under-reaction):
+    /// real insertions ⊆ Δ₊, reported deletions ⊆ real deletions, and all
+    /// real deletions are reported.
+    #[test]
+    fn nervous_never_under_reacts(
+        shape in 0u8..6,
+        q0 in tuples(),
+        r0 in tuples(),
+        ups in updates(),
+    ) {
+        let mut w = build_world(shape, &q0, &r0);
+        let net = PropagationNetwork::build(
+            &w.catalog, &mut w.storage, &[w.cond], DiffScope::Full,
+        ).unwrap();
+        w.storage.begin().unwrap();
+        for (on_q, is_insert, t) in &ups {
+            let rel = if *on_q { w.rq } else { w.rr };
+            if *is_insert {
+                w.storage.insert(rel, t.clone()).unwrap();
+            } else {
+                w.storage.delete(rel, t).unwrap();
+            }
+        }
+        let result = propagate(&net, &w.catalog, &w.storage, CheckLevel::Nervous).unwrap();
+        let truth = recompute_delta(&w.catalog, &w.storage, w.cond).unwrap();
+        let got = &result.condition_deltas[&w.cond];
+
+        for t in truth.plus() {
+            prop_assert!(got.plus().contains(t), "missed insertion {t} (shape {shape})");
+        }
+        for t in truth.minus() {
+            prop_assert!(got.minus().contains(t), "missed deletion {t} (shape {shape})");
+        }
+        // The mandatory check: every reported deletion is real.
+        for t in got.minus() {
+            prop_assert!(truth.minus().contains(t), "false deletion {t} (shape {shape})");
+        }
+    }
+
+    /// Insertion-only transactions through monotone shapes: the
+    /// InsertionsOnly scope (half the differentials) is still exact.
+    #[test]
+    fn insertions_only_scope_exact_for_monotone(
+        shape in prop::sample::select(vec![0u8, 1, 3, 4, 5]), // no negation
+        q0 in tuples(),
+        r0 in tuples(),
+        ins in prop::collection::vec((any::<bool>(), small_tuple()), 0..10),
+    ) {
+        let mut w = build_world(shape, &q0, &r0);
+        let net = PropagationNetwork::build(
+            &w.catalog, &mut w.storage, &[w.cond], DiffScope::InsertionsOnly,
+        ).unwrap();
+        w.storage.begin().unwrap();
+        for (on_q, t) in &ins {
+            let rel = if *on_q { w.rq } else { w.rr };
+            w.storage.insert(rel, t.clone()).unwrap();
+        }
+        let result = propagate(&net, &w.catalog, &w.storage, CheckLevel::Strict).unwrap();
+        let truth = recompute_delta(&w.catalog, &w.storage, w.cond).unwrap();
+        prop_assert_eq!(&result.condition_deltas[&w.cond], &truth);
+    }
+
+    /// The old-state view used during propagation is consistent: a
+    /// rolled-back transaction leaves the condition's full evaluation
+    /// exactly where it started.
+    #[test]
+    fn rollback_restores_condition(
+        shape in 0u8..6,
+        q0 in tuples(),
+        r0 in tuples(),
+        ups in updates(),
+    ) {
+        let mut w = build_world(shape, &q0, &r0);
+        let before: HashSet<Tuple> =
+            amos_core::naive::full_eval(&w.catalog, &w.storage, w.cond).unwrap();
+        w.storage.begin().unwrap();
+        for (on_q, is_insert, t) in &ups {
+            let rel = if *on_q { w.rq } else { w.rr };
+            if *is_insert {
+                w.storage.insert(rel, t.clone()).unwrap();
+            } else {
+                w.storage.delete(rel, t).unwrap();
+            }
+        }
+        w.storage.rollback().unwrap();
+        let after: HashSet<Tuple> =
+            amos_core::naive::full_eval(&w.catalog, &w.storage, w.cond).unwrap();
+        prop_assert_eq!(before, after);
+    }
+}

@@ -1,0 +1,144 @@
+//! Interactive AMOSQL shell.
+//!
+//! ```sh
+//! cargo run -p amos-db --bin amosql
+//! ```
+//!
+//! Reads statements (terminated by `;`) from stdin, executes them
+//! against an in-memory [`Amos`] database, and prints results. A
+//! `print` procedure is pre-registered so rule actions can produce
+//! output. `.help` lists shell commands.
+
+use std::io::{self, BufRead, Write};
+
+use amos_db::{Amos, ExecResult};
+
+const BANNER: &str = "\
+amos-pdiff interactive shell — AMOSQL subset
+(Sköld & Risch, ICDE'96 reproduction). `.help` for shell commands.";
+
+const HELP: &str = "\
+Shell commands:
+  .help                 this text
+  .stats                monitoring statistics for this session
+  .mode <inc|naive|hybrid>   switch condition monitoring mode
+  .quit                 exit
+Everything else is AMOSQL, e.g.:
+  create type item;
+  create function quantity(item i) -> integer;
+  create rule low() as when for each item i where quantity(i) < 10
+      do print(i);
+  create item instances :a;
+  set quantity(:a) = 100;
+  activate low();
+  set quantity(:a) = 5;
+  explain rule low;
+  select i, quantity(i) for each item i;";
+
+fn main() -> io::Result<()> {
+    let mut db = Amos::new();
+    db.register_procedure("print", |_ctx, args| {
+        let rendered: Vec<String> = args.iter().map(|v| v.to_string()).collect();
+        println!("  print: {}", rendered.join(", "));
+        Ok(())
+    });
+
+    println!("{BANNER}");
+    let stdin = io::stdin();
+    let mut buffer = String::new();
+    prompt(&buffer)?;
+    for line in stdin.lock().lines() {
+        let line = line?;
+        let trimmed = line.trim();
+        if buffer.is_empty() && trimmed.starts_with('.') {
+            match shell_command(&mut db, trimmed) {
+                ShellOutcome::Continue => {}
+                ShellOutcome::Quit => break,
+            }
+            prompt(&buffer)?;
+            continue;
+        }
+        buffer.push_str(&line);
+        buffer.push('\n');
+        // Execute once the buffer holds at least one full statement.
+        if buffer.trim_end().ends_with(';') {
+            let src = std::mem::take(&mut buffer);
+            match db.execute(&src) {
+                Ok(results) => {
+                    for r in results {
+                        render(&r);
+                    }
+                }
+                Err(e) => println!("error: {e}"),
+            }
+        }
+        prompt(&buffer)?;
+    }
+    Ok(())
+}
+
+fn prompt(buffer: &str) -> io::Result<()> {
+    let p = if buffer.is_empty() { "amosql> " } else { "   ...> " };
+    print!("{p}");
+    io::stdout().flush()
+}
+
+enum ShellOutcome {
+    Continue,
+    Quit,
+}
+
+fn shell_command(db: &mut Amos, cmd: &str) -> ShellOutcome {
+    match cmd {
+        ".quit" | ".exit" => return ShellOutcome::Quit,
+        ".help" => println!("{HELP}"),
+        ".stats" => {
+            let s = db.rules().stats();
+            println!(
+                "check phases {} | passes {} | differentials {} | candidates {} | \
+                 rejected {} | naive recomputations {} | actions {}",
+                s.check_phases,
+                s.passes,
+                s.differentials_executed,
+                s.tuples_produced,
+                s.tuples_rejected,
+                s.naive_recomputations,
+                s.actions_executed
+            );
+        }
+        ".mode inc" | ".mode incremental" => {
+            db.set_monitor_mode(amos_core::MonitorMode::Incremental);
+            println!("monitoring: incremental (partial differencing)");
+        }
+        ".mode naive" => {
+            db.set_monitor_mode(amos_core::MonitorMode::Naive);
+            println!("monitoring: naive (full recomputation)");
+        }
+        ".mode hybrid" => {
+            db.set_monitor_mode(amos_core::MonitorMode::Hybrid);
+            println!("monitoring: hybrid (cost-based)");
+        }
+        other => println!("unknown shell command `{other}` — try .help"),
+    }
+    ShellOutcome::Continue
+}
+
+fn render(result: &ExecResult) {
+    match result {
+        ExecResult::Ok => {}
+        ExecResult::Rows(rows) => {
+            if rows.is_empty() {
+                println!("(no rows)");
+            }
+            for row in rows {
+                println!("{row}");
+            }
+        }
+        ExecResult::Committed(summary) => {
+            for (rule, n) in &summary.executed {
+                println!("  rule {rule} fired for {n} instance(s)");
+            }
+        }
+        ExecResult::Text(t) => print!("{t}"),
+    }
+}

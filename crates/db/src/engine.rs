@@ -1,0 +1,1028 @@
+//! The AMOS engine: statement execution, scalar evaluation, rule
+//! wiring, and transaction/check-phase orchestration.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use amos_amosql::ast::{Expr, ProcStmt, Select, Statement, TypedVar};
+use amos_amosql::compiler::{compile_predicate, compile_select, QueryEnv};
+use amos_amosql::parser::parse;
+use amos_amosql::ParseError;
+use amos_core::aggregate::{AggFn, AggregateView};
+use amos_core::maintained::{MaintainedAggregate, SourceDeltas, UserView};
+use amos_core::rules::{ActionFn, CheckSummary, MonitorMode, RuleManager, RuleSemantics};
+use amos_objectlog::catalog::{Catalog, ForeignFn, PredId};
+use amos_objectlog::eval::{DeltaMap, EvalContext};
+use amos_objectlog::expand::{expand_clause, ExpandOptions};
+use amos_objectlog::plan::compile_clause;
+use amos_storage::{RelId, StateEpoch, Storage};
+use amos_types::{Tuple, TypeRegistry, Value};
+
+use crate::error::DbError;
+
+/// How rule conditions are prepared at rule-creation time, which shapes
+/// the propagation network (§4.3 vs §7.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NetworkPrep {
+    /// Expand derived sub-functions fully — the AMOS default, producing
+    /// the flat network of fig. 2.
+    #[default]
+    Flat,
+    /// Keep derived sub-functions as intermediate nodes — the bushy,
+    /// node-sharing network of fig. 1 / §7.1.
+    Bushy,
+}
+
+/// Engine construction options.
+#[derive(Debug, Clone, Default)]
+pub struct EngineOptions {
+    /// Condition preparation style.
+    pub network_prep: NetworkPrep,
+    /// Default rule semantics for `create rule`.
+    pub default_semantics: RuleSemantics,
+    /// Immediate rule processing (§1): run the rule check after every
+    /// update statement instead of deferring to commit. The calculus is
+    /// identical; only the check-phase timing changes.
+    pub immediate: bool,
+}
+
+/// Context handed to registered procedures (rule actions' side-effect
+/// vocabulary — the paper's `order(...)`).
+pub struct ProcCtx<'a> {
+    /// Mutable database access.
+    pub storage: &'a mut Storage,
+    /// The catalog.
+    pub catalog: &'a Catalog,
+}
+
+/// A registered procedure.
+pub type ProcedureFn = Arc<dyn Fn(&mut ProcCtx<'_>, &[Value]) -> Result<(), String> + Send + Sync>;
+
+type Procedures = Arc<Mutex<HashMap<String, ProcedureFn>>>;
+
+/// Result of executing one statement.
+#[derive(Debug, Clone)]
+pub enum ExecResult {
+    /// DDL / update / activation succeeded.
+    Ok,
+    /// Query result rows (sorted).
+    Rows(Vec<Tuple>),
+    /// Commit ran the check phase.
+    Committed(CheckSummary),
+    /// `explain` output.
+    Text(String),
+}
+
+struct ViewReg {
+    view: Box<dyn UserView>,
+    backing: RelId,
+    sources: Vec<RelId>,
+}
+
+/// The embeddable active DBMS.
+pub struct Amos {
+    storage: Storage,
+    catalog: Catalog,
+    types: TypeRegistry,
+    rules: RuleManager,
+    extents: HashMap<String, PredId>,
+    iface: HashMap<String, Value>,
+    procedures: Procedures,
+    views: Vec<ViewReg>,
+    /// Options (network style, default semantics).
+    pub options: EngineOptions,
+}
+
+impl Default for Amos {
+    fn default() -> Self {
+        Amos::new()
+    }
+}
+
+impl Amos {
+    /// A fresh database with default options.
+    pub fn new() -> Self {
+        Amos::with_options(EngineOptions::default())
+    }
+
+    /// A fresh database with the given options.
+    pub fn with_options(options: EngineOptions) -> Self {
+        Amos {
+            storage: Storage::new(),
+            catalog: Catalog::new(),
+            types: TypeRegistry::new(),
+            rules: RuleManager::new(),
+            extents: HashMap::new(),
+            iface: HashMap::new(),
+            procedures: Arc::new(Mutex::new(HashMap::new())),
+            views: Vec::new(),
+            options,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Public API
+    // ------------------------------------------------------------------
+
+    /// Execute an AMOSQL script; returns one result per statement.
+    pub fn execute(&mut self, src: &str) -> Result<Vec<ExecResult>, DbError> {
+        let stmts = parse(src)?;
+        let mut out = Vec::with_capacity(stmts.len());
+        for stmt in stmts {
+            out.push(self.exec_statement(stmt)?);
+        }
+        Ok(out)
+    }
+
+    /// Execute a single `select` and return its rows (sorted).
+    ///
+    /// ```
+    /// use amos_db::{Amos, Value};
+    /// let mut db = Amos::new();
+    /// db.execute("create type t; create function f(t x) -> integer;").unwrap();
+    /// db.execute("create t instances :a; set f(:a) = 41;").unwrap();
+    /// let rows = db.query("select f(:a) + 1;").unwrap();
+    /// assert_eq!(rows[0][0], Value::Int(42));
+    /// ```
+    pub fn query(&mut self, src: &str) -> Result<Vec<Tuple>, DbError> {
+        let results = self.execute(src)?;
+        for r in results {
+            if let ExecResult::Rows(rows) = r {
+                return Ok(rows);
+            }
+        }
+        Err(DbError::Other("statement was not a query".to_string()))
+    }
+
+    /// Register a procedure callable from rule actions and scripts.
+    ///
+    /// ```
+    /// use amos_db::Amos;
+    /// use std::sync::{Arc, Mutex};
+    /// let mut db = Amos::new();
+    /// let hits = Arc::new(Mutex::new(0));
+    /// let h = hits.clone();
+    /// db.register_procedure("ping", move |_ctx, _args| {
+    ///     *h.lock().unwrap() += 1;
+    ///     Ok(())
+    /// });
+    /// db.execute("ping(1);").unwrap();
+    /// assert_eq!(*hits.lock().unwrap(), 1);
+    /// ```
+    pub fn register_procedure(
+        &mut self,
+        name: &str,
+        f: impl Fn(&mut ProcCtx<'_>, &[Value]) -> Result<(), String> + Send + Sync + 'static,
+    ) {
+        self.procedures
+            .lock()
+            .expect("procedures lock")
+            .insert(name.to_string(), Arc::new(f));
+    }
+
+    /// Register a foreign function (a computed predicate, the paper's
+    /// Lisp/C foreign functions — here a Rust closure). `arg_types` and
+    /// `result_type` are type names.
+    pub fn register_foreign(
+        &mut self,
+        name: &str,
+        arg_types: &[&str],
+        result_type: &str,
+        f: ForeignFn,
+    ) -> Result<(), DbError> {
+        let mut signature = Vec::with_capacity(arg_types.len() + 1);
+        for t in arg_types {
+            signature.push(self.types.lookup(t)?);
+        }
+        signature.push(self.types.lookup(result_type)?);
+        self.catalog.define_foreign(name, signature, f)?;
+        Ok(())
+    }
+
+    /// Register an incrementally maintained aggregate
+    /// `name(group…) -> value` = `agg(value_col of source_fn)` grouped
+    /// by `group_cols` (§8 extension). The aggregate becomes an ordinary
+    /// stored function: rules can monitor conditions over it and the
+    /// engine maintains it at every commit.
+    pub fn register_aggregate(
+        &mut self,
+        name: &str,
+        source_fn: &str,
+        group_cols: Vec<usize>,
+        value_col: usize,
+        agg: AggFn,
+    ) -> Result<(), DbError> {
+        let source = self.catalog.lookup(source_fn)?;
+        let source_rel = self
+            .catalog
+            .def(source)
+            .stored_rel()
+            .ok_or_else(|| DbError::Other(format!("`{source_fn}` is not a stored function")))?;
+        let arity = group_cols.len() + 1;
+        let view = MaintainedAggregate::new(
+            AggregateView::new(source, group_cols.clone(), value_col, agg),
+            source_rel,
+        );
+        self.register_view(name, arity, group_cols.len(), Box::new(view))
+    }
+
+    /// Register an incrementally maintained view with a **user-defined
+    /// differential** (§8 future work): `view` declares the stored
+    /// relations it reads and computes its own Δ-set from theirs at
+    /// every commit. The result is materialized into an ordinary stored
+    /// function named `name`, so rule conditions can monitor it.
+    ///
+    /// This is the hook for "incremental evaluation of foreign functions
+    /// through user defined differentials" — see
+    /// [`amos_core::maintained::ClosureView`] for the closure-based
+    /// entry point.
+    pub fn register_view(
+        &mut self,
+        name: &str,
+        arity: usize,
+        key_arity: usize,
+        mut view: Box<dyn UserView>,
+    ) -> Result<(), DbError> {
+        let backing = self.storage.create_relation(name, arity)?;
+        let object = self.types.object();
+        self.catalog
+            .define_stored(name, vec![object; arity], backing, key_arity)?;
+        for t in view.initialize(&self.catalog, &self.storage)? {
+            if t.arity() != arity {
+                return Err(DbError::Other(format!(
+                    "view `{name}` produced a tuple of arity {}, declared {arity}",
+                    t.arity()
+                )));
+            }
+            self.storage.insert(backing, t)?;
+        }
+        let sources = view.sources();
+        for &rel in &sources {
+            self.rules.pinned.insert(rel);
+            self.storage.monitor(rel);
+        }
+        self.views.push(ViewReg {
+            view,
+            backing,
+            sources,
+        });
+        Ok(())
+    }
+
+    /// Switch the condition-monitoring implementation (incremental /
+    /// naive / hybrid). Takes effect from the next activation or check.
+    pub fn set_monitor_mode(&mut self, mode: MonitorMode) {
+        self.rules.mode = mode;
+    }
+
+    /// The session value of an interface variable, if bound.
+    pub fn iface_value(&self, name: &str) -> Option<&Value> {
+        self.iface.get(name)
+    }
+
+    /// Bind an interface variable programmatically.
+    pub fn bind_iface(&mut self, name: &str, v: Value) {
+        self.iface.insert(name.to_string(), v);
+    }
+
+    /// Read access to the storage layer (benchmarks, tests).
+    pub fn storage(&self) -> &Storage {
+        &self.storage
+    }
+
+    /// Mutable access to the storage layer (benchmarks drive updates
+    /// directly to exclude parsing from timings).
+    pub fn storage_mut(&mut self) -> &mut Storage {
+        &mut self.storage
+    }
+
+    /// Read access to the catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Read access to the rule manager.
+    pub fn rules(&self) -> &RuleManager {
+        &self.rules
+    }
+
+    /// Mutable access to the rule manager (ablation benches flip check
+    /// levels and scopes).
+    pub fn rules_mut(&mut self) -> &mut RuleManager {
+        &mut self.rules
+    }
+
+    /// Evaluate `f(args…)` and return its (single, smallest if
+    /// multi-valued) value.
+    pub fn call_function(&self, name: &str, args: &[Value]) -> Result<Value, DbError> {
+        let pred = self
+            .catalog
+            .lookup(name)
+            .map_err(|_| DbError::Other(format!("unknown function `{name}`")))?;
+        let arity = self.catalog.def(pred).arity;
+        if args.len() + 1 != arity {
+            return Err(DbError::Other(format!(
+                "function `{name}` takes {} arguments, {} supplied",
+                arity - 1,
+                args.len()
+            )));
+        }
+        let mut pattern: Vec<Option<Value>> = args.iter().cloned().map(Some).collect();
+        pattern.push(None);
+        let deltas = DeltaMap::new();
+        let ctx = EvalContext::new(&self.storage, &self.catalog, &deltas);
+        let results = ctx.eval_pred(pred, &pattern, StateEpoch::New)?;
+        let mut vals: Vec<Value> = results.into_iter().map(|t| t[arity - 1].clone()).collect();
+        vals.sort();
+        vals.into_iter().next().ok_or_else(|| {
+            DbError::Other(format!("no value stored for `{name}` at these arguments"))
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Statement execution
+    // ------------------------------------------------------------------
+
+    fn query_env(&self) -> QueryEnv<'_> {
+        QueryEnv {
+            catalog: &self.catalog,
+            types: &self.types,
+            extents: &self.extents,
+            iface: &self.iface,
+        }
+    }
+
+    fn exec_statement(&mut self, stmt: Statement) -> Result<ExecResult, DbError> {
+        match stmt {
+            Statement::CreateType { name, under } => {
+                self.types.create(&name, under.as_deref())?;
+                let rel = self.storage.create_relation(format!("{name}_extent"), 1)?;
+                let object = self.types.object();
+                let pred =
+                    self.catalog
+                        .define_stored(&format!("{name}_extent"), vec![object], rel, 1)?;
+                self.extents.insert(name, pred);
+                Ok(ExecResult::Ok)
+            }
+            Statement::CreateFunction {
+                name,
+                params,
+                results,
+                body,
+            } => {
+                self.create_function(&name, &params, &results, body)?;
+                Ok(ExecResult::Ok)
+            }
+            Statement::CreateRule {
+                name,
+                params,
+                events,
+                condition,
+                action,
+                priority,
+            } => {
+                self.create_rule(&name, &params, &events, condition, action, priority)?;
+                Ok(ExecResult::Ok)
+            }
+            Statement::CreateInstances { type_name, names } => {
+                // An instance belongs to its type and to every
+                // supertype: insert into the whole extent chain so
+                // `for each <supertype>` (and rules over it) sees it.
+                let mut chain_rels = Vec::new();
+                let mut ty = Some(self.types.lookup(&type_name)?);
+                while let Some(t) = ty {
+                    let def = self.types.def(t);
+                    if !def.builtin {
+                        let pred = *self.extents.get(&def.name).ok_or_else(|| {
+                            DbError::Other(format!("type `{}` has no extent", def.name))
+                        })?;
+                        chain_rels
+                            .push(self.catalog.def(pred).stored_rel().expect("extent is stored"));
+                    }
+                    ty = def.supertype;
+                }
+                if chain_rels.is_empty() {
+                    return Err(DbError::Other(format!(
+                        "cannot create instances of builtin type `{type_name}`"
+                    )));
+                }
+                for n in names {
+                    let oid = self.storage.fresh_oid();
+                    for &rel in &chain_rels {
+                        self.storage.insert(rel, Tuple::new(vec![Value::Oid(oid)]))?;
+                    }
+                    self.iface.insert(n, Value::Oid(oid));
+                }
+                Ok(ExecResult::Ok)
+            }
+            Statement::Update(p) => self.autocommit(|this| {
+                let env = HashMap::new();
+                exec_proc_stmt(
+                    &mut this.storage,
+                    &this.catalog,
+                    &env,
+                    &this.iface,
+                    &this.procedures,
+                    &p,
+                )
+                .map_err(DbError::Other)
+            }),
+            Statement::CallProc { name, args } => self.autocommit(|this| {
+                let env = HashMap::new();
+                exec_proc_stmt(
+                    &mut this.storage,
+                    &this.catalog,
+                    &env,
+                    &this.iface,
+                    &this.procedures,
+                    &ProcStmt::Call { name, args },
+                )
+                .map_err(DbError::Other)
+            }),
+            Statement::Select(sel) => {
+                let rows = self.run_select(&sel)?;
+                Ok(ExecResult::Rows(rows))
+            }
+            Statement::Activate { rule, args } => {
+                let id = self.rules.rule_id(&rule)?;
+                let params = self.eval_args(&args)?;
+                self.rules
+                    .activate(id, Tuple::new(params), &self.catalog, &mut self.storage)?;
+                Ok(ExecResult::Ok)
+            }
+            Statement::Deactivate { rule, args } => {
+                let id = self.rules.rule_id(&rule)?;
+                let params = self.eval_args(&args)?;
+                self.rules.deactivate(
+                    id,
+                    &Tuple::new(params),
+                    &self.catalog,
+                    &mut self.storage,
+                )?;
+                Ok(ExecResult::Ok)
+            }
+            Statement::DropRule(name) => {
+                let id = self.rules.rule_id(&name)?;
+                self.rules.drop_rule(id, &self.catalog, &mut self.storage)?;
+                Ok(ExecResult::Ok)
+            }
+            Statement::ExplainSelect(sel) => Ok(ExecResult::Text(self.explain_select(&sel)?)),
+            Statement::ExplainRule(name) => Ok(ExecResult::Text(self.explain_rule(&name)?)),
+            Statement::Begin => {
+                self.storage.begin()?;
+                Ok(ExecResult::Ok)
+            }
+            Statement::Commit => {
+                let summary = self.commit()?;
+                Ok(ExecResult::Committed(summary))
+            }
+            Statement::Rollback => {
+                self.storage.rollback()?;
+                Ok(ExecResult::Ok)
+            }
+        }
+    }
+
+    /// Run `f` inside the current transaction, or wrap it in an
+    /// implicit begin/commit (with check phase) when none is open —
+    /// the usual active-DBMS autocommit semantics.
+    fn autocommit(
+        &mut self,
+        f: impl FnOnce(&mut Self) -> Result<(), DbError>,
+    ) -> Result<ExecResult, DbError> {
+        if self.storage.in_transaction() {
+            f(self)?;
+            if self.options.immediate {
+                let summary = self.check_now()?;
+                return Ok(ExecResult::Committed(summary));
+            }
+            Ok(ExecResult::Ok)
+        } else {
+            self.storage.begin()?;
+            match f(self) {
+                Ok(()) => {
+                    let summary = self.commit()?;
+                    Ok(ExecResult::Committed(summary))
+                }
+                Err(e) => {
+                    self.storage.rollback()?;
+                    Err(e)
+                }
+            }
+        }
+    }
+
+    /// Commit the open transaction: maintain aggregates, run the
+    /// deferred rule check phase, then make the changes durable.
+    pub fn commit(&mut self) -> Result<CheckSummary, DbError> {
+        self.maintain_views()?;
+        let summary = self.rules.check_phase(&self.catalog, &mut self.storage)?;
+        self.storage.commit()?;
+        Ok(summary)
+    }
+
+    /// Run the rule check phase *now*, inside the open transaction —
+    /// immediate rule processing (§1). Maintains views, propagates the
+    /// Δ-sets accumulated since the last check, and executes triggered
+    /// rules; the transaction stays open.
+    pub fn check_now(&mut self) -> Result<CheckSummary, DbError> {
+        self.maintain_views()?;
+        let summary = self.rules.check_phase(&self.catalog, &mut self.storage)?;
+        Ok(summary)
+    }
+
+    /// Open a transaction.
+    pub fn begin(&mut self) -> Result<(), DbError> {
+        self.storage.begin()?;
+        Ok(())
+    }
+
+    /// Roll the open transaction back.
+    pub fn rollback(&mut self) -> Result<(), DbError> {
+        self.storage.rollback()?;
+        Ok(())
+    }
+
+    fn maintain_views(&mut self) -> Result<(), DbError> {
+        for reg in &mut self.views {
+            // Clone the source Δ-sets out so the view's user differential
+            // can also consult storage (old-state views) while applying.
+            let deltas: Vec<(RelId, amos_storage::DeltaSet)> = reg
+                .sources
+                .iter()
+                .filter_map(|&rel| {
+                    self.storage
+                        .delta(rel)
+                        .filter(|d| !d.is_empty())
+                        .map(|d| (rel, d.clone()))
+                })
+                .collect();
+            if deltas.is_empty() {
+                continue;
+            }
+            let source_deltas: SourceDeltas<'_> =
+                deltas.iter().map(|(rel, d)| (*rel, d)).collect();
+            let out = reg.view.apply(&source_deltas, &self.catalog, &self.storage)?;
+            for t in out.minus() {
+                self.storage.delete(reg.backing, t)?;
+            }
+            for t in out.plus() {
+                self.storage.insert(reg.backing, t.clone())?;
+            }
+        }
+        Ok(())
+    }
+
+    fn eval_args(&self, args: &[Expr]) -> Result<Vec<Value>, DbError> {
+        let env = HashMap::new();
+        args.iter()
+            .map(|a| eval_scalar(&self.storage, &self.catalog, &env, &self.iface, a))
+            .collect()
+    }
+
+    fn create_function(
+        &mut self,
+        name: &str,
+        params: &[TypedVar],
+        results: &[String],
+        body: Option<Select>,
+    ) -> Result<(), DbError> {
+        let mut signature = Vec::with_capacity(params.len() + results.len());
+        for p in params {
+            signature.push(self.types.lookup(&p.type_name)?);
+        }
+        for r in results {
+            signature.push(self.types.lookup(r)?);
+        }
+        match body {
+            None => {
+                let arity = signature.len();
+                let key_arity = params.len();
+                let rel = self.storage.create_relation(name, arity)?;
+                if key_arity > 0 && key_arity < arity {
+                    // `set` updates probe by key.
+                    let key_cols: Vec<usize> = (0..key_arity).collect();
+                    self.storage.ensure_index(rel, &key_cols);
+                }
+                self.catalog.define_stored(name, signature, rel, key_arity)?;
+            }
+            Some(sel) => {
+                if sel.exprs.len() != results.len() {
+                    return Err(DbError::Parse(ParseError::unpositioned(format!(
+                        "function `{name}` declares {} results but selects {}",
+                        results.len(),
+                        sel.exprs.len()
+                    ))));
+                }
+                // Two-phase definition so the body can reference the
+                // function itself — linear recursion (`reach`-style
+                // transitive closure, §5 note 1). The name is declared
+                // (empty clauses), the body compiled against the catalog
+                // that now contains it, and the clauses installed with
+                // linearity validation.
+                let pred = self.catalog.define_derived(name, signature, Vec::new())?;
+                let q = compile_select(&self.query_env(), &sel, params)?;
+                self.catalog.replace_clauses(pred, q.clauses)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn create_rule(
+        &mut self,
+        name: &str,
+        params: &[TypedVar],
+        events: &[String],
+        condition: amos_amosql::ast::RuleCondition,
+        action: Vec<ProcStmt>,
+        priority: i32,
+    ) -> Result<(), DbError> {
+        let q = compile_predicate(
+            &self.query_env(),
+            &condition.for_each,
+            &condition.predicate,
+            params,
+        )?;
+        // Prepare the network shape: flat expands derived sub-functions
+        // away; bushy keeps them as shared intermediate nodes.
+        let clauses = match self.options.network_prep {
+            NetworkPrep::Flat => {
+                let mut out = Vec::new();
+                for c in &q.clauses {
+                    out.extend(expand_clause(&self.catalog, c, &ExpandOptions::full())?);
+                }
+                out
+            }
+            NetworkPrep::Bushy => q.clauses,
+        };
+        let object = self.types.object();
+        let cnd_name = format!("cnd_{name}");
+        let condition_pred =
+            self.catalog
+                .define_derived(&cnd_name, vec![object; q.head_arity], clauses)?;
+
+        // Compile the action into a closure over the shared-variable
+        // environment (params then for-each vars — the order of the
+        // condition head).
+        let var_names: Vec<String> = params
+            .iter()
+            .map(|p| p.var.clone())
+            .chain(condition.for_each.iter().map(|tv| tv.var.clone()))
+            .collect();
+        let iface_snapshot = self.iface.clone();
+        let procedures = Arc::clone(&self.procedures);
+        let action_fn: ActionFn = Arc::new(move |ctx, instance| {
+            let mut env: HashMap<String, Value> = HashMap::with_capacity(var_names.len());
+            for (n, v) in var_names.iter().zip(instance.values()) {
+                env.insert(n.clone(), v.clone());
+            }
+            for stmt in &action {
+                exec_proc_stmt(
+                    ctx.storage,
+                    ctx.catalog,
+                    &env,
+                    &iface_snapshot,
+                    &procedures,
+                    stmt,
+                )?;
+            }
+            Ok(())
+        });
+        let rule_id = self.rules.define_rule(
+            name,
+            condition_pred,
+            params.len(),
+            action_fn,
+            priority,
+            self.options.default_semantics,
+        )?;
+        if !events.is_empty() {
+            let mut rels = std::collections::HashSet::new();
+            for ev in events {
+                let pred = self
+                    .catalog
+                    .lookup(ev)
+                    .map_err(|_| DbError::Other(format!("unknown event function `{ev}`")))?;
+                let rel = self.catalog.def(pred).stored_rel().ok_or_else(|| {
+                    DbError::Other(format!("event function `{ev}` is not stored"))
+                })?;
+                rels.insert(rel);
+            }
+            self.rules.set_events(rule_id, rels);
+        }
+        Ok(())
+    }
+
+    /// Render the compiled clauses and execution plans of a query.
+    fn explain_select(&self, sel: &Select) -> Result<String, DbError> {
+        let q = compile_select(&self.query_env(), sel, &[])?;
+        let mut out = String::new();
+        for (i, clause) in q.clauses.iter().enumerate() {
+            out.push_str(&format!("clause {i} ({} vars, {} literals):\n", clause.n_vars, clause.body.len()));
+            let plan = compile_clause(&self.catalog, clause, &Default::default())?;
+            out.push_str(&plan.render(&self.catalog));
+        }
+        Ok(out)
+    }
+
+    /// Render a rule's monitoring setup: condition predicate, network
+    /// slice, and every partial differential with its plan.
+    fn explain_rule(&self, name: &str) -> Result<String, DbError> {
+        let id = self.rules.rule_id(name)?;
+        let rule = self.rules.rule(id);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "rule {name}: condition {} ({} params, {:?} semantics, priority {})\n",
+            self.catalog.name(rule.condition),
+            rule.n_params,
+            rule.semantics,
+            rule.priority,
+        ));
+        if !rule.is_active() {
+            out.push_str("  (inactive — activate it to build the network)\n");
+            return Ok(out);
+        }
+        out.push_str("propagation network:\n");
+        out.push_str(&self.rules.network().render(&self.catalog));
+        out.push_str("differentials and plans:\n");
+        for d in self.rules.network().differentials() {
+            if d.affected != rule.condition {
+                continue;
+            }
+            out.push_str(&format!("{}\n", d.display_name(&self.catalog)));
+            for line in d.plan.render(&self.catalog).lines() {
+                out.push_str(&format!("    {line}\n"));
+            }
+        }
+        Ok(out)
+    }
+
+    fn run_select(&self, sel: &Select) -> Result<Vec<Tuple>, DbError> {
+        let q = compile_select(&self.query_env(), sel, &[])?;
+        let deltas = DeltaMap::new();
+        let ctx = EvalContext::new(&self.storage, &self.catalog, &deltas);
+        let mut rows: Vec<Tuple> = Vec::new();
+        for clause in &q.clauses {
+            let plan = compile_clause(&self.catalog, clause, &Default::default())?;
+            let bindings = vec![None; clause.n_vars as usize];
+            ctx.run_plan(&plan, bindings, StateEpoch::New, 0, &mut |b, head| {
+                let vals: Option<Vec<Value>> = head
+                    .iter()
+                    .map(|t| match t {
+                        amos_objectlog::clause::Term::Const(v) => Some(v.clone()),
+                        amos_objectlog::clause::Term::Var(v) => b[v.0 as usize].clone(),
+                    })
+                    .collect();
+                if let Some(vals) = vals {
+                    rows.push(Tuple::new(vals));
+                }
+                Ok(())
+            })?;
+        }
+        rows.sort();
+        rows.dedup();
+        Ok(rows)
+    }
+}
+
+/// Evaluate a scalar expression against the current database state.
+pub fn eval_scalar(
+    storage: &Storage,
+    catalog: &Catalog,
+    env: &HashMap<String, Value>,
+    iface: &HashMap<String, Value>,
+    expr: &Expr,
+) -> Result<Value, DbError> {
+    match expr {
+        Expr::Var(n) => env
+            .get(n)
+            .cloned()
+            .ok_or_else(|| DbError::Other(format!("unbound variable `{n}`"))),
+        Expr::IfaceVar(n) => iface
+            .get(n)
+            .cloned()
+            .ok_or_else(|| DbError::Other(format!("unbound interface variable `:{n}`"))),
+        Expr::Int(i) => Ok(Value::Int(*i)),
+        Expr::Real(r) => Ok(Value::real(*r)?),
+        Expr::Str(s) => Ok(Value::str(s.as_str())),
+        Expr::Bool(b) => Ok(Value::Bool(*b)),
+        Expr::Arith { op, lhs, rhs } => {
+            let l = eval_scalar(storage, catalog, env, iface, lhs)?;
+            let r = eval_scalar(storage, catalog, env, iface, rhs)?;
+            Ok(op.apply(&l, &r)?)
+        }
+        Expr::Neg(e) => {
+            let v = eval_scalar(storage, catalog, env, iface, e)?;
+            Ok(v.neg()?)
+        }
+        Expr::Cmp { op, lhs, rhs } => {
+            let l = eval_scalar(storage, catalog, env, iface, lhs)?;
+            let r = eval_scalar(storage, catalog, env, iface, rhs)?;
+            Ok(Value::Bool(op.apply(&l, &r)?))
+        }
+        Expr::And(a, b) => {
+            let l = eval_scalar(storage, catalog, env, iface, a)?.as_bool()?;
+            let r = eval_scalar(storage, catalog, env, iface, b)?.as_bool()?;
+            Ok(Value::Bool(l && r))
+        }
+        Expr::Or(a, b) => {
+            let l = eval_scalar(storage, catalog, env, iface, a)?.as_bool()?;
+            let r = eval_scalar(storage, catalog, env, iface, b)?.as_bool()?;
+            Ok(Value::Bool(l || r))
+        }
+        Expr::Not(e) => {
+            let v = eval_scalar(storage, catalog, env, iface, e)?.as_bool()?;
+            Ok(Value::Bool(!v))
+        }
+        Expr::Call { func, args } => {
+            let pred = catalog
+                .lookup(func)
+                .map_err(|_| DbError::Other(format!("unknown function `{func}`")))?;
+            let arity = catalog.def(pred).arity;
+            if args.len() + 1 != arity {
+                return Err(DbError::Other(format!(
+                    "function `{func}` takes {} arguments, {} supplied",
+                    arity - 1,
+                    args.len()
+                )));
+            }
+            let mut pattern: Vec<Option<Value>> = Vec::with_capacity(arity);
+            for a in args {
+                pattern.push(Some(eval_scalar(storage, catalog, env, iface, a)?));
+            }
+            pattern.push(None);
+            let deltas = DeltaMap::new();
+            let ctx = EvalContext::new(storage, catalog, &deltas);
+            let results = ctx.eval_pred(pred, &pattern, StateEpoch::New)?;
+            let mut vals: Vec<Value> = results
+                .into_iter()
+                .map(|t| t[arity - 1].clone())
+                .collect();
+            vals.sort();
+            vals.into_iter().next().ok_or_else(|| {
+                DbError::Other(format!("no value stored for `{func}` at these arguments"))
+            })
+        }
+    }
+}
+
+/// Execute one action/update statement in a variable environment.
+fn exec_proc_stmt(
+    storage: &mut Storage,
+    catalog: &Catalog,
+    env: &HashMap<String, Value>,
+    iface: &HashMap<String, Value>,
+    procedures: &Procedures,
+    stmt: &ProcStmt,
+) -> Result<(), String> {
+    let eval = |storage: &Storage, e: &Expr| -> Result<Value, String> {
+        eval_scalar(storage, catalog, env, iface, e).map_err(|e| e.to_string())
+    };
+    match stmt {
+        ProcStmt::Set { func, args, value } => {
+            let (rel, key_arity) = resolve_stored(catalog, func)?;
+            let key: Vec<Value> = args
+                .iter()
+                .map(|a| eval(storage, a))
+                .collect::<Result<_, _>>()?;
+            if key.len() != key_arity {
+                return Err(format!(
+                    "`set {func}` expects {key_arity} key arguments, got {}",
+                    key.len()
+                ));
+            }
+            let v = eval(storage, value)?;
+            storage
+                .set_functional(rel, &key, &[v])
+                .map_err(|e| e.to_string())
+        }
+        ProcStmt::Add { func, args, value } => {
+            let (rel, _) = resolve_stored(catalog, func)?;
+            let key: Vec<Value> = args
+                .iter()
+                .map(|a| eval(storage, a))
+                .collect::<Result<_, _>>()?;
+            let v = eval(storage, value)?;
+            storage
+                .add_functional(rel, &key, &[v])
+                .map(|_| ())
+                .map_err(|e| e.to_string())
+        }
+        ProcStmt::Remove { func, args, value } => {
+            let (rel, _) = resolve_stored(catalog, func)?;
+            let key: Vec<Value> = args
+                .iter()
+                .map(|a| eval(storage, a))
+                .collect::<Result<_, _>>()?;
+            let v = eval(storage, value)?;
+            storage
+                .remove_functional(rel, &key, &[v])
+                .map(|_| ())
+                .map_err(|e| e.to_string())
+        }
+        ProcStmt::Call { name, args } => {
+            let vals: Vec<Value> = args
+                .iter()
+                .map(|a| eval(storage, a))
+                .collect::<Result<_, _>>()?;
+            let proc = procedures
+                .lock()
+                .expect("procedures lock")
+                .get(name)
+                .cloned()
+                .ok_or_else(|| format!("unknown procedure `{name}`"))?;
+            let mut ctx = ProcCtx { storage, catalog };
+            proc(&mut ctx, &vals)
+        }
+    }
+}
+
+fn resolve_stored(catalog: &Catalog, func: &str) -> Result<(RelId, usize), String> {
+    let pred = catalog
+        .lookup(func)
+        .map_err(|_| format!("unknown function `{func}`"))?;
+    match catalog.def(pred).kind {
+        amos_objectlog::catalog::PredKind::Stored { rel, key_arity } => Ok((rel, key_arity)),
+        _ => Err(format!("`{func}` is not a stored function")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_updates_and_queries() {
+        let mut db = Amos::new();
+        db.execute(
+            r#"
+            create type item;
+            create function quantity(item i) -> integer;
+            create item instances :a, :b;
+            set quantity(:a) = 10;
+            set quantity(:b) = 20;
+        "#,
+        )
+        .unwrap();
+        let rows = db.query("select quantity(:a);").unwrap();
+        assert_eq!(rows, vec![Tuple::new(vec![Value::Int(10)])]);
+        let rows = db
+            .query("select i for each item i where quantity(i) > 15;")
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0], *db.iface_value("b").unwrap());
+    }
+
+    #[test]
+    fn derived_functions_evaluate() {
+        let mut db = Amos::new();
+        db.execute(
+            r#"
+            create type item;
+            create function price(item i) -> integer;
+            create function tax(item i) -> integer as select price(i) / 5;
+            create item instances :x;
+            set price(:x) = 100;
+        "#,
+        )
+        .unwrap();
+        let rows = db.query("select tax(:x);").unwrap();
+        assert_eq!(rows, vec![Tuple::new(vec![Value::Int(20)])]);
+    }
+
+    #[test]
+    fn unknown_names_error() {
+        let mut db = Amos::new();
+        assert!(db.execute("select nosuch(1);").is_err());
+        assert!(db.execute("set nosuch(1) = 2;").is_err());
+        assert!(db.execute("activate nosuch();").is_err());
+        assert!(db.execute("create nosuchtype instances :x;").is_err());
+    }
+
+    #[test]
+    fn autocommit_rolls_back_failed_updates() {
+        let mut db = Amos::new();
+        db.execute(
+            r#"
+            create type item;
+            create function quantity(item i) -> integer;
+            create item instances :a;
+            set quantity(:a) = 1;
+        "#,
+        )
+        .unwrap();
+        // A procedure that updates then fails: autocommit must undo.
+        db.register_procedure("boom", |ctx, _args| {
+            let rel = ctx.catalog.lookup("quantity").unwrap();
+            let rel = ctx.catalog.def(rel).stored_rel().unwrap();
+            ctx.storage
+                .set_functional(rel, &[Value::Int(999)], &[Value::Int(1)])
+                .map_err(|e| e.to_string())?;
+            Err("boom".to_string())
+        });
+        assert!(db.execute("boom(0);").is_err());
+        assert!(!db.storage().in_transaction());
+        let rows = db.query("select quantity(:a);").unwrap();
+        assert_eq!(rows.len(), 1, "original value intact, junk rolled back");
+    }
+}

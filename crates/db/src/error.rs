@@ -1,0 +1,93 @@
+//! Engine-level errors.
+
+use std::fmt;
+
+use amos_amosql::ParseError;
+use amos_core::CoreError;
+use amos_objectlog::ObjectLogError;
+use amos_storage::StorageError;
+use amos_types::typesys::TypeError;
+use amos_types::ValueError;
+
+/// Any error surfaced by [`crate::Amos`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbError {
+    /// AMOSQL syntax or compilation error.
+    Parse(ParseError),
+    /// Rule-monitoring core error.
+    Core(CoreError),
+    /// ObjectLog error.
+    ObjectLog(ObjectLogError),
+    /// Storage error.
+    Storage(StorageError),
+    /// Type-system error.
+    Type(TypeError),
+    /// Value-level error (arithmetic in scalar evaluation).
+    Value(ValueError),
+    /// Anything else, with a message.
+    Other(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Parse(e) => write!(f, "parse error: {e}"),
+            DbError::Core(e) => write!(f, "rule error: {e}"),
+            DbError::ObjectLog(e) => write!(f, "query error: {e}"),
+            DbError::Storage(e) => write!(f, "storage error: {e}"),
+            DbError::Type(e) => write!(f, "type error: {e}"),
+            DbError::Value(e) => write!(f, "value error: {e}"),
+            DbError::Other(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<ParseError> for DbError {
+    fn from(e: ParseError) -> Self {
+        DbError::Parse(e)
+    }
+}
+
+impl From<CoreError> for DbError {
+    fn from(e: CoreError) -> Self {
+        DbError::Core(e)
+    }
+}
+
+impl From<ObjectLogError> for DbError {
+    fn from(e: ObjectLogError) -> Self {
+        DbError::ObjectLog(e)
+    }
+}
+
+impl From<StorageError> for DbError {
+    fn from(e: StorageError) -> Self {
+        DbError::Storage(e)
+    }
+}
+
+impl From<TypeError> for DbError {
+    fn from(e: TypeError) -> Self {
+        DbError::Type(e)
+    }
+}
+
+impl From<ValueError> for DbError {
+    fn from(e: ValueError) -> Self {
+        DbError::Value(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(DbError::Other("x".into()).to_string().contains('x'));
+        let e: DbError = ParseError::new(1, 2, "bad").into();
+        assert_eq!(e.to_string(), "parse error: 1:2: bad");
+    }
+}

@@ -1,0 +1,131 @@
+//! ObjectLog errors.
+
+use std::fmt;
+
+use amos_types::ValueError;
+
+use crate::clause::Var;
+
+/// Errors from catalog management, plan compilation, and evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ObjectLogError {
+    /// No predicate with this name.
+    UnknownPredicate(String),
+    /// A predicate with this name already exists.
+    DuplicatePredicate(String),
+    /// Clause head arity does not match the predicate signature.
+    HeadArityMismatch {
+        /// Predicate name.
+        pred: String,
+        /// Signature arity.
+        expected: usize,
+        /// Clause head length.
+        found: usize,
+    },
+    /// A clause is not range-restricted.
+    UnsafeClause {
+        /// Predicate name.
+        pred: String,
+        /// The unbindable variable.
+        var: Var,
+    },
+    /// `replace_clauses` on a non-derived predicate.
+    NotDerived(String),
+    /// A literal argument count does not match the predicate arity.
+    LiteralArityMismatch {
+        /// Predicate name.
+        pred: String,
+        /// Predicate arity.
+        expected: usize,
+        /// Literal argument count.
+        found: usize,
+    },
+    /// Recursive predicate definitions are outside the paper's algorithm
+    /// ("the algorithm can be extended to handle linear recursion…").
+    RecursivePredicate(String),
+    /// The optimizer could not schedule a literal (unbound operands with
+    /// no way to bind them).
+    NotSchedulable {
+        /// Description of the stuck literal.
+        literal: String,
+    },
+    /// A value-level error surfaced during evaluation.
+    Value(ValueError),
+    /// A Δ-literal was evaluated without a Δ-set bound for its predicate.
+    MissingDelta(String),
+    /// Recursion depth limit exceeded during evaluation (defence against
+    /// accidental deep nesting; true recursion is caught at stratum
+    /// computation).
+    DepthExceeded,
+}
+
+impl fmt::Display for ObjectLogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObjectLogError::UnknownPredicate(n) => write!(f, "unknown predicate `{n}`"),
+            ObjectLogError::DuplicatePredicate(n) => {
+                write!(f, "predicate `{n}` already exists")
+            }
+            ObjectLogError::HeadArityMismatch {
+                pred,
+                expected,
+                found,
+            } => write!(
+                f,
+                "clause head of `{pred}` has {found} terms, signature requires {expected}"
+            ),
+            ObjectLogError::UnsafeClause { pred, var } => {
+                write!(f, "clause of `{pred}` is unsafe: variable {var} cannot be bound")
+            }
+            ObjectLogError::NotDerived(n) => write!(f, "predicate `{n}` is not derived"),
+            ObjectLogError::LiteralArityMismatch {
+                pred,
+                expected,
+                found,
+            } => write!(
+                f,
+                "literal on `{pred}` has {found} args, predicate arity is {expected}"
+            ),
+            ObjectLogError::RecursivePredicate(n) => {
+                write!(f, "predicate `{n}` is recursive (unsupported)")
+            }
+            ObjectLogError::NotSchedulable { literal } => {
+                write!(f, "cannot schedule literal: {literal}")
+            }
+            ObjectLogError::Value(e) => write!(f, "value error: {e}"),
+            ObjectLogError::MissingDelta(n) => {
+                write!(f, "no Δ-set bound for predicate `{n}`")
+            }
+            ObjectLogError::DepthExceeded => write!(f, "evaluation depth limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for ObjectLogError {}
+
+impl From<ValueError> for ObjectLogError {
+    fn from(e: ValueError) -> Self {
+        ObjectLogError::Value(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            ObjectLogError::UnknownPredicate("p".into()).to_string(),
+            "unknown predicate `p`"
+        );
+        assert_eq!(
+            ObjectLogError::UnsafeClause {
+                pred: "p".into(),
+                var: Var(3)
+            }
+            .to_string(),
+            "clause of `p` is unsafe: variable _G3 cannot be bound"
+        );
+    }
+}

@@ -1,0 +1,979 @@
+//! The goal-directed evaluation engine.
+//!
+//! Evaluates any predicate under a *binding pattern* (some argument
+//! positions bound to values) against the database — in the **new** state
+//! or, via logical rollback of every stored leaf, in the **old** state.
+//! Derived predicates evaluate their clauses through compiled plans
+//! (compiled on the fly here; the rule layer pre-compiles and caches the
+//! plans of partial differentials).
+//!
+//! Epoch propagation: once evaluation enters an old-state literal,
+//! everything beneath it is old-state too — `Q_old` of a derived `Q` is
+//! the derivation over old base relations, which is exactly what the
+//! paper's logical rollback gives (all influent Δ-sets are complete when
+//! a negative differential runs, thanks to breadth-first bottom-up
+//! propagation).
+
+use std::collections::{HashMap, HashSet};
+
+use amos_storage::{DeltaSet, StateEpoch, Storage};
+use amos_types::{Tuple, Value};
+
+use crate::catalog::{Catalog, PredId, PredKind};
+use crate::clause::{Term, Var};
+use crate::error::ObjectLogError;
+use crate::plan::{compile_clause, Plan, PlanStep};
+
+/// Δ-sets keyed by influent predicate, available to Δ-literals.
+pub type DeltaMap = HashMap<PredId, DeltaSet>;
+
+/// Evaluation context: storage, catalog, and the Δ-environment.
+pub struct EvalContext<'a> {
+    /// The database of base relations.
+    pub storage: &'a Storage,
+    /// Predicate definitions.
+    pub catalog: &'a Catalog,
+    /// Δ-sets readable by Δ-literals (empty map outside propagation).
+    pub deltas: &'a DeltaMap,
+    /// Recursion guard for derived-predicate calls.
+    pub depth_limit: usize,
+    /// Compiled-plan cache for derived-predicate calls, keyed by
+    /// predicate and bound-argument bitmask. A differential whose Δ-set
+    /// seeds `n` tuples calls its derived sub-goals `n` times with the
+    /// same binding pattern — without the cache each call would re-run
+    /// the greedy optimizer.
+    plan_cache: std::cell::RefCell<PlanCache>,
+    /// Lazily-built old-state hash indexes, used for old-epoch probes
+    /// when the relation's Δ-set is too large for the per-probe linear
+    /// overlay of [`amos_storage::OldStateView::probe`]. The build cost
+    /// (one old-state scan) amortizes over the many probes a massive
+    /// transaction performs — this is what keeps the fig. 7 workload
+    /// linear instead of quadratic.
+    old_index: std::cell::RefCell<OldIndexCache>,
+}
+
+/// Variable bindings during plan execution.
+type Bindings = Vec<Option<Value>>;
+
+/// Solution callback invoked by [`EvalContext::run_plan`].
+pub type EmitFn<'e> = dyn FnMut(&Bindings, &[Term]) -> Result<(), ObjectLogError> + 'e;
+
+/// Per-context cache of compiled clause plans, keyed by predicate and
+/// bound-argument bitmask.
+type PlanCache = HashMap<(PredId, u64), std::rc::Rc<Vec<(usize, Plan)>>>;
+
+/// Per-context cache of old-state hash indexes keyed by relation and
+/// probed column set.
+type OldIndexCache = HashMap<(amos_storage::RelId, Vec<usize>), HashMap<Tuple, Vec<Tuple>>>;
+
+fn resolve(t: &Term, b: &Bindings) -> Option<Value> {
+    match t {
+        Term::Const(v) => Some(v.clone()),
+        Term::Var(Var(i)) => b[*i as usize].clone(),
+    }
+}
+
+/// Unify a term with a value: bind if unbound variable, test otherwise.
+/// Returns the variable index bound (for trail-based undo), or `None` if
+/// no new binding was made; `Err(())`-like `false` in `ok` means failure.
+fn unify_term(t: &Term, v: &Value, b: &mut Bindings) -> (bool, Option<usize>) {
+    match t {
+        Term::Const(c) => (c == v, None),
+        Term::Var(Var(i)) => {
+            let idx = *i as usize;
+            match &b[idx] {
+                Some(existing) => (existing == v, None),
+                None => {
+                    b[idx] = Some(v.clone());
+                    (true, Some(idx))
+                }
+            }
+        }
+    }
+}
+
+/// Unify a whole tuple with literal args; on failure undoes its own
+/// bindings. Returns the trail of newly-bound variable indexes.
+fn unify_tuple(args: &[Term], tuple: &Tuple, b: &mut Bindings) -> Option<Vec<usize>> {
+    let mut trail = Vec::new();
+    for (t, v) in args.iter().zip(tuple.values()) {
+        let (ok, bound) = unify_term(t, v, b);
+        if let Some(idx) = bound {
+            trail.push(idx);
+        }
+        if !ok {
+            for idx in trail {
+                b[idx] = None;
+            }
+            return None;
+        }
+    }
+    Some(trail)
+}
+
+fn undo(trail: &[usize], b: &mut Bindings) {
+    for &idx in trail {
+        b[idx] = None;
+    }
+}
+
+impl<'a> EvalContext<'a> {
+    /// Build a context with the default depth limit.
+    pub fn new(storage: &'a Storage, catalog: &'a Catalog, deltas: &'a DeltaMap) -> Self {
+        EvalContext {
+            storage,
+            catalog,
+            deltas,
+            depth_limit: 64,
+            plan_cache: std::cell::RefCell::new(HashMap::new()),
+            old_index: std::cell::RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// Evaluate a predicate under a binding pattern: return all full
+    /// argument tuples consistent with the bound positions.
+    pub fn eval_pred(
+        &self,
+        pred: PredId,
+        pattern: &[Option<Value>],
+        epoch: StateEpoch,
+    ) -> Result<HashSet<Tuple>, ObjectLogError> {
+        self.eval_pred_depth(pred, pattern, epoch, 0)
+    }
+
+    /// Existence check: is there at least one tuple matching the pattern?
+    pub fn holds(
+        &self,
+        pred: PredId,
+        pattern: &[Option<Value>],
+        epoch: StateEpoch,
+    ) -> Result<bool, ObjectLogError> {
+        // For stored predicates with full patterns this is a hash lookup;
+        // otherwise fall back to (short-circuiting would need a lazy
+        // evaluator; result sets are small at the call sites) evaluation.
+        let def = self.catalog.def(pred);
+        if let PredKind::Stored { rel, .. } = def.kind {
+            if pattern.iter().all(Option::is_some) {
+                let t: Tuple = pattern.iter().map(|v| v.clone().unwrap()).collect();
+                return Ok(match epoch {
+                    StateEpoch::New => self.storage.relation(rel).contains(&t),
+                    StateEpoch::Old => self.storage.old_view(rel).contains(&t),
+                });
+            }
+        }
+        Ok(!self.eval_pred(pred, pattern, epoch)?.is_empty())
+    }
+
+    fn eval_pred_depth(
+        &self,
+        pred: PredId,
+        pattern: &[Option<Value>],
+        epoch: StateEpoch,
+        depth: usize,
+    ) -> Result<HashSet<Tuple>, ObjectLogError> {
+        if depth > self.depth_limit {
+            return Err(ObjectLogError::DepthExceeded);
+        }
+        let def = self.catalog.def(pred);
+        debug_assert_eq!(pattern.len(), def.arity, "pattern arity for {}", def.name);
+        match &def.kind {
+            PredKind::Stored { rel, .. } => Ok(self.eval_stored(*rel, pattern, epoch)),
+            PredKind::Foreign(f) => Ok(f(pattern).into_iter().map(Tuple::new).collect()),
+            PredKind::Derived(clauses) if self.catalog.is_self_recursive(pred) => {
+                self.eval_recursive(pred, clauses, pattern, epoch, depth)
+            }
+            PredKind::Derived(clauses) => {
+                let plans = self.plans_for(pred, clauses, pattern)?;
+                let mut out = HashSet::new();
+                for (clause_idx, plan) in plans.iter() {
+                    let clause = &clauses[*clause_idx];
+                    // Bind head terms from the pattern.
+                    let mut bindings: Bindings = vec![None; clause.n_vars as usize];
+                    let mut feasible = true;
+                    for (term, slot) in clause.head.iter().zip(pattern) {
+                        match (term, slot) {
+                            (Term::Const(c), Some(v)) if c != v => {
+                                feasible = false;
+                                break;
+                            }
+                            (Term::Var(var), Some(v)) => {
+                                let idx = var.0 as usize;
+                                match &bindings[idx] {
+                                    Some(existing) if existing != v => {
+                                        feasible = false;
+                                        break;
+                                    }
+                                    _ => bindings[idx] = Some(v.clone()),
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                    if !feasible {
+                        continue;
+                    }
+                    self.run_plan(plan, bindings, epoch, depth, &mut |b, plan_head| {
+                        let tuple: Option<Tuple> = plan_head
+                            .iter()
+                            .map(|t| resolve(t, b))
+                            .collect::<Option<Vec<Value>>>()
+                            .map(Tuple::new);
+                        if let Some(t) = tuple {
+                            out.insert(t);
+                        }
+                        Ok(())
+                    })?;
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    /// Semi-naive least-fixpoint evaluation of a (linearly) self-recursive
+    /// predicate — the §5 footnote's "fixed point techniques".
+    ///
+    /// Base clauses (no self-literal) seed the fixpoint; recursive
+    /// clauses are rewritten so their self-literal reads a synthetic
+    /// Δ-set holding the current *frontier* (tuples derived in the
+    /// previous round), exactly the semi-naive restriction. Iteration
+    /// stops when a round derives nothing new.
+    ///
+    /// Bound patterns are answered by computing the full fixpoint and
+    /// filtering (goal-directed magic-sets rewriting is out of scope).
+    fn eval_recursive(
+        &self,
+        pred: PredId,
+        clauses: &[crate::clause::Clause],
+        pattern: &[Option<Value>],
+        epoch: StateEpoch,
+        depth: usize,
+    ) -> Result<HashSet<Tuple>, ObjectLogError> {
+        use crate::clause::{Clause, Literal};
+        let references_self = |c: &Clause| c.body.iter().any(|l| l.pred() == Some(pred));
+        let unbound: Vec<Option<Value>> = vec![None; pattern.len()];
+
+        // Seed: base clauses, evaluated through the ordinary machinery
+        // on a catalog view where only the base clauses exist — achieved
+        // by running each base clause's plan directly.
+        let mut total: HashSet<Tuple> = HashSet::new();
+        for clause in clauses.iter().filter(|c| !references_self(c)) {
+            let plan = compile_clause(self.catalog, clause, &HashSet::new())?;
+            let bindings = vec![None; clause.n_vars as usize];
+            let mut collected: Vec<Tuple> = Vec::new();
+            self.run_plan(&plan, bindings, epoch, depth + 1, &mut |b, head| {
+                if let Some(vals) = head
+                    .iter()
+                    .map(|t| resolve(t, b))
+                    .collect::<Option<Vec<Value>>>()
+                {
+                    collected.push(Tuple::new(vals));
+                }
+                Ok(())
+            })?;
+            total.extend(collected);
+        }
+
+        // Rewrite recursive clauses: self-literal → Δ₊-literal on self.
+        let mut rec_plans: Vec<(Clause, Plan)> = Vec::new();
+        for clause in clauses.iter().filter(|c| references_self(c)) {
+            let body = clause
+                .body
+                .iter()
+                .map(|lit| match lit {
+                    Literal::Pred {
+                        pred: p,
+                        args,
+                        negated: false,
+                        ..
+                    } if *p == pred => Literal::Delta {
+                        pred,
+                        polarity: amos_storage::Polarity::Plus,
+                        args: args.clone(),
+                    },
+                    other => other.clone(),
+                })
+                .collect();
+            let rewritten = Clause {
+                n_vars: clause.n_vars,
+                head: clause.head.clone(),
+                body,
+            };
+            let plan = compile_clause(self.catalog, &rewritten, &HashSet::new())?;
+            rec_plans.push((rewritten, plan));
+        }
+
+        let mut frontier: HashSet<Tuple> = total.clone();
+        let mut rounds = 0usize;
+        while !frontier.is_empty() {
+            rounds += 1;
+            if rounds > 100_000 {
+                return Err(ObjectLogError::DepthExceeded);
+            }
+            let mut delta = DeltaSet::new();
+            for t in frontier.drain() {
+                delta.apply_insert(t);
+            }
+            let mut fmap = DeltaMap::new();
+            fmap.insert(pred, delta);
+            let sub = EvalContext::new(self.storage, self.catalog, &fmap);
+            let mut next: Vec<Tuple> = Vec::new();
+            for (clause, plan) in &rec_plans {
+                let bindings = vec![None; clause.n_vars as usize];
+                sub.run_plan(plan, bindings, epoch, depth + 1, &mut |b, head| {
+                    if let Some(vals) = head
+                        .iter()
+                        .map(|t| resolve(t, b))
+                        .collect::<Option<Vec<Value>>>()
+                    {
+                        next.push(Tuple::new(vals));
+                    }
+                    Ok(())
+                })?;
+            }
+            for t in next {
+                if total.insert(t.clone()) {
+                    frontier.insert(t);
+                }
+            }
+        }
+        let _ = unbound;
+        // Filter by the caller's bound positions.
+        Ok(total
+            .into_iter()
+            .filter(|t| {
+                pattern
+                    .iter()
+                    .enumerate()
+                    .all(|(i, slot)| slot.as_ref().map(|v| &t[i] == v).unwrap_or(true))
+            })
+            .collect())
+    }
+
+    /// Plans for a derived predicate's clauses under a binding mask,
+    /// compiled once per context and shared across calls.
+    fn plans_for(
+        &self,
+        pred: PredId,
+        clauses: &[crate::clause::Clause],
+        pattern: &[Option<Value>],
+    ) -> Result<std::rc::Rc<Vec<(usize, Plan)>>, ObjectLogError> {
+        debug_assert!(pattern.len() <= 64, "pattern mask is a u64");
+        let mask: u64 = pattern
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.is_some())
+            .fold(0, |m, (i, _)| m | (1 << i));
+        if let Some(hit) = self.plan_cache.borrow().get(&(pred, mask)) {
+            return Ok(std::rc::Rc::clone(hit));
+        }
+        let mut plans = Vec::with_capacity(clauses.len());
+        for (i, clause) in clauses.iter().enumerate() {
+            let bound_vars: HashSet<Var> = clause
+                .head
+                .iter()
+                .zip(pattern)
+                .filter_map(|(term, slot)| match (term, slot) {
+                    (Term::Var(v), Some(_)) => Some(*v),
+                    _ => None,
+                })
+                .collect();
+            plans.push((i, compile_clause(self.catalog, clause, &bound_vars)?));
+        }
+        let rc = std::rc::Rc::new(plans);
+        self.plan_cache
+            .borrow_mut()
+            .insert((pred, mask), std::rc::Rc::clone(&rc));
+        Ok(rc)
+    }
+
+    fn eval_stored(
+        &self,
+        rel: amos_storage::RelId,
+        pattern: &[Option<Value>],
+        epoch: StateEpoch,
+    ) -> HashSet<Tuple> {
+        let bound_cols: Vec<usize> = pattern
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.is_some())
+            .map(|(i, _)| i)
+            .collect();
+        let key: Vec<Value> = pattern.iter().flatten().cloned().collect();
+        // Fully bound: a hash membership check, never an index probe
+        // (index probes degrade to scans on unindexed column sets).
+        if bound_cols.len() == pattern.len() {
+            let t = Tuple::new(key);
+            let present = match epoch {
+                StateEpoch::New => self.storage.relation(rel).contains(&t),
+                StateEpoch::Old => self.storage.old_view(rel).contains(&t),
+            };
+            return if present {
+                [t].into_iter().collect()
+            } else {
+                HashSet::new()
+            };
+        }
+        match epoch {
+            StateEpoch::New => {
+                let r = self.storage.relation(rel);
+                if bound_cols.is_empty() {
+                    r.scan().cloned().collect()
+                } else {
+                    r.probe(&bound_cols, &key).into_iter().cloned().collect()
+                }
+            }
+            StateEpoch::Old => {
+                let v = self.storage.old_view(rel);
+                if bound_cols.is_empty() {
+                    v.scan().cloned().collect()
+                } else if v.delta_len() <= 32 {
+                    // Small transaction (the paper's common case): the
+                    // per-probe linear Δ overlay is O(|Δ|) ≈ O(1).
+                    v.probe(&bound_cols, &key).into_iter().cloned().collect()
+                } else {
+                    // Massive transaction: amortize one old-state scan
+                    // into a hash index shared across this context.
+                    let mut cache = self.old_index.borrow_mut();
+                    let idx = cache
+                        .entry((rel, bound_cols.clone()))
+                        .or_insert_with(|| {
+                            let mut map: HashMap<Tuple, Vec<Tuple>> = HashMap::new();
+                            for t in v.scan() {
+                                map.entry(t.project(&bound_cols)).or_default().push(t.clone());
+                            }
+                            map
+                        });
+                    match idx.get(&Tuple::new(key)) {
+                        Some(ts) => ts.iter().cloned().collect(),
+                        None => HashSet::new(),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Execute a pre-compiled plan with initial bindings, invoking `emit`
+    /// for every solution. `outer_epoch` is the ambient state epoch: `Old`
+    /// forces every literal old regardless of its annotation.
+    pub fn run_plan(
+        &self,
+        plan: &Plan,
+        mut bindings: Bindings,
+        outer_epoch: StateEpoch,
+        depth: usize,
+        emit: &mut EmitFn<'_>,
+    ) -> Result<(), ObjectLogError> {
+        self.exec_step(plan, 0, &mut bindings, outer_epoch, depth, emit)
+    }
+
+    fn effective_epoch(outer: StateEpoch, lit: StateEpoch) -> StateEpoch {
+        match outer {
+            StateEpoch::Old => StateEpoch::Old,
+            StateEpoch::New => lit,
+        }
+    }
+
+    fn exec_step(
+        &self,
+        plan: &Plan,
+        idx: usize,
+        b: &mut Bindings,
+        outer_epoch: StateEpoch,
+        depth: usize,
+        emit: &mut EmitFn<'_>,
+    ) -> Result<(), ObjectLogError> {
+        if idx == plan.steps.len() {
+            return emit(b, &plan.head);
+        }
+        match &plan.steps[idx] {
+            PlanStep::Stored {
+                rel, args, epoch, ..
+            } => {
+                let epoch = Self::effective_epoch(outer_epoch, *epoch);
+                let pattern: Vec<Option<Value>> = args.iter().map(|t| resolve(t, b)).collect();
+                let candidates = self.eval_stored(*rel, &pattern, epoch);
+                for tuple in candidates {
+                    if let Some(trail) = unify_tuple(args, &tuple, b) {
+                        self.exec_step(plan, idx + 1, b, outer_epoch, depth, emit)?;
+                        undo(&trail, b);
+                    }
+                }
+                Ok(())
+            }
+            PlanStep::Delta {
+                pred,
+                polarity,
+                args,
+            } => {
+                static EMPTY: std::sync::OnceLock<DeltaSet> = std::sync::OnceLock::new();
+                let delta = self
+                    .deltas
+                    .get(pred)
+                    .unwrap_or_else(|| EMPTY.get_or_init(DeltaSet::new));
+                // Deterministic order is unnecessary here (results are
+                // accumulated into sets), so iterate the hash set directly.
+                for tuple in delta.side(*polarity) {
+                    if let Some(trail) = unify_tuple(args, tuple, b) {
+                        self.exec_step(plan, idx + 1, b, outer_epoch, depth, emit)?;
+                        undo(&trail, b);
+                    }
+                }
+                Ok(())
+            }
+            PlanStep::Call {
+                pred, args, epoch, ..
+            } => {
+                let epoch = Self::effective_epoch(outer_epoch, *epoch);
+                let pattern: Vec<Option<Value>> = args.iter().map(|t| resolve(t, b)).collect();
+                let results = self.eval_pred_depth(*pred, &pattern, epoch, depth + 1)?;
+                for tuple in results {
+                    if let Some(trail) = unify_tuple(args, &tuple, b) {
+                        self.exec_step(plan, idx + 1, b, outer_epoch, depth, emit)?;
+                        undo(&trail, b);
+                    }
+                }
+                Ok(())
+            }
+            PlanStep::NegCheck { pred, args, epoch } => {
+                let epoch = Self::effective_epoch(outer_epoch, *epoch);
+                let pattern: Vec<Option<Value>> = args.iter().map(|t| resolve(t, b)).collect();
+                debug_assert!(
+                    pattern.iter().all(Option::is_some),
+                    "negation scheduled with unbound args"
+                );
+                if !self.holds(*pred, &pattern, epoch)? {
+                    self.exec_step(plan, idx + 1, b, outer_epoch, depth, emit)?;
+                }
+                Ok(())
+            }
+            PlanStep::Cmp { op, lhs, rhs } => {
+                let (Some(l), Some(r)) = (resolve(lhs, b), resolve(rhs, b)) else {
+                    return Err(ObjectLogError::NotSchedulable {
+                        literal: format!("{lhs} {op} {rhs}"),
+                    });
+                };
+                // Incomparable runtime types simply fail the test.
+                if l.compare(&r).map(|ord| op.matches(ord)).unwrap_or(false) {
+                    self.exec_step(plan, idx + 1, b, outer_epoch, depth, emit)?;
+                }
+                Ok(())
+            }
+            PlanStep::Arith {
+                op,
+                result,
+                lhs,
+                rhs,
+            } => {
+                let (Some(l), Some(r)) = (resolve(lhs, b), resolve(rhs, b)) else {
+                    return Err(ObjectLogError::NotSchedulable {
+                        literal: format!("{result} = {lhs} {op} {rhs}"),
+                    });
+                };
+                let value = op.apply(&l, &r)?;
+                let (ok, bound) = unify_term(result, &value, b);
+                if ok {
+                    self.exec_step(plan, idx + 1, b, outer_epoch, depth, emit)?;
+                }
+                if let Some(i) = bound {
+                    b[i] = None;
+                }
+                Ok(())
+            }
+            PlanStep::Unify { lhs, rhs } => {
+                match (resolve(lhs, b), resolve(rhs, b)) {
+                    (Some(l), Some(r)) => {
+                        if l == r {
+                            self.exec_step(plan, idx + 1, b, outer_epoch, depth, emit)?;
+                        }
+                        Ok(())
+                    }
+                    (Some(l), None) => {
+                        let (ok, bound) = unify_term(rhs, &l, b);
+                        debug_assert!(ok);
+                        self.exec_step(plan, idx + 1, b, outer_epoch, depth, emit)?;
+                        if let Some(i) = bound {
+                            b[i] = None;
+                        }
+                        Ok(())
+                    }
+                    (None, Some(r)) => {
+                        let (ok, bound) = unify_term(lhs, &r, b);
+                        debug_assert!(ok);
+                        self.exec_step(plan, idx + 1, b, outer_epoch, depth, emit)?;
+                        if let Some(i) = bound {
+                            b[i] = None;
+                        }
+                        Ok(())
+                    }
+                    (None, None) => Err(ObjectLogError::NotSchedulable {
+                        literal: format!("{lhs} = {rhs}"),
+                    }),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clause::{ClauseBuilder, Term};
+    use amos_storage::Polarity;
+    use amos_types::{tuple, ArithOp, CmpOp, TypeId};
+    use std::sync::Arc;
+
+    fn sig(n: usize) -> Vec<TypeId> {
+        vec![TypeId(0); n]
+    }
+
+    struct Fixture {
+        storage: Storage,
+        catalog: Catalog,
+        q: PredId,
+        r: PredId,
+        p: PredId,
+    }
+
+    /// p(X,Z) ← q(X,Y) ∧ r(Y,Z): the running example of §4.3.
+    fn fixture() -> Fixture {
+        let mut storage = Storage::new();
+        let rq = storage.create_relation("q", 2).unwrap();
+        let rr = storage.create_relation("r", 2).unwrap();
+        storage.insert(rq, tuple![1, 1]).unwrap();
+        storage.insert(rr, tuple![1, 2]).unwrap();
+        storage.insert(rr, tuple![2, 3]).unwrap();
+
+        let mut catalog = Catalog::new();
+        let q = catalog.define_stored("q", sig(2), rq, 1).unwrap();
+        let r = catalog.define_stored("r", sig(2), rr, 1).unwrap();
+        let p = catalog
+            .define_derived(
+                "p",
+                sig(2),
+                vec![ClauseBuilder::new(3)
+                    .head([Term::var(0), Term::var(2)])
+                    .pred(q, [Term::var(0), Term::var(1)])
+                    .pred(r, [Term::var(1), Term::var(2)])
+                    .build()],
+            )
+            .unwrap();
+        Fixture {
+            storage,
+            catalog,
+            q,
+            r,
+            p,
+        }
+    }
+
+    #[test]
+    fn derived_evaluation() {
+        let f = fixture();
+        let deltas = DeltaMap::new();
+        let ctx = EvalContext::new(&f.storage, &f.catalog, &deltas);
+        let out = ctx.eval_pred(f.p, &[None, None], StateEpoch::New).unwrap();
+        assert_eq!(out, [tuple![1, 2]].into_iter().collect());
+    }
+
+    #[test]
+    fn bound_pattern_filters() {
+        let f = fixture();
+        let deltas = DeltaMap::new();
+        let ctx = EvalContext::new(&f.storage, &f.catalog, &deltas);
+        let out = ctx
+            .eval_pred(f.p, &[Some(Value::Int(1)), None], StateEpoch::New)
+            .unwrap();
+        assert_eq!(out.len(), 1);
+        let none = ctx
+            .eval_pred(f.p, &[Some(Value::Int(9)), None], StateEpoch::New)
+            .unwrap();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn old_state_evaluation_of_derived() {
+        let mut f = fixture();
+        let rq = f.catalog.def(f.q).stored_rel().unwrap();
+        f.storage.monitor(rq);
+        f.storage.begin().unwrap();
+        // Delete q(1,1): p becomes empty in the new state but p_old still
+        // derives (1,2).
+        f.storage.delete(rq, &tuple![1, 1]).unwrap();
+        let deltas = DeltaMap::new();
+        let ctx = EvalContext::new(&f.storage, &f.catalog, &deltas);
+        assert!(ctx.eval_pred(f.p, &[None, None], StateEpoch::New).unwrap().is_empty());
+        let old = ctx.eval_pred(f.p, &[None, None], StateEpoch::Old).unwrap();
+        assert_eq!(old, [tuple![1, 2]].into_iter().collect());
+    }
+
+    #[test]
+    fn delta_literal_seeds_differential() {
+        let mut f = fixture();
+        // Δp/Δ₊q ← Δ₊q(X,Y) ∧ r(Y,Z), emitting (X,Z).
+        let diff = ClauseBuilder::new(3)
+            .head([Term::var(0), Term::var(2)])
+            .delta(f.q, Polarity::Plus, [Term::var(0), Term::var(1)])
+            .pred(f.r, [Term::var(1), Term::var(2)])
+            .build();
+        let dp = f
+            .catalog
+            .define_derived("dp_dq", sig(2), vec![diff])
+            .unwrap();
+
+        let mut deltas = DeltaMap::new();
+        let mut d = DeltaSet::new();
+        d.apply_insert(tuple![1, 2]); // assert q(1,2)
+        deltas.insert(f.q, d);
+
+        let ctx = EvalContext::new(&f.storage, &f.catalog, &deltas);
+        let out = ctx.eval_pred(dp, &[None, None], StateEpoch::New).unwrap();
+        assert_eq!(out, [tuple![1, 3]].into_iter().collect());
+    }
+
+    #[test]
+    fn missing_delta_is_empty() {
+        let mut f = fixture();
+        let diff = ClauseBuilder::new(3)
+            .head([Term::var(0), Term::var(2)])
+            .delta(f.q, Polarity::Plus, [Term::var(0), Term::var(1)])
+            .pred(f.r, [Term::var(1), Term::var(2)])
+            .build();
+        let dp = f.catalog.define_derived("dp", sig(2), vec![diff]).unwrap();
+        let deltas = DeltaMap::new();
+        let ctx = EvalContext::new(&f.storage, &f.catalog, &deltas);
+        assert!(ctx.eval_pred(dp, &[None, None], StateEpoch::New).unwrap().is_empty());
+    }
+
+    #[test]
+    fn negation_and_builtins() {
+        let mut f = fixture();
+        // s(X) ← q(X,Y) ∧ ¬r(Y, Z2) … negation needs all bound; use
+        // s(X) ← q(X,Y) ∧ Y2 = Y + 1 ∧ ¬r(Y, Y2) ∧ Y < 10
+        let s = ClauseBuilder::new(3)
+            .head([Term::var(0)])
+            .pred(f.q, [Term::var(0), Term::var(1)])
+            .arith(Term::var(2), Term::var(1), ArithOp::Add, Term::val(1))
+            .not_pred(f.r, [Term::var(1), Term::var(2)])
+            .cmp(Term::var(1), CmpOp::Lt, Term::val(10))
+            .build();
+        let s = f.catalog.define_derived("s", sig(1), vec![s]).unwrap();
+        let deltas = DeltaMap::new();
+        let ctx = EvalContext::new(&f.storage, &f.catalog, &deltas);
+        // q(1,1), r(1,2) exists → ¬r(1,2) fails → empty.
+        assert!(ctx.eval_pred(s, &[None], StateEpoch::New).unwrap().is_empty());
+
+        // Remove r(1,2) → s(1) holds.
+        let rr = f.catalog.def(f.r).stored_rel().unwrap();
+        let mut storage = f.storage;
+        storage.delete(rr, &tuple![1, 2]).unwrap();
+        let ctx = EvalContext::new(&storage, &f.catalog, &deltas);
+        assert_eq!(
+            ctx.eval_pred(s, &[None], StateEpoch::New).unwrap(),
+            [tuple![1]].into_iter().collect()
+        );
+    }
+
+    #[test]
+    fn multi_clause_is_union() {
+        let mut f = fixture();
+        // u(X) ← q(X,_) ;  u(X) ← r(_,X)
+        let c1 = ClauseBuilder::new(2)
+            .head([Term::var(0)])
+            .pred(f.q, [Term::var(0), Term::var(1)])
+            .build();
+        let c2 = ClauseBuilder::new(2)
+            .head([Term::var(0)])
+            .pred(f.r, [Term::var(1), Term::var(0)])
+            .build();
+        let u = f.catalog.define_derived("u", sig(1), vec![c1, c2]).unwrap();
+        let deltas = DeltaMap::new();
+        let ctx = EvalContext::new(&f.storage, &f.catalog, &deltas);
+        let out = ctx.eval_pred(u, &[None], StateEpoch::New).unwrap();
+        assert_eq!(out, [tuple![1], tuple![2], tuple![3]].into_iter().collect());
+    }
+
+    #[test]
+    fn foreign_predicate() {
+        let mut f = fixture();
+        // double(X, Y): Y = 2*X for bound X.
+        let double = f
+            .catalog
+            .define_foreign(
+                "double",
+                sig(2),
+                Arc::new(|pattern: &[Option<Value>]| match &pattern[0] {
+                    Some(Value::Int(x)) => vec![vec![Value::Int(*x), Value::Int(2 * x)]],
+                    _ => vec![],
+                }),
+            )
+            .unwrap();
+        // t(X, D) ← q(X, Y) ∧ double(Y, D)
+        let t = ClauseBuilder::new(3)
+            .head([Term::var(0), Term::var(2)])
+            .pred(f.q, [Term::var(0), Term::var(1)])
+            .pred(double, [Term::var(1), Term::var(2)])
+            .build();
+        let t = f.catalog.define_derived("t", sig(2), vec![t]).unwrap();
+        let deltas = DeltaMap::new();
+        let ctx = EvalContext::new(&f.storage, &f.catalog, &deltas);
+        let out = ctx.eval_pred(t, &[None, None], StateEpoch::New).unwrap();
+        assert_eq!(out, [tuple![1, 2]].into_iter().collect());
+    }
+
+    #[test]
+    fn constants_in_head_and_args() {
+        let mut f = fixture();
+        // only1(Y) ← q(1, Y)
+        let c = ClauseBuilder::new(1)
+            .head([Term::var(0)])
+            .pred(f.q, [Term::val(1), Term::var(0)])
+            .build();
+        let only1 = f.catalog.define_derived("only1", sig(1), vec![c]).unwrap();
+        let deltas = DeltaMap::new();
+        let ctx = EvalContext::new(&f.storage, &f.catalog, &deltas);
+        let out = ctx.eval_pred(only1, &[None], StateEpoch::New).unwrap();
+        assert_eq!(out, [tuple![1]].into_iter().collect());
+    }
+
+    #[test]
+    fn repeated_head_vars_enforce_equality() {
+        let mut f = fixture();
+        // eq(X) ← q(X, X)
+        let c = ClauseBuilder::new(1)
+            .head([Term::var(0)])
+            .pred(f.q, [Term::var(0), Term::var(0)])
+            .build();
+        let eq = f.catalog.define_derived("eq", sig(1), vec![c]).unwrap();
+        let deltas = DeltaMap::new();
+        let ctx = EvalContext::new(&f.storage, &f.catalog, &deltas);
+        // q(1,1) matches; nothing else.
+        let out = ctx.eval_pred(eq, &[None], StateEpoch::New).unwrap();
+        assert_eq!(out, [tuple![1]].into_iter().collect());
+    }
+
+    #[test]
+    fn holds_shortcuts_stored_lookup() {
+        let f = fixture();
+        let deltas = DeltaMap::new();
+        let ctx = EvalContext::new(&f.storage, &f.catalog, &deltas);
+        assert!(ctx
+            .holds(f.q, &[Some(Value::Int(1)), Some(Value::Int(1))], StateEpoch::New)
+            .unwrap());
+        assert!(!ctx
+            .holds(f.q, &[Some(Value::Int(1)), Some(Value::Int(7))], StateEpoch::New)
+            .unwrap());
+    }
+}
+
+#[cfg(test)]
+mod recursion_tests {
+    use super::*;
+    use crate::catalog::Catalog;
+    use crate::clause::{ClauseBuilder, Term};
+    use amos_types::{tuple, TypeId};
+
+    fn sig(n: usize) -> Vec<TypeId> {
+        vec![TypeId(0); n]
+    }
+
+    /// reach(X,Y) ← edge(X,Y) ; reach(X,Y) ← reach(X,Z) ∧ edge(Z,Y)
+    fn reach_world(edges: &[(i64, i64)]) -> (Storage, Catalog, PredId) {
+        let mut storage = Storage::new();
+        let re = storage.create_relation("edge", 2).unwrap();
+        let mut catalog = Catalog::new();
+        let edge = catalog.define_stored("edge", sig(2), re, 1).unwrap();
+        let reach = catalog.define_derived("reach", sig(2), vec![]).unwrap();
+        catalog
+            .replace_clauses(
+                reach,
+                vec![
+                    ClauseBuilder::new(2)
+                        .head([Term::var(0), Term::var(1)])
+                        .pred(edge, [Term::var(0), Term::var(1)])
+                        .build(),
+                    ClauseBuilder::new(3)
+                        .head([Term::var(0), Term::var(2)])
+                        .pred(reach, [Term::var(0), Term::var(1)])
+                        .pred(edge, [Term::var(1), Term::var(2)])
+                        .build(),
+                ],
+            )
+            .unwrap();
+        for &(a, b) in edges {
+            storage.insert(re, tuple![a, b]).unwrap();
+        }
+        (storage, catalog, reach)
+    }
+
+    #[test]
+    fn transitive_closure_fixpoint() {
+        let (storage, catalog, reach) =
+            reach_world(&[(1, 2), (2, 3), (3, 4), (10, 11)]);
+        let deltas = DeltaMap::new();
+        let ctx = EvalContext::new(&storage, &catalog, &deltas);
+        let out = ctx.eval_pred(reach, &[None, None], StateEpoch::New).unwrap();
+        let expected: HashSet<Tuple> = [
+            tuple![1, 2],
+            tuple![1, 3],
+            tuple![1, 4],
+            tuple![2, 3],
+            tuple![2, 4],
+            tuple![3, 4],
+            tuple![10, 11],
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn cyclic_graph_terminates() {
+        let (storage, catalog, reach) = reach_world(&[(1, 2), (2, 3), (3, 1)]);
+        let deltas = DeltaMap::new();
+        let ctx = EvalContext::new(&storage, &catalog, &deltas);
+        let out = ctx.eval_pred(reach, &[None, None], StateEpoch::New).unwrap();
+        // Every pair in the 3-cycle reaches every node (incl. itself).
+        assert_eq!(out.len(), 9);
+        assert!(out.contains(&tuple![1, 1]));
+    }
+
+    #[test]
+    fn bound_pattern_filters_fixpoint() {
+        let (storage, catalog, reach) = reach_world(&[(1, 2), (2, 3), (5, 6)]);
+        let deltas = DeltaMap::new();
+        let ctx = EvalContext::new(&storage, &catalog, &deltas);
+        let from1 = ctx
+            .eval_pred(reach, &[Some(Value::Int(1)), None], StateEpoch::New)
+            .unwrap();
+        assert_eq!(from1, [tuple![1, 2], tuple![1, 3]].into_iter().collect());
+        assert!(ctx
+            .holds(reach, &[Some(Value::Int(1)), Some(Value::Int(3))], StateEpoch::New)
+            .unwrap());
+    }
+
+    #[test]
+    fn old_state_fixpoint_via_rollback() {
+        let (mut storage, catalog, reach) = reach_world(&[(1, 2)]);
+        let re = catalog.def(catalog.lookup("edge").unwrap()).stored_rel().unwrap();
+        storage.monitor(re);
+        storage.begin().unwrap();
+        storage.insert(re, tuple![2, 3]).unwrap();
+        let deltas = DeltaMap::new();
+        let ctx = EvalContext::new(&storage, &catalog, &deltas);
+        let new = ctx.eval_pred(reach, &[None, None], StateEpoch::New).unwrap();
+        assert!(new.contains(&tuple![1, 3]));
+        let old = ctx.eval_pred(reach, &[None, None], StateEpoch::Old).unwrap();
+        assert_eq!(old, [tuple![1, 2]].into_iter().collect());
+    }
+
+    #[test]
+    fn empty_graph_empty_fixpoint() {
+        let (storage, catalog, reach) = reach_world(&[]);
+        let deltas = DeltaMap::new();
+        let ctx = EvalContext::new(&storage, &catalog, &deltas);
+        assert!(ctx
+            .eval_pred(reach, &[None, None], StateEpoch::New)
+            .unwrap()
+            .is_empty());
+    }
+}

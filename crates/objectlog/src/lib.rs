@@ -1,0 +1,48 @@
+//! # amos-objectlog
+//!
+//! ObjectLog: the typed Datalog dialect AMOSQL compiles into (paper §3.2,
+//! and Litwin & Risch, IEEE TKDE 4(6) 1992).
+//!
+//! In AMOS, *stored functions* compile to facts (base relations) and
+//! *derived functions* compile to Horn clauses (derived relations).
+//! Rule conditions become derived predicates (`cnd_monitor_items`), and
+//! the rule compiler differentiates those predicates into partial
+//! differentials — which are themselves ObjectLog clauses whose bodies
+//! contain **Δ-literals** (reading a Δ-set instead of a relation) and
+//! literals annotated to evaluate in the **old** database state (logical
+//! rollback).
+//!
+//! This crate provides:
+//!
+//! * [`Catalog`] — predicate definitions: stored (backed by an
+//!   `amos_storage` relation), derived (a disjunction of [`Clause`]s),
+//!   or foreign (a Rust closure, the paper's Lisp/C foreign functions).
+//! * [`Clause`] / [`Literal`] / [`Term`] — Horn clauses with conjunctive
+//!   bodies over predicate literals (positive or negated, new-state or
+//!   old-state), Δ-literals, comparisons, arithmetic, and unification.
+//! * [`plan`] — compiled execution plans: a clause body ordered by a
+//!   greedy boundness/cost heuristic with index-backed probes (the
+//!   miniature Selinger-style optimizer the paper alludes to via \[22\]);
+//!   Δ-literals are forced to the front, implementing "the optimizer
+//!   assumes few changes to a single influent".
+//! * [`eval`] — the evaluation engine: goal-directed evaluation of any
+//!   predicate under a binding pattern, against new or old state, with
+//!   recursive handling of derived predicates and safe negation.
+//! * [`expand`] — inline expansion (flattening) of derived predicates,
+//!   the "AMOSQL compiler expands as many derived relations as possible"
+//!   behaviour, configurable to stop at named sub-functions for the §7.1
+//!   node-sharing (bushy network) experiments.
+
+pub mod catalog;
+pub mod clause;
+pub mod error;
+pub mod eval;
+pub mod expand;
+pub mod plan;
+
+pub use catalog::{Catalog, ForeignFn, PredDef, PredId, PredKind};
+pub use clause::{Clause, ClauseBuilder, Literal, Term, Var};
+pub use error::ObjectLogError;
+pub use eval::{DeltaMap, EvalContext};
+pub use expand::{expand_clause, expand_predicate, ExpandOptions};
+pub use plan::{compile_clause, ensure_plan_indexes, Plan, PlanStep};

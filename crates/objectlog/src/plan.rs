@@ -1,0 +1,536 @@
+//! Plan compilation: greedy literal reordering with index-backed probes.
+//!
+//! Each partial differential "is a relatively simple database query which
+//! is optimized using traditional query optimization techniques \[22\].
+//! The optimizer assumes few changes to a single influent." We implement
+//! that assumption directly in the cost model: Δ-literals cost nothing
+//! (their cardinality is assumed tiny) and are scheduled first, seeding
+//! the join; remaining literals are ordered greedily by boundness so
+//! every stored access becomes an index probe whenever possible.
+//!
+//! A [`Plan`] is compiled for a clause plus a *binding pattern* (which
+//! head columns the caller has bound) and is reusable across
+//! transactions — the rule compiler compiles every differential once at
+//! activation time.
+
+use std::collections::HashSet;
+
+use amos_storage::{Polarity, RelId, StateEpoch, Storage};
+use amos_types::{ArithOp, CmpOp};
+
+use crate::catalog::{Catalog, PredId, PredKind};
+use crate::clause::{Clause, Literal, Term, Var};
+use crate::error::ObjectLogError;
+
+/// One executable step of a compiled plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanStep {
+    /// Access a stored predicate: probe by `bound_cols` (empty = full
+    /// scan, all columns = membership check), binding the remaining
+    /// argument variables.
+    Stored {
+        /// Predicate (for diagnostics).
+        pred: PredId,
+        /// Backing relation.
+        rel: RelId,
+        /// Argument terms.
+        args: Vec<Term>,
+        /// Columns bound at this point in the plan.
+        bound_cols: Vec<usize>,
+        /// State epoch the literal must be evaluated in.
+        epoch: StateEpoch,
+    },
+    /// Scan one side of an influent's Δ-set.
+    Delta {
+        /// The influent predicate.
+        pred: PredId,
+        /// Which side of the Δ-set.
+        polarity: Polarity,
+        /// Argument terms.
+        args: Vec<Term>,
+    },
+    /// Goal-directed call of a derived (or foreign) predicate with the
+    /// currently bound argument positions as the pattern.
+    Call {
+        /// Callee.
+        pred: PredId,
+        /// Argument terms.
+        args: Vec<Term>,
+        /// Argument positions bound at call time.
+        bound_cols: Vec<usize>,
+        /// State epoch for the callee's evaluation.
+        epoch: StateEpoch,
+    },
+    /// Negation-as-failure check; all argument variables are bound.
+    NegCheck {
+        /// Negated predicate.
+        pred: PredId,
+        /// Argument terms (fully bound).
+        args: Vec<Term>,
+        /// State epoch.
+        epoch: StateEpoch,
+    },
+    /// Comparison test (operands bound).
+    Cmp {
+        /// Operator.
+        op: CmpOp,
+        /// Left operand.
+        lhs: Term,
+        /// Right operand.
+        rhs: Term,
+    },
+    /// Arithmetic: bind or test `result = lhs op rhs`.
+    Arith {
+        /// Operator.
+        op: ArithOp,
+        /// Result term.
+        result: Term,
+        /// Left operand (bound).
+        lhs: Term,
+        /// Right operand (bound).
+        rhs: Term,
+    },
+    /// Unification `lhs = rhs` (at least one side resolvable).
+    Unify {
+        /// Left term.
+        lhs: Term,
+        /// Right term.
+        rhs: Term,
+    },
+}
+
+/// A compiled, reusable execution plan for one clause under one binding
+/// pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    /// Ordered steps.
+    pub steps: Vec<PlanStep>,
+    /// The clause head (projection producing result tuples).
+    pub head: Vec<Term>,
+    /// Total variable count of the clause.
+    pub n_vars: u32,
+}
+
+/// Cost model constants — relative magnitudes are what matters.
+mod cost {
+    /// Δ-literal: assumed tiny ("few changes to a single influent").
+    pub const DELTA: f64 = 0.0;
+    /// Executable built-in (comparison/arith/unify): pure CPU.
+    pub const BUILTIN: f64 = 0.1;
+    /// Fully-bound negation check: one lookup.
+    pub const NEG_CHECK: f64 = 0.5;
+    /// Fully-bound positive literal: one membership lookup.
+    pub const LOOKUP: f64 = 1.0;
+    /// Partially-bound stored literal: one index probe.
+    pub const PROBE: f64 = 10.0;
+    /// Partially-bound derived call.
+    pub const DERIVED_PROBE: f64 = 50.0;
+    /// Unbound stored scan.
+    pub const SCAN: f64 = 10_000.0;
+    /// Unbound derived materialization.
+    pub const DERIVED_SCAN: f64 = 20_000.0;
+    /// Not executable yet.
+    pub const INF: f64 = f64::INFINITY;
+}
+
+fn term_bound(t: &Term, bound: &HashSet<Var>) -> bool {
+    match t {
+        Term::Const(_) => true,
+        Term::Var(v) => bound.contains(v),
+    }
+}
+
+fn literal_cost(catalog: &Catalog, lit: &Literal, bound: &HashSet<Var>) -> f64 {
+    match lit {
+        Literal::Delta { .. } => cost::DELTA,
+        Literal::Cmp { lhs, rhs, .. } => {
+            if term_bound(lhs, bound) && term_bound(rhs, bound) {
+                cost::BUILTIN
+            } else {
+                cost::INF
+            }
+        }
+        Literal::Arith {
+            result, lhs, rhs, ..
+        } => {
+            if term_bound(lhs, bound) && term_bound(rhs, bound) {
+                // result may bind or test; both are fine
+                let _ = result;
+                cost::BUILTIN
+            } else {
+                cost::INF
+            }
+        }
+        Literal::Unify { lhs, rhs } => {
+            if term_bound(lhs, bound) || term_bound(rhs, bound) {
+                cost::BUILTIN
+            } else {
+                cost::INF
+            }
+        }
+        Literal::Pred {
+            pred,
+            args,
+            negated,
+            ..
+        } => {
+            let n_bound = args.iter().filter(|t| term_bound(t, bound)).count();
+            let all_bound = n_bound == args.len();
+            if *negated {
+                return if all_bound { cost::NEG_CHECK } else { cost::INF };
+            }
+            let derived = !matches!(catalog.def(*pred).kind, PredKind::Stored { .. });
+            match (all_bound, n_bound > 0, derived) {
+                (true, _, _) => cost::LOOKUP,
+                (false, true, false) => cost::PROBE,
+                (false, true, true) => cost::DERIVED_PROBE,
+                (false, false, false) => cost::SCAN,
+                (false, false, true) => cost::DERIVED_SCAN,
+            }
+        }
+    }
+}
+
+/// Compile a clause into a [`Plan`], given the set of head variables the
+/// caller binds. Greedy: repeatedly schedule the cheapest executable
+/// literal; ties break toward textual order.
+pub fn compile_clause(
+    catalog: &Catalog,
+    clause: &Clause,
+    bound_at_entry: &HashSet<Var>,
+) -> Result<Plan, ObjectLogError> {
+    let mut bound = bound_at_entry.clone();
+    let mut remaining: Vec<&Literal> = clause.body.iter().collect();
+    let mut steps = Vec::with_capacity(remaining.len());
+
+    while !remaining.is_empty() {
+        let (best_idx, best_cost) = remaining
+            .iter()
+            .enumerate()
+            .map(|(i, lit)| (i, literal_cost(catalog, lit, &bound)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("costs are never NaN"))
+            .expect("remaining is non-empty");
+        if best_cost.is_infinite() {
+            return Err(ObjectLogError::NotSchedulable {
+                literal: format!("{:?}", remaining[best_idx]),
+            });
+        }
+        let lit = remaining.remove(best_idx);
+        let step = lower(catalog, lit, &bound)?;
+        // Update boundness.
+        match lit {
+            Literal::Pred { negated: false, .. } | Literal::Delta { .. } => {
+                for v in lit.vars() {
+                    bound.insert(v);
+                }
+            }
+            Literal::Arith { result, .. } => {
+                if let Some(v) = result.as_var() {
+                    bound.insert(v);
+                }
+            }
+            Literal::Unify { lhs, rhs } => {
+                if let Some(v) = lhs.as_var() {
+                    bound.insert(v);
+                }
+                if let Some(v) = rhs.as_var() {
+                    bound.insert(v);
+                }
+            }
+            _ => {}
+        }
+        steps.push(step);
+    }
+
+    Ok(Plan {
+        steps,
+        head: clause.head.clone(),
+        n_vars: clause.n_vars,
+    })
+}
+
+fn lower(
+    catalog: &Catalog,
+    lit: &Literal,
+    bound: &HashSet<Var>,
+) -> Result<PlanStep, ObjectLogError> {
+    Ok(match lit {
+        Literal::Delta {
+            pred,
+            polarity,
+            args,
+        } => PlanStep::Delta {
+            pred: *pred,
+            polarity: *polarity,
+            args: args.clone(),
+        },
+        Literal::Cmp { op, lhs, rhs } => PlanStep::Cmp {
+            op: *op,
+            lhs: lhs.clone(),
+            rhs: rhs.clone(),
+        },
+        Literal::Arith {
+            op,
+            result,
+            lhs,
+            rhs,
+        } => PlanStep::Arith {
+            op: *op,
+            result: result.clone(),
+            lhs: lhs.clone(),
+            rhs: rhs.clone(),
+        },
+        Literal::Unify { lhs, rhs } => PlanStep::Unify {
+            lhs: lhs.clone(),
+            rhs: rhs.clone(),
+        },
+        Literal::Pred {
+            pred,
+            args,
+            negated,
+            epoch,
+        } => {
+            let def = catalog.def(*pred);
+            if args.len() != def.arity {
+                return Err(ObjectLogError::LiteralArityMismatch {
+                    pred: def.name.clone(),
+                    expected: def.arity,
+                    found: args.len(),
+                });
+            }
+            let bound_cols: Vec<usize> = args
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| term_bound(t, bound))
+                .map(|(i, _)| i)
+                .collect();
+            if *negated {
+                PlanStep::NegCheck {
+                    pred: *pred,
+                    args: args.clone(),
+                    epoch: *epoch,
+                }
+            } else if let PredKind::Stored { rel, .. } = def.kind {
+                PlanStep::Stored {
+                    pred: *pred,
+                    rel,
+                    args: args.clone(),
+                    bound_cols,
+                    epoch: *epoch,
+                }
+            } else {
+                PlanStep::Call {
+                    pred: *pred,
+                    args: args.clone(),
+                    bound_cols,
+                    epoch: *epoch,
+                }
+            }
+        }
+    })
+}
+
+/// Create the hash indexes a plan's stored probes need. Called once per
+/// plan at rule-activation time.
+pub fn ensure_plan_indexes(plan: &Plan, storage: &mut Storage) {
+    for step in &plan.steps {
+        if let PlanStep::Stored {
+            rel,
+            bound_cols,
+            args,
+            ..
+        } = step
+        {
+            // Probe (not scan, not full membership check) → index needed.
+            if !bound_cols.is_empty() && bound_cols.len() < args.len() {
+                storage.ensure_index(*rel, bound_cols);
+            }
+        }
+    }
+}
+
+impl Plan {
+    /// Human-readable plan rendering, for tests and `explain`.
+    pub fn render(&self, catalog: &Catalog) -> String {
+        let mut out = String::new();
+        for (i, step) in self.steps.iter().enumerate() {
+            let line = match step {
+                PlanStep::Stored {
+                    pred,
+                    bound_cols,
+                    args,
+                    epoch,
+                    ..
+                } => {
+                    let access = if bound_cols.len() == args.len() {
+                        "lookup"
+                    } else if bound_cols.is_empty() {
+                        "scan"
+                    } else {
+                        "probe"
+                    };
+                    format!(
+                        "{access} {}{}{:?}",
+                        catalog.name(*pred),
+                        if *epoch == StateEpoch::Old { "_old" } else { "" },
+                        bound_cols
+                    )
+                }
+                PlanStep::Delta {
+                    pred, polarity, ..
+                } => format!("delta-scan {polarity}{}", catalog.name(*pred)),
+                PlanStep::Call {
+                    pred, bound_cols, epoch, ..
+                } => format!(
+                    "call {}{}{:?}",
+                    catalog.name(*pred),
+                    if *epoch == StateEpoch::Old { "_old" } else { "" },
+                    bound_cols
+                ),
+                PlanStep::NegCheck { pred, epoch, .. } => format!(
+                    "neg-check {}{}",
+                    catalog.name(*pred),
+                    if *epoch == StateEpoch::Old { "_old" } else { "" }
+                ),
+                PlanStep::Cmp { op, lhs, rhs } => format!("test {lhs} {op} {rhs}"),
+                PlanStep::Arith {
+                    op,
+                    result,
+                    lhs,
+                    rhs,
+                } => format!("compute {result} = {lhs} {op} {rhs}"),
+                PlanStep::Unify { lhs, rhs } => format!("unify {lhs} = {rhs}"),
+            };
+            out.push_str(&format!("{i}: {line}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clause::ClauseBuilder;
+    use amos_types::TypeId;
+
+    fn sig(n: usize) -> Vec<TypeId> {
+        vec![TypeId(0); n]
+    }
+
+    /// Build the flat cnd_monitor_items clause of §4.3 and check the plan
+    /// seeded by Δ₊quantity orders probes after the delta scan.
+    #[test]
+    fn differential_plan_is_delta_seeded() {
+        let mut cat = Catalog::new();
+        let quantity = cat.define_stored("quantity", sig(2), RelId(0), 1).unwrap();
+        let consume = cat.define_stored("consume_freq", sig(2), RelId(1), 1).unwrap();
+        let delivery = cat
+            .define_stored("delivery_time", sig(3), RelId(2), 2)
+            .unwrap();
+        let supplies = cat.define_stored("supplies", sig(2), RelId(3), 1).unwrap();
+        let min_stock = cat.define_stored("min_stock", sig(2), RelId(4), 1).unwrap();
+
+        // Δcnd/Δ₊quantity(I) ← Δ₊quantity(I,G1) ∧ consume_freq(I,G2) ∧
+        //   delivery_time(I,G3,G4) ∧ supplies(I,G3) ∧ G5=G2*G4 ∧
+        //   min_stock(I,G6) ∧ G7=G5+G6 ∧ G1<G7
+        let clause = ClauseBuilder::new(8)
+            .head([Term::var(0)])
+            .delta(quantity, Polarity::Plus, [Term::var(0), Term::var(1)])
+            .pred(consume, [Term::var(0), Term::var(2)])
+            .pred(delivery, [Term::var(0), Term::var(3), Term::var(4)])
+            .pred(supplies, [Term::var(0), Term::var(3)])
+            .arith(Term::var(5), Term::var(2), ArithOp::Mul, Term::var(4))
+            .pred(min_stock, [Term::var(0), Term::var(6)])
+            .arith(Term::var(7), Term::var(5), ArithOp::Add, Term::var(6))
+            .cmp(Term::var(1), CmpOp::Lt, Term::var(7))
+            .build();
+
+        let plan = compile_clause(&cat, &clause, &HashSet::new()).unwrap();
+        assert!(matches!(plan.steps[0], PlanStep::Delta { .. }));
+        // Everything after the seed is a probe/lookup or builtin — no scans.
+        for step in &plan.steps[1..] {
+            if let PlanStep::Stored {
+                bound_cols, args, ..
+            } = step
+            {
+                assert!(
+                    !bound_cols.is_empty(),
+                    "stored access must be at least a probe: {step:?}"
+                );
+                let _ = args;
+            }
+        }
+        let rendered = plan.render(&cat);
+        assert!(rendered.contains("delta-scan Δ+quantity"), "{rendered}");
+    }
+
+    #[test]
+    fn builtins_deferred_until_bound() {
+        let mut cat = Catalog::new();
+        let q = cat.define_stored("q", sig(2), RelId(0), 1).unwrap();
+        // head(X,Z) ← Z = X + 1 ∧ q(X, Y) — arith listed first but must
+        // be scheduled after q binds X.
+        let clause = ClauseBuilder::new(3)
+            .head([Term::var(0), Term::var(2)])
+            .arith(Term::var(2), Term::var(0), ArithOp::Add, Term::val(1))
+            .pred(q, [Term::var(0), Term::var(1)])
+            .build();
+        let plan = compile_clause(&cat, &clause, &HashSet::new()).unwrap();
+        assert!(matches!(plan.steps[0], PlanStep::Stored { .. }));
+        assert!(matches!(plan.steps[1], PlanStep::Arith { .. }));
+    }
+
+    #[test]
+    fn unschedulable_detected() {
+        let cat = Catalog::new();
+        // Z = X + 1 with X never bindable.
+        let clause = ClauseBuilder::new(2)
+            .head([Term::var(1)])
+            .arith(Term::var(1), Term::var(0), ArithOp::Add, Term::val(1))
+            .build();
+        assert!(matches!(
+            compile_clause(&cat, &clause, &HashSet::new()),
+            Err(ObjectLogError::NotSchedulable { .. })
+        ));
+    }
+
+    #[test]
+    fn bound_head_turns_scan_into_probe() {
+        let mut cat = Catalog::new();
+        let q = cat.define_stored("q", sig(2), RelId(0), 1).unwrap();
+        let clause = ClauseBuilder::new(2)
+            .head([Term::var(0), Term::var(1)])
+            .pred(q, [Term::var(0), Term::var(1)])
+            .build();
+        // Unbound: scan.
+        let p1 = compile_clause(&cat, &clause, &HashSet::new()).unwrap();
+        match &p1.steps[0] {
+            PlanStep::Stored { bound_cols, .. } => assert!(bound_cols.is_empty()),
+            other => panic!("{other:?}"),
+        }
+        // First head var bound: probe on column 0.
+        let mut bound = HashSet::new();
+        bound.insert(Var(0));
+        let p2 = compile_clause(&cat, &clause, &bound).unwrap();
+        match &p2.steps[0] {
+            PlanStep::Stored { bound_cols, .. } => assert_eq!(bound_cols, &vec![0]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn ensure_indexes_creates_probe_indexes() {
+        let mut storage = Storage::new();
+        let rel = storage.create_relation("q", 2).unwrap();
+        let mut cat = Catalog::new();
+        let q = cat.define_stored("q", sig(2), rel, 1).unwrap();
+        let clause = ClauseBuilder::new(3)
+            .head([Term::var(0)])
+            .delta(q, Polarity::Plus, [Term::var(0), Term::var(1)])
+            .pred(q, [Term::var(0), Term::var(2)])
+            .build();
+        let plan = compile_clause(&cat, &clause, &HashSet::new()).unwrap();
+        ensure_plan_indexes(&plan, &mut storage);
+        assert!(storage.relation(rel).has_index(&[0]));
+    }
+}

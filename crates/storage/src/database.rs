@@ -1,0 +1,447 @@
+//! The storage database: base relations + transactions + monitored
+//! Δ-set accumulation.
+//!
+//! The paper (§4.1): "During database transactions, before these physical
+//! update events are written to the log, a check is made if a stored base
+//! relation was updated that might change the truth value of some
+//! activated rule condition. If so, the physical events are accumulated
+//! in a Δ-set … Only those functions that are influents of some rule
+//! condition need Δ-sets." — i.e. *no overhead on operations that do not
+//! affect any rule*.
+//!
+//! [`Storage`] implements exactly that contract: relations are marked
+//! monitored when a rule depending on them is activated; only then do
+//! updates pay the Δ-set accumulation cost. The rule layer reads the
+//! accumulated Δ-sets at the deferred check phase and clears them.
+
+use std::collections::{HashMap, HashSet};
+
+use amos_types::{Oid, OidGenerator, Tuple, Value};
+
+use crate::delta::DeltaSet;
+use crate::error::StorageError;
+use crate::log::{LogOp, UpdateLog};
+use crate::oldstate::OldStateView;
+use crate::relation::BaseRelation;
+
+/// Identifier of a base relation within a [`Storage`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RelId(pub u32);
+
+/// The database of base relations.
+#[derive(Debug, Default)]
+pub struct Storage {
+    relations: Vec<BaseRelation>,
+    by_name: HashMap<String, RelId>,
+    /// Relations that are influents of some activated rule condition.
+    monitored: HashSet<RelId>,
+    /// Accumulated logical events for monitored relations, keyed by
+    /// relation. Present only while non-empty.
+    deltas: HashMap<RelId, DeltaSet>,
+    log: UpdateLog,
+    txn_open: bool,
+    oids: OidGenerator,
+}
+
+impl Storage {
+    /// An empty database.
+    pub fn new() -> Self {
+        Storage {
+            oids: OidGenerator::new(),
+            ..Storage::default()
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Schema
+    // ------------------------------------------------------------------
+
+    /// Register a new base relation.
+    pub fn create_relation(
+        &mut self,
+        name: impl Into<String>,
+        arity: usize,
+    ) -> Result<RelId, StorageError> {
+        let name = name.into();
+        if self.by_name.contains_key(&name) {
+            return Err(StorageError::DuplicateRelation(name));
+        }
+        let id = RelId(self.relations.len() as u32);
+        self.relations.push(BaseRelation::new(name.clone(), arity));
+        self.by_name.insert(name, id);
+        Ok(id)
+    }
+
+    /// Look up a relation id by name.
+    pub fn relation_id(&self, name: &str) -> Result<RelId, StorageError> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| StorageError::UnknownRelation(name.to_string()))
+    }
+
+    /// Immutable access to a relation.
+    pub fn relation(&self, id: RelId) -> &BaseRelation {
+        &self.relations[id.0 as usize]
+    }
+
+    /// Ensure an index on a relation (done by the plan compiler at rule
+    /// activation time).
+    pub fn ensure_index(&mut self, id: RelId, cols: &[usize]) {
+        self.relations[id.0 as usize].ensure_index(cols);
+    }
+
+    /// Allocate a fresh surrogate object id.
+    pub fn fresh_oid(&mut self) -> Oid {
+        self.oids.fresh()
+    }
+
+    /// All relation ids, in creation order.
+    pub fn relation_ids(&self) -> impl Iterator<Item = RelId> {
+        (0..self.relations.len() as u32).map(RelId)
+    }
+
+    // ------------------------------------------------------------------
+    // Monitoring
+    // ------------------------------------------------------------------
+
+    /// Mark a relation as an influent of some activated rule: its updates
+    /// will accumulate a Δ-set from now on.
+    pub fn monitor(&mut self, id: RelId) {
+        self.monitored.insert(id);
+    }
+
+    /// Stop monitoring a relation (last depending rule deactivated).
+    pub fn unmonitor(&mut self, id: RelId) {
+        self.monitored.remove(&id);
+        self.deltas.remove(&id);
+    }
+
+    /// Whether the relation is currently monitored.
+    pub fn is_monitored(&self, id: RelId) -> bool {
+        self.monitored.contains(&id)
+    }
+
+    /// The accumulated Δ-set of a monitored relation (empty if none).
+    pub fn delta(&self, id: RelId) -> Option<&DeltaSet> {
+        self.deltas.get(&id)
+    }
+
+    /// All relations with non-empty Δ-sets.
+    pub fn changed_relations(&self) -> Vec<RelId> {
+        let mut v: Vec<RelId> = self
+            .deltas
+            .iter()
+            .filter(|(_, d)| !d.is_empty())
+            .map(|(id, _)| *id)
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Whether any monitored relation changed in this transaction.
+    pub fn has_changes(&self) -> bool {
+        self.deltas.values().any(|d| !d.is_empty())
+    }
+
+    /// Clear all accumulated Δ-sets (end of check phase).
+    pub fn clear_deltas(&mut self) {
+        self.deltas.clear();
+    }
+
+    /// An [`OldStateView`] of a relation for the current transaction.
+    ///
+    /// For unmonitored relations no Δ-set exists, so an empty delta is
+    /// used — correct only when the caller knows the relation was not
+    /// updated, which holds for every influent of an activated rule
+    /// (those are always monitored).
+    pub fn old_view(&self, id: RelId) -> OldStateView<'_> {
+        static EMPTY: std::sync::OnceLock<DeltaSet> = std::sync::OnceLock::new();
+        let delta = self
+            .deltas
+            .get(&id)
+            .unwrap_or_else(|| EMPTY.get_or_init(DeltaSet::new));
+        OldStateView::new(self.relation(id), delta)
+    }
+
+    // ------------------------------------------------------------------
+    // Updates
+    // ------------------------------------------------------------------
+
+    fn record(&mut self, id: RelId, op: LogOp, tuple: Tuple) {
+        if self.monitored.contains(&id) {
+            let d = self.deltas.entry(id).or_default();
+            match op {
+                LogOp::Insert => d.apply_insert(tuple.clone()),
+                LogOp::Delete => d.apply_delete(tuple.clone()),
+            }
+        }
+        self.log.push(id, op, tuple);
+    }
+
+    /// Insert a tuple; returns `true` iff the database changed.
+    pub fn insert(&mut self, id: RelId, tuple: Tuple) -> Result<bool, StorageError> {
+        let rel = &mut self.relations[id.0 as usize];
+        if tuple.arity() != rel.arity() {
+            return Err(StorageError::ArityMismatch {
+                relation: rel.name().to_string(),
+                expected: rel.arity(),
+                found: tuple.arity(),
+            });
+        }
+        if rel.insert(tuple.clone()) {
+            self.record(id, LogOp::Insert, tuple);
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Delete a tuple; returns `true` iff the database changed.
+    pub fn delete(&mut self, id: RelId, tuple: &Tuple) -> Result<bool, StorageError> {
+        let rel = &mut self.relations[id.0 as usize];
+        if rel.delete(tuple) {
+            self.record(id, LogOp::Delete, tuple.clone());
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Functional update for stored functions: `set f(key…) = rest…`.
+    ///
+    /// Removes any existing tuples whose first `key.len()` columns equal
+    /// `key`, then inserts `key ++ rest` — producing exactly the
+    /// `−(f,k,old), +(f,k,new)` physical event sequence of §4.1.
+    pub fn set_functional(
+        &mut self,
+        id: RelId,
+        key: &[Value],
+        rest: &[Value],
+    ) -> Result<(), StorageError> {
+        let key_cols: Vec<usize> = (0..key.len()).collect();
+        let old: Vec<Tuple> = self
+            .relation(id)
+            .probe(&key_cols, key)
+            .into_iter()
+            .cloned()
+            .collect();
+        for t in old {
+            self.delete(id, &t)?;
+        }
+        let mut vals = key.to_vec();
+        vals.extend_from_slice(rest);
+        self.insert(id, Tuple::new(vals))?;
+        Ok(())
+    }
+
+    /// Multi-valued add for stored functions: `add f(key…) = rest…`.
+    pub fn add_functional(
+        &mut self,
+        id: RelId,
+        key: &[Value],
+        rest: &[Value],
+    ) -> Result<bool, StorageError> {
+        let mut vals = key.to_vec();
+        vals.extend_from_slice(rest);
+        self.insert(id, Tuple::new(vals))
+    }
+
+    /// Multi-valued remove for stored functions: `remove f(key…) = rest…`.
+    pub fn remove_functional(
+        &mut self,
+        id: RelId,
+        key: &[Value],
+        rest: &[Value],
+    ) -> Result<bool, StorageError> {
+        let mut vals = key.to_vec();
+        vals.extend_from_slice(rest);
+        self.delete(id, &Tuple::new(vals))
+    }
+
+    // ------------------------------------------------------------------
+    // Transactions
+    // ------------------------------------------------------------------
+
+    /// Open a transaction.
+    pub fn begin(&mut self) -> Result<(), StorageError> {
+        if self.txn_open {
+            return Err(StorageError::TransactionAlreadyOpen);
+        }
+        // Updates outside a transaction autocommit; their events are not
+        // part of the new transaction's undo scope or Δ-sets.
+        self.log.clear();
+        self.clear_deltas();
+        self.txn_open = true;
+        Ok(())
+    }
+
+    /// Whether a transaction is open.
+    pub fn in_transaction(&self) -> bool {
+        self.txn_open
+    }
+
+    /// Commit: discard the undo log and Δ-sets. The *rule check phase*
+    /// must run before this (the engine layer orchestrates it).
+    pub fn commit(&mut self) -> Result<(), StorageError> {
+        if !self.txn_open {
+            return Err(StorageError::NoOpenTransaction);
+        }
+        self.log.clear();
+        self.clear_deltas();
+        self.txn_open = false;
+        Ok(())
+    }
+
+    /// Roll back: undo all physical events in reverse order, restoring
+    /// the pre-transaction state, and discard Δ-sets.
+    pub fn rollback(&mut self) -> Result<(), StorageError> {
+        if !self.txn_open {
+            return Err(StorageError::NoOpenTransaction);
+        }
+        let records: Vec<_> = self.log.drain_for_undo().collect();
+        for rec in records {
+            let rel = &mut self.relations[rec.rel.0 as usize];
+            match rec.op {
+                LogOp::Insert => {
+                    rel.delete(&rec.tuple);
+                }
+                LogOp::Delete => {
+                    rel.insert(rec.tuple);
+                }
+            }
+        }
+        self.clear_deltas();
+        self.txn_open = false;
+        Ok(())
+    }
+
+    /// The current undo log (introspection / tests).
+    pub fn log(&self) -> &UpdateLog {
+        &self.log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amos_types::tuple;
+
+    fn db_with_rel() -> (Storage, RelId) {
+        let mut db = Storage::new();
+        let q = db.create_relation("q", 2).unwrap();
+        (db, q)
+    }
+
+    #[test]
+    fn unmonitored_updates_accumulate_no_delta() {
+        let (mut db, q) = db_with_rel();
+        db.begin().unwrap();
+        db.insert(q, tuple![1, 2]).unwrap();
+        assert!(db.delta(q).is_none(), "no Δ-set overhead without monitoring");
+        assert!(!db.has_changes());
+    }
+
+    #[test]
+    fn monitored_updates_accumulate_net_delta() {
+        let (mut db, q) = db_with_rel();
+        db.monitor(q);
+        db.begin().unwrap();
+        db.insert(q, tuple![1, 2]).unwrap();
+        db.delete(q, &tuple![1, 2]).unwrap();
+        assert!(db.delta(q).unwrap().is_empty(), "net effect is zero");
+        db.insert(q, tuple![3, 4]).unwrap();
+        assert_eq!(db.delta(q).unwrap().plus().len(), 1);
+        assert_eq!(db.changed_relations(), vec![q]);
+    }
+
+    #[test]
+    fn set_functional_produces_delete_then_insert() {
+        let (mut db, q) = db_with_rel();
+        db.monitor(q);
+        db.begin().unwrap();
+        db.insert(q, tuple![1, 100]).unwrap();
+        db.commit().unwrap();
+
+        db.begin().unwrap();
+        db.set_functional(q, &[Value::Int(1)], &[Value::Int(150)]).unwrap();
+        let d = db.delta(q).unwrap();
+        assert!(d.plus().contains(&tuple![1, 150]));
+        assert!(d.minus().contains(&tuple![1, 100]));
+        // restore → no net effect (the §4.1 example at database level)
+        db.set_functional(q, &[Value::Int(1)], &[Value::Int(100)]).unwrap();
+        assert!(db.delta(q).unwrap().is_empty());
+    }
+
+    #[test]
+    fn rollback_restores_state() {
+        let (mut db, q) = db_with_rel();
+        db.begin().unwrap();
+        db.insert(q, tuple![1, 2]).unwrap();
+        db.commit().unwrap();
+
+        db.begin().unwrap();
+        db.insert(q, tuple![3, 4]).unwrap();
+        db.delete(q, &tuple![1, 2]).unwrap();
+        db.rollback().unwrap();
+        assert!(db.relation(q).contains(&tuple![1, 2]));
+        assert!(!db.relation(q).contains(&tuple![3, 4]));
+        assert_eq!(db.relation(q).len(), 1);
+    }
+
+    #[test]
+    fn old_view_reflects_pre_transaction_state() {
+        let (mut db, q) = db_with_rel();
+        db.monitor(q);
+        db.begin().unwrap();
+        db.insert(q, tuple![1, 2]).unwrap();
+        db.commit().unwrap();
+
+        db.begin().unwrap();
+        db.set_functional(q, &[Value::Int(1)], &[Value::Int(9)]).unwrap();
+        let old = db.old_view(q);
+        assert!(old.contains(&tuple![1, 2]));
+        assert!(!old.contains(&tuple![1, 9]));
+        assert!(db.relation(q).contains(&tuple![1, 9]));
+    }
+
+    #[test]
+    fn transaction_state_errors() {
+        let (mut db, _) = db_with_rel();
+        assert_eq!(db.commit(), Err(StorageError::NoOpenTransaction));
+        db.begin().unwrap();
+        assert_eq!(db.begin(), Err(StorageError::TransactionAlreadyOpen));
+        db.commit().unwrap();
+        assert_eq!(db.rollback(), Err(StorageError::NoOpenTransaction));
+    }
+
+    #[test]
+    fn duplicate_relation_rejected() {
+        let (mut db, _) = db_with_rel();
+        assert!(matches!(
+            db.create_relation("q", 2),
+            Err(StorageError::DuplicateRelation(_))
+        ));
+    }
+
+    #[test]
+    fn arity_mismatch_reported() {
+        let (mut db, q) = db_with_rel();
+        db.begin().unwrap();
+        assert!(matches!(
+            db.insert(q, tuple![1]),
+            Err(StorageError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn unmonitor_drops_delta() {
+        let (mut db, q) = db_with_rel();
+        db.monitor(q);
+        db.begin().unwrap();
+        db.insert(q, tuple![1, 2]).unwrap();
+        assert!(db.has_changes());
+        db.unmonitor(q);
+        assert!(!db.has_changes());
+    }
+}

@@ -1,0 +1,306 @@
+//! Δ-sets and the delta-union operator `∪Δ` (paper §4.1, §4.5).
+//!
+//! A Δ-set is a **disjoint** pair `<Δ₊S, Δ₋S>` of the tuples added to and
+//! removed from a set `S` over a period of time (here: since the start of
+//! the current transaction, or since the start of a propagation step for
+//! derived relations).
+//!
+//! Physical update events fold into a Δ-set so that only *logical* (net)
+//! events remain: inserting a tuple that is pending deletion cancels the
+//! deletion instead of recording an insertion, and vice versa. The §4.1
+//! `min_stock` double-update example therefore folds to the empty Δ-set —
+//! see the `min_stock_example_has_no_net_effect` unit test.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use amos_types::Tuple;
+
+/// Whether a change, Δ-set side, or differential concerns insertions
+/// (`Δ₊`) or deletions (`Δ₋`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Polarity {
+    /// Insertions (`Δ₊`).
+    Plus,
+    /// Deletions (`Δ₋`).
+    Minus,
+}
+
+impl Polarity {
+    /// The opposite polarity — deletions from `R` *insert* into `Q − R`.
+    pub fn flipped(self) -> Polarity {
+        match self {
+            Polarity::Plus => Polarity::Minus,
+            Polarity::Minus => Polarity::Plus,
+        }
+    }
+}
+
+impl fmt::Display for Polarity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Polarity::Plus => write!(f, "Δ+"),
+            Polarity::Minus => write!(f, "Δ-"),
+        }
+    }
+}
+
+/// A disjoint pair of inserted (`Δ₊`) and deleted (`Δ₋`) tuples.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeltaSet {
+    plus: HashSet<Tuple>,
+    minus: HashSet<Tuple>,
+}
+
+impl DeltaSet {
+    /// The empty Δ-set.
+    pub fn new() -> Self {
+        DeltaSet::default()
+    }
+
+    /// Build from explicit plus/minus sets.
+    ///
+    /// # Panics
+    /// Panics if the two sets are not disjoint — the disjointness
+    /// invariant is what makes `∪Δ` and logical rollback correct.
+    pub fn from_parts(plus: HashSet<Tuple>, minus: HashSet<Tuple>) -> Self {
+        assert!(
+            plus.is_disjoint(&minus),
+            "Δ-set invariant violated: Δ₊ ∩ Δ₋ ≠ ∅"
+        );
+        DeltaSet { plus, minus }
+    }
+
+    /// The set of inserted tuples `Δ₊S`.
+    pub fn plus(&self) -> &HashSet<Tuple> {
+        &self.plus
+    }
+
+    /// The set of deleted tuples `Δ₋S`.
+    pub fn minus(&self) -> &HashSet<Tuple> {
+        &self.minus
+    }
+
+    /// The side selected by `polarity`.
+    pub fn side(&self, polarity: Polarity) -> &HashSet<Tuple> {
+        match polarity {
+            Polarity::Plus => &self.plus,
+            Polarity::Minus => &self.minus,
+        }
+    }
+
+    /// True when there is no net change.
+    pub fn is_empty(&self) -> bool {
+        self.plus.is_empty() && self.minus.is_empty()
+    }
+
+    /// Total number of net changes (`|Δ₊| + |Δ₋|`).
+    pub fn len(&self) -> usize {
+        self.plus.len() + self.minus.len()
+    }
+
+    /// Fold a physical *insert* event into the Δ-set.
+    ///
+    /// If the tuple is pending deletion the two events cancel (a logical
+    /// no-op); otherwise it becomes a pending insertion.
+    pub fn apply_insert(&mut self, t: Tuple) {
+        if !self.minus.remove(&t) {
+            self.plus.insert(t);
+        }
+    }
+
+    /// Fold a physical *delete* event into the Δ-set.
+    pub fn apply_delete(&mut self, t: Tuple) {
+        if !self.plus.remove(&t) {
+            self.minus.insert(t);
+        }
+    }
+
+    /// Record an insertion coming from a partial differential during
+    /// propagation. Unlike [`apply_insert`](Self::apply_insert) this is
+    /// the `∪Δ` single-tuple case: the paper accumulates differential
+    /// results with `∪Δ`, performed in the order the changes occurred.
+    pub fn delta_union_insert(&mut self, t: Tuple) {
+        self.apply_insert(t);
+    }
+
+    /// Record a deletion coming from a partial differential (single-tuple
+    /// `∪Δ`).
+    pub fn delta_union_delete(&mut self, t: Tuple) {
+        self.apply_delete(t);
+    }
+
+    /// The delta-union `self ∪Δ other`, with `other` the *later* change
+    /// (the operator is not commutative under set semantics — §7.2).
+    ///
+    /// Defined in §4.1/§4.5 as
+    /// `<(Δ₊₁ − Δ₋₂) ∪ (Δ₊₂ − Δ₋₁), (Δ₋₁ − Δ₊₂) ∪ (Δ₋₂ − Δ₊₁)>`.
+    ///
+    /// ```
+    /// use amos_storage::DeltaSet;
+    /// use amos_types::tuple;
+    /// let mut d1 = DeltaSet::new();
+    /// d1.apply_insert(tuple![1]);
+    /// let mut d2 = DeltaSet::new();
+    /// d2.apply_delete(tuple![1]); // later deletion cancels the insert
+    /// assert!(d1.delta_union(&d2).is_empty());
+    /// ```
+    pub fn delta_union(&self, other: &DeltaSet) -> DeltaSet {
+        let plus: HashSet<Tuple> = self
+            .plus
+            .difference(&other.minus)
+            .chain(other.plus.difference(&self.minus))
+            .cloned()
+            .collect();
+        let minus: HashSet<Tuple> = self
+            .minus
+            .difference(&other.plus)
+            .chain(other.minus.difference(&self.plus))
+            .cloned()
+            .collect();
+        DeltaSet { plus, minus }
+    }
+
+    /// In-place `self = self ∪Δ other`, consuming `other`.
+    pub fn delta_union_assign(&mut self, other: DeltaSet) {
+        // Fold other's events one by one; for disjoint Δ-sets this equals
+        // the set formula (each tuple appears on at most one side of each
+        // operand) and avoids rebuilding both hash sets.
+        for t in other.plus {
+            self.apply_insert(t);
+        }
+        for t in other.minus {
+            self.apply_delete(t);
+        }
+    }
+
+    /// Remove all changes (the paper clears wave-front Δ-sets after a
+    /// node's out-edges have been processed, §5).
+    pub fn clear(&mut self) {
+        self.plus.clear();
+        self.minus.clear();
+    }
+
+    /// Take the contents, leaving this Δ-set empty.
+    pub fn take(&mut self) -> DeltaSet {
+        DeltaSet {
+            plus: std::mem::take(&mut self.plus),
+            minus: std::mem::take(&mut self.minus),
+        }
+    }
+
+    /// Check the disjointness invariant (used by debug assertions and
+    /// property tests).
+    pub fn invariant_holds(&self) -> bool {
+        self.plus.is_disjoint(&self.minus)
+    }
+}
+
+impl fmt::Display for DeltaSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut plus: Vec<String> = self.plus.iter().map(|t| t.to_string()).collect();
+        let mut minus: Vec<String> = self.minus.iter().map(|t| t.to_string()).collect();
+        plus.sort();
+        minus.sort();
+        write!(f, "<+{{{}}}, -{{{}}}>", plus.join(", "), minus.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amos_types::{tuple, Value};
+
+    fn delta(plus: &[Tuple], minus: &[Tuple]) -> DeltaSet {
+        DeltaSet::from_parts(
+            plus.iter().cloned().collect(),
+            minus.iter().cloned().collect(),
+        )
+    }
+
+    /// The §4.1 running example: two `set min_stock` updates that restore
+    /// the original value produce four physical events and an empty
+    /// logical Δ-set.
+    #[test]
+    fn min_stock_example_has_no_net_effect() {
+        let item = Value::Int(1); // stands in for :item1
+        let mut d = DeltaSet::new();
+        // set min_stock(:item1) = 150;  (was 100)
+        d.apply_delete(tuple![item.clone(), 100]);
+        assert_eq!(d, delta(&[], &[tuple![item.clone(), 100]]));
+        d.apply_insert(tuple![item.clone(), 150]);
+        assert_eq!(
+            d,
+            delta(&[tuple![item.clone(), 150]], &[tuple![item.clone(), 100]])
+        );
+        // set min_stock(:item1) = 100;
+        d.apply_delete(tuple![item.clone(), 150]);
+        assert_eq!(d, delta(&[], &[tuple![item.clone(), 100]]));
+        d.apply_insert(tuple![item.clone(), 100]);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn insert_then_delete_cancels() {
+        let mut d = DeltaSet::new();
+        d.apply_insert(tuple![1]);
+        d.apply_delete(tuple![1]);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn delete_then_insert_cancels() {
+        let mut d = DeltaSet::new();
+        d.apply_delete(tuple![1]);
+        d.apply_insert(tuple![1]);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn delta_union_formula() {
+        // Δ1 = <{a}, {b}>, Δ2 = <{b}, {a}> — they exactly cancel.
+        let d1 = delta(&[tuple![1]], &[tuple![2]]);
+        let d2 = delta(&[tuple![2]], &[tuple![1]]);
+        assert!(d1.delta_union(&d2).is_empty());
+    }
+
+    #[test]
+    fn delta_union_merges_disjoint_changes() {
+        let d1 = delta(&[tuple![1]], &[]);
+        let d2 = delta(&[tuple![2]], &[tuple![3]]);
+        let u = d1.delta_union(&d2);
+        assert_eq!(u, delta(&[tuple![1], tuple![2]], &[tuple![3]]));
+    }
+
+    #[test]
+    fn delta_union_assign_matches_formula() {
+        let d1 = delta(&[tuple![1], tuple![4]], &[tuple![2]]);
+        let d2 = delta(&[tuple![2]], &[tuple![4], tuple![5]]);
+        let by_formula = d1.delta_union(&d2);
+        let mut by_fold = d1.clone();
+        by_fold.delta_union_assign(d2);
+        assert_eq!(by_formula, by_fold);
+    }
+
+    #[test]
+    fn invariant_checked_on_from_parts() {
+        let result = std::panic::catch_unwind(|| {
+            delta(&[tuple![1]], &[tuple![1]]);
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn take_empties_the_source() {
+        let mut d = delta(&[tuple![1]], &[tuple![2]]);
+        let taken = d.take();
+        assert!(d.is_empty());
+        assert_eq!(taken.len(), 2);
+    }
+
+    #[test]
+    fn display_is_sorted_and_stable() {
+        let d = delta(&[tuple![2], tuple![1]], &[tuple![3]]);
+        assert_eq!(d.to_string(), "<+{(1), (2)}, -{(3)}>");
+    }
+}

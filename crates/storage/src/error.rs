@@ -1,0 +1,68 @@
+//! Storage-level errors.
+
+use std::fmt;
+
+/// Errors raised by the storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// No relation registered under this name.
+    UnknownRelation(String),
+    /// A relation with this name already exists.
+    DuplicateRelation(String),
+    /// Tuple arity did not match the relation's arity.
+    ArityMismatch {
+        /// Relation name.
+        relation: String,
+        /// Declared arity.
+        expected: usize,
+        /// Arity of the offending tuple.
+        found: usize,
+    },
+    /// `begin` while a transaction is already open.
+    TransactionAlreadyOpen,
+    /// `commit`/`rollback` without an open transaction.
+    NoOpenTransaction,
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::UnknownRelation(n) => write!(f, "unknown relation `{n}`"),
+            StorageError::DuplicateRelation(n) => write!(f, "relation `{n}` already exists"),
+            StorageError::ArityMismatch {
+                relation,
+                expected,
+                found,
+            } => write!(
+                f,
+                "arity mismatch on `{relation}`: expected {expected}, found {found}"
+            ),
+            StorageError::TransactionAlreadyOpen => write!(f, "a transaction is already open"),
+            StorageError::NoOpenTransaction => write!(f, "no open transaction"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            StorageError::UnknownRelation("q".into()).to_string(),
+            "unknown relation `q`"
+        );
+        assert_eq!(
+            StorageError::ArityMismatch {
+                relation: "q".into(),
+                expected: 2,
+                found: 3
+            }
+            .to_string(),
+            "arity mismatch on `q`: expected 2, found 3"
+        );
+    }
+}

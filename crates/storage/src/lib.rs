@@ -1,0 +1,39 @@
+//! # amos-storage
+//!
+//! Storage substrate for the AMOS partial-differencing reproduction:
+//! in-memory set-oriented base relations with hash indexes, a logical
+//! undo/redo log, transactions, and the Δ-set machinery of §4.1 of the
+//! paper (Sköld & Risch, ICDE'96).
+//!
+//! The pieces map onto the paper as follows:
+//!
+//! * [`BaseRelation`] — a *stored function* compiled to a base relation
+//!   (facts). Set semantics; optional hash indexes on column subsets.
+//! * [`DeltaSet`] — the Δ-set `ΔB = <Δ₊B, Δ₋B>` accumulating *logical*
+//!   events from physical update events, with the delta-union `∪Δ` that
+//!   cancels matching insert/delete pairs ("no net effect" example in
+//!   §4.1).
+//! * [`UpdateLog`] — the logical undo/redo log that physical events are
+//!   written to; undo restores the pre-transaction state.
+//! * [`OldStateView`] — the *logical rollback* view
+//!   `S_old = (S_new ∪ Δ₋S) − Δ₊S` (§4, fig. 3), answering membership,
+//!   scans, and index probes against the old state without materializing
+//!   it.
+//! * [`Storage`] — the database of base relations with transaction
+//!   scoping and per-relation Δ-set accumulation for *monitored*
+//!   relations (only influents of some activated rule pay any overhead,
+//!   exactly as the paper requires).
+
+pub mod database;
+pub mod delta;
+pub mod error;
+pub mod log;
+pub mod oldstate;
+pub mod relation;
+
+pub use database::{RelId, Storage};
+pub use delta::{DeltaSet, Polarity};
+pub use error::StorageError;
+pub use log::{LogOp, LogRecord, UpdateLog};
+pub use oldstate::{OldStateView, StateEpoch};
+pub use relation::BaseRelation;

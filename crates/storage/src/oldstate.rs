@@ -1,0 +1,183 @@
+//! Logical rollback: evaluating against the *old* database state without
+//! materializing it (paper §4, fig. 3).
+//!
+//! Negative partial differentials are "historical queries that must be
+//! executed in the database state when the deleted data were present".
+//! Rather than materializing monitored relations, the paper computes the
+//! old state from the new one: `S_old = (S_new ∪ Δ₋S) − Δ₊S`.
+//!
+//! [`OldStateView`] implements that identity lazily over a
+//! [`BaseRelation`] and its transaction Δ-set: membership, scans, and
+//! index probes all answer as of the start of the transaction. Because
+//! Δ-sets are small in the common case, the overlay costs O(|Δ|) extra
+//! work per operation.
+
+use amos_types::{Tuple, Value};
+
+use crate::delta::DeltaSet;
+use crate::relation::BaseRelation;
+
+/// Which database state to evaluate a relation access against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StateEpoch {
+    /// The current database state ("the current database always reflects
+    /// the new state").
+    New,
+    /// The pre-transaction state, reconstructed by logical rollback.
+    Old,
+}
+
+/// A read-only view of a base relation as of the start of the current
+/// transaction: `S_old = (S_new ∪ Δ₋S) − Δ₊S`.
+#[derive(Debug, Clone, Copy)]
+pub struct OldStateView<'a> {
+    rel: &'a BaseRelation,
+    delta: &'a DeltaSet,
+}
+
+impl<'a> OldStateView<'a> {
+    /// Wrap a relation and its accumulated transaction Δ-set.
+    pub fn new(rel: &'a BaseRelation, delta: &'a DeltaSet) -> Self {
+        OldStateView { rel, delta }
+    }
+
+    /// Total size of the overlay Δ-set (`|Δ₊| + |Δ₋|`) — lets callers
+    /// pick between per-probe overlay filtering (cheap for small
+    /// transactions) and building a temporary old-state index.
+    pub fn delta_len(&self) -> usize {
+        self.delta.len()
+    }
+
+    /// Old-state membership.
+    pub fn contains(&self, t: &Tuple) -> bool {
+        (self.rel.contains(t) || self.delta.minus().contains(t)) && !self.delta.plus().contains(t)
+    }
+
+    /// Old-state cardinality.
+    pub fn len(&self) -> usize {
+        // |S_old| = |S_new| + |Δ₋| − |Δ₊| because Δ₊ ⊆ S_new and
+        // Δ₋ ∩ S_new = ∅ hold whenever the Δ-set was accumulated from the
+        // physical events of this relation.
+        self.rel.len() + self.delta.minus().len() - self.delta.plus().len()
+    }
+
+    /// Whether the old state was empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Scan the old state: `(S_new − Δ₊) ∪ Δ₋`.
+    pub fn scan(&self) -> impl Iterator<Item = &'a Tuple> + '_ {
+        self.rel
+            .scan()
+            .filter(move |t| !self.delta.plus().contains(*t))
+            .chain(self.delta.minus().iter())
+    }
+
+    /// Probe by key columns in the old state: the new-state probe minus
+    /// inserted tuples, plus matching deleted tuples.
+    pub fn probe(&self, cols: &[usize], key: &[Value]) -> Vec<&'a Tuple> {
+        let mut out: Vec<&'a Tuple> = self
+            .rel
+            .probe(cols, key)
+            .into_iter()
+            .filter(|t| !self.delta.plus().contains(*t))
+            .collect();
+        out.extend(
+            self.delta
+                .minus()
+                .iter()
+                .filter(|t| cols.iter().zip(key).all(|(&c, v)| &t[c] == v)),
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amos_types::tuple;
+    use std::collections::HashSet;
+
+    /// Build a relation + delta pair by replaying events through both.
+    fn apply(
+        rel: &mut BaseRelation,
+        delta: &mut DeltaSet,
+        inserts: &[Tuple],
+        deletes: &[Tuple],
+    ) {
+        for t in inserts {
+            if rel.insert(t.clone()) {
+                delta.apply_insert(t.clone());
+            }
+        }
+        for t in deletes {
+            if rel.delete(t) {
+                delta.apply_delete(t.clone());
+            }
+        }
+    }
+
+    #[test]
+    fn rollback_identity() {
+        let mut rel = BaseRelation::new("r", 2);
+        for t in [tuple![1, 2], tuple![2, 3]] {
+            rel.insert(t);
+        }
+        let old_snapshot: HashSet<Tuple> = rel.scan().cloned().collect();
+
+        let mut delta = DeltaSet::new();
+        apply(
+            &mut rel,
+            &mut delta,
+            &[tuple![1, 4]],
+            &[tuple![1, 2], tuple![2, 3]],
+        );
+
+        let view = OldStateView::new(&rel, &delta);
+        let reconstructed: HashSet<Tuple> = view.scan().cloned().collect();
+        assert_eq!(reconstructed, old_snapshot);
+        assert_eq!(view.len(), old_snapshot.len());
+        for t in &old_snapshot {
+            assert!(view.contains(t));
+        }
+        assert!(!view.contains(&tuple![1, 4]), "inserted tuple not in old state");
+    }
+
+    #[test]
+    fn old_probe_sees_deleted_and_hides_inserted() {
+        let mut rel = BaseRelation::new("r", 2);
+        rel.ensure_index(&[0]);
+        rel.insert(tuple![1, 10]);
+        let mut delta = DeltaSet::new();
+        apply(&mut rel, &mut delta, &[tuple![1, 11]], &[tuple![1, 10]]);
+
+        let view = OldStateView::new(&rel, &delta);
+        let hits = view.probe(&[0], &[Value::Int(1)]);
+        assert_eq!(hits, vec![&tuple![1, 10]]);
+    }
+
+    #[test]
+    fn empty_delta_view_equals_relation() {
+        let mut rel = BaseRelation::new("r", 1);
+        rel.insert(tuple![1]);
+        rel.insert(tuple![2]);
+        let delta = DeltaSet::new();
+        let view = OldStateView::new(&rel, &delta);
+        assert_eq!(view.len(), 2);
+        assert!(view.contains(&tuple![1]));
+        assert_eq!(view.scan().count(), 2);
+    }
+
+    #[test]
+    fn no_net_change_view_equals_relation() {
+        let mut rel = BaseRelation::new("r", 1);
+        rel.insert(tuple![1]);
+        let mut delta = DeltaSet::new();
+        // insert 2, delete 2 — cancels logically
+        apply(&mut rel, &mut delta, &[tuple![2]], &[tuple![2]]);
+        assert!(delta.is_empty());
+        let view = OldStateView::new(&rel, &delta);
+        assert_eq!(view.scan().count(), 1);
+    }
+}

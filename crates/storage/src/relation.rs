@@ -1,0 +1,256 @@
+//! Set-oriented base relations with hash indexes.
+//!
+//! A stored AMOSQL function such as `quantity(item) -> integer` compiles
+//! to a base relation of arity 2. Relations have *set* semantics (the
+//! calculus of the paper is set-oriented, §7.2); inserting an existing
+//! tuple or deleting a missing one is a physical no-op and generates no
+//! update event.
+//!
+//! Hash indexes over column subsets support the index-seeded joins the
+//! partial-differential optimizer emits: a differential binds variables
+//! from a (small) Δ-set first and probes the remaining literals by key,
+//! which is what makes incremental monitoring O(1)-ish in database size
+//! (fig. 6).
+
+use std::collections::{HashMap, HashSet};
+
+use amos_types::{Tuple, Value};
+
+/// A hash index: projection of the indexed columns → the matching tuples.
+#[derive(Debug, Clone, Default)]
+struct HashIndex {
+    cols: Vec<usize>,
+    map: HashMap<Tuple, HashSet<Tuple>>,
+}
+
+impl HashIndex {
+    fn key_of(&self, t: &Tuple) -> Tuple {
+        t.project(&self.cols)
+    }
+
+    fn insert(&mut self, t: &Tuple) {
+        self.map.entry(self.key_of(t)).or_default().insert(t.clone());
+    }
+
+    fn remove(&mut self, t: &Tuple) {
+        let key = self.key_of(t);
+        if let Some(set) = self.map.get_mut(&key) {
+            set.remove(t);
+            if set.is_empty() {
+                self.map.remove(&key);
+            }
+        }
+    }
+}
+
+/// An in-memory, set-oriented base relation.
+#[derive(Debug, Clone)]
+pub struct BaseRelation {
+    name: String,
+    arity: usize,
+    tuples: HashSet<Tuple>,
+    indexes: Vec<HashIndex>,
+    index_by_cols: HashMap<Vec<usize>, usize>,
+}
+
+impl BaseRelation {
+    /// Create an empty relation.
+    pub fn new(name: impl Into<String>, arity: usize) -> Self {
+        BaseRelation {
+            name: name.into(),
+            arity,
+            tuples: HashSet::new(),
+            indexes: Vec::new(),
+            index_by_cols: HashMap::new(),
+        }
+    }
+
+    /// The relation's name (the stored function's name).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.tuples.contains(t)
+    }
+
+    /// Insert a tuple. Returns `true` iff the relation changed (set
+    /// semantics: re-inserting is a no-op and must not generate a
+    /// physical update event).
+    ///
+    /// # Panics
+    /// Panics on arity mismatch — tuples are produced by the compiler
+    /// against known signatures, so this is a programming error.
+    pub fn insert(&mut self, t: Tuple) -> bool {
+        assert_eq!(
+            t.arity(),
+            self.arity,
+            "arity mismatch inserting into `{}`",
+            self.name
+        );
+        if self.tuples.insert(t.clone()) {
+            for idx in &mut self.indexes {
+                idx.insert(&t);
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Delete a tuple. Returns `true` iff the relation changed.
+    pub fn delete(&mut self, t: &Tuple) -> bool {
+        if self.tuples.remove(t) {
+            for idx in &mut self.indexes {
+                idx.remove(t);
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Iterate over all tuples (arbitrary order).
+    pub fn scan(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.iter()
+    }
+
+    /// Ensure a hash index exists over the given columns (sorted,
+    /// deduplicated by the caller being consistent; the same column list
+    /// always maps to the same index).
+    pub fn ensure_index(&mut self, cols: &[usize]) {
+        if self.index_by_cols.contains_key(cols) {
+            return;
+        }
+        let mut idx = HashIndex {
+            cols: cols.to_vec(),
+            map: HashMap::new(),
+        };
+        for t in &self.tuples {
+            idx.insert(t);
+        }
+        self.index_by_cols.insert(cols.to_vec(), self.indexes.len());
+        self.indexes.push(idx);
+    }
+
+    /// Whether an index over exactly these columns exists.
+    pub fn has_index(&self, cols: &[usize]) -> bool {
+        self.index_by_cols.contains_key(cols)
+    }
+
+    /// Probe an index: all tuples whose projection onto `cols` equals
+    /// `key`. Requires [`ensure_index`](Self::ensure_index) to have been
+    /// called for `cols` (the plan compiler does this); falls back to a
+    /// scan-filter if not, so correctness never depends on index
+    /// presence.
+    pub fn probe<'a>(&'a self, cols: &[usize], key: &[Value]) -> Vec<&'a Tuple> {
+        if let Some(&i) = self.index_by_cols.get(cols) {
+            let key_tuple = Tuple::new(key.to_vec());
+            match self.indexes[i].map.get(&key_tuple) {
+                Some(set) => set.iter().collect(),
+                None => Vec::new(),
+            }
+        } else {
+            self.tuples
+                .iter()
+                .filter(|t| cols.iter().zip(key).all(|(&c, v)| &t[c] == v))
+                .collect()
+        }
+    }
+
+    /// Number of maintained indexes (for tests / introspection).
+    pub fn index_count(&self) -> usize {
+        self.indexes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amos_types::tuple;
+
+    #[test]
+    fn set_semantics() {
+        let mut r = BaseRelation::new("q", 2);
+        assert!(r.insert(tuple![1, 2]));
+        assert!(!r.insert(tuple![1, 2]), "re-insert is a no-op");
+        assert!(r.delete(&tuple![1, 2]));
+        assert!(!r.delete(&tuple![1, 2]), "re-delete is a no-op");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_checked() {
+        let mut r = BaseRelation::new("q", 2);
+        r.insert(tuple![1]);
+    }
+
+    #[test]
+    fn probe_with_index() {
+        let mut r = BaseRelation::new("q", 2);
+        r.insert(tuple![1, 10]);
+        r.insert(tuple![1, 11]);
+        r.insert(tuple![2, 20]);
+        r.ensure_index(&[0]);
+        let mut hits: Vec<_> = r.probe(&[0], &[Value::Int(1)]);
+        hits.sort();
+        assert_eq!(hits, vec![&tuple![1, 10], &tuple![1, 11]]);
+        assert!(r.probe(&[0], &[Value::Int(3)]).is_empty());
+    }
+
+    #[test]
+    fn probe_without_index_scans() {
+        let mut r = BaseRelation::new("q", 2);
+        r.insert(tuple![1, 10]);
+        r.insert(tuple![2, 10]);
+        let mut hits = r.probe(&[1], &[Value::Int(10)]);
+        hits.sort();
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn index_maintained_across_updates() {
+        let mut r = BaseRelation::new("q", 2);
+        r.ensure_index(&[0]);
+        r.insert(tuple![1, 10]);
+        assert_eq!(r.probe(&[0], &[Value::Int(1)]).len(), 1);
+        r.delete(&tuple![1, 10]);
+        assert!(r.probe(&[0], &[Value::Int(1)]).is_empty());
+    }
+
+    #[test]
+    fn ensure_index_idempotent_and_backfills() {
+        let mut r = BaseRelation::new("q", 2);
+        r.insert(tuple![5, 50]);
+        r.ensure_index(&[0]);
+        r.ensure_index(&[0]);
+        assert_eq!(r.index_count(), 1);
+        assert_eq!(r.probe(&[0], &[Value::Int(5)]).len(), 1);
+    }
+
+    #[test]
+    fn multi_column_index() {
+        let mut r = BaseRelation::new("delivery_time", 3);
+        r.insert(tuple![1, 7, 2]);
+        r.insert(tuple![1, 8, 3]);
+        r.ensure_index(&[0, 1]);
+        assert_eq!(r.probe(&[0, 1], &[Value::Int(1), Value::Int(7)]).len(), 1);
+    }
+}

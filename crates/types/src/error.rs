@@ -1,0 +1,62 @@
+//! Errors raised by value-level operations.
+
+use std::fmt;
+
+/// An error produced by arithmetic or comparison over [`crate::Value`]s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValueError {
+    /// The operands were not of the type an operator required.
+    TypeMismatch {
+        /// What the operation required.
+        expected: &'static str,
+        /// The runtime type actually found.
+        found: &'static str,
+    },
+    /// A binary numeric operator received a non-numeric operand.
+    NotNumeric {
+        /// Runtime type of the left operand.
+        lhs: &'static str,
+        /// Runtime type of the right operand.
+        rhs: &'static str,
+    },
+    /// Integer arithmetic overflowed (operator symbol attached).
+    Overflow(&'static str),
+    /// Division by zero.
+    DivisionByZero,
+    /// An attempt to construct a NaN real value.
+    NanReal,
+}
+
+impl fmt::Display for ValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValueError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            ValueError::NotNumeric { lhs, rhs } => {
+                write!(f, "numeric operator applied to {lhs} and {rhs}")
+            }
+            ValueError::Overflow(op) => write!(f, "integer overflow in `{op}`"),
+            ValueError::DivisionByZero => write!(f, "division by zero"),
+            ValueError::NanReal => write!(f, "NaN is not a valid real value"),
+        }
+    }
+}
+
+impl std::error::Error for ValueError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = ValueError::TypeMismatch {
+            expected: "integer",
+            found: "boolean",
+        };
+        assert_eq!(e.to_string(), "type mismatch: expected integer, found boolean");
+        assert_eq!(ValueError::DivisionByZero.to_string(), "division by zero");
+        assert_eq!(ValueError::Overflow("*").to_string(), "integer overflow in `*`");
+    }
+}

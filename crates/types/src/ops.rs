@@ -1,0 +1,160 @@
+//! Comparison and arithmetic operator vocabulary shared by the algebra
+//! and ObjectLog layers.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::error::ValueError;
+use crate::value::Value;
+
+/// Comparison operator (`<`, `<=`, `=`, `!=`, `>`, `>=`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Whether `ord` satisfies this operator.
+    pub fn matches(self, ord: Ordering) -> bool {
+        match self {
+            CmpOp::Eq => ord == Ordering::Equal,
+            CmpOp::Ne => ord != Ordering::Equal,
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::Le => ord != Ordering::Greater,
+            CmpOp::Gt => ord == Ordering::Greater,
+            CmpOp::Ge => ord != Ordering::Less,
+        }
+    }
+
+    /// Apply to two values with numeric promotion; errors on
+    /// incomparable runtime types.
+    pub fn apply(self, lhs: &Value, rhs: &Value) -> Result<bool, ValueError> {
+        Ok(self.matches(lhs.compare(rhs)?))
+    }
+
+    /// The operator with its operands swapped (`a < b` ⇔ `b > a`).
+    pub fn flipped(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+
+    /// The logical negation (`not (a < b)` ⇔ `a >= b`).
+    pub fn negated(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Binary arithmetic operator used by derived-function bodies
+/// (`_G4 = _G1 * _G3` in the paper's ObjectLog listings).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+impl ArithOp {
+    /// Apply to two values.
+    pub fn apply(self, lhs: &Value, rhs: &Value) -> Result<Value, ValueError> {
+        match self {
+            ArithOp::Add => lhs.add(rhs),
+            ArithOp::Sub => lhs.sub(rhs),
+            ArithOp::Mul => lhs.mul(rhs),
+            ArithOp::Div => lhs.div(rhs),
+        }
+    }
+}
+
+impl fmt::Display for ArithOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "/",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_matches() {
+        assert!(CmpOp::Lt.apply(&Value::Int(1), &Value::Int(2)).unwrap());
+        assert!(CmpOp::Ge.apply(&Value::Int(2), &Value::Int(2)).unwrap());
+        assert!(!CmpOp::Ne.apply(&Value::Int(2), &Value::Int(2)).unwrap());
+        assert!(CmpOp::Eq
+            .apply(&Value::Int(2), &Value::real(2.0).unwrap())
+            .unwrap());
+    }
+
+    #[test]
+    fn flipped_and_negated() {
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            let (a, b) = (Value::Int(1), Value::Int(2));
+            assert_eq!(
+                op.apply(&a, &b).unwrap(),
+                op.flipped().apply(&b, &a).unwrap()
+            );
+            assert_eq!(op.apply(&a, &b).unwrap(), !op.negated().apply(&a, &b).unwrap());
+        }
+    }
+
+    #[test]
+    fn arith_apply() {
+        assert_eq!(
+            ArithOp::Mul.apply(&Value::Int(20), &Value::Int(2)).unwrap(),
+            Value::Int(40)
+        );
+        assert_eq!(
+            ArithOp::Add.apply(&Value::Int(40), &Value::Int(100)).unwrap(),
+            Value::Int(140)
+        );
+    }
+}

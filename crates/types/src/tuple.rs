@@ -1,0 +1,162 @@
+//! Immutable tuples (rows) of values.
+//!
+//! Relations in the calculus are *sets of tuples*; Δ-sets, old-state views
+//! and propagation wave-fronts all move tuples around, so tuples are
+//! reference-counted (`Arc<[Value]>`) and clone in O(1).
+
+use std::fmt;
+use std::ops::Index;
+use std::sync::Arc;
+
+use crate::value::Value;
+
+/// An immutable row of [`Value`]s.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tuple(Arc<[Value]>);
+
+impl Tuple {
+    /// Build a tuple from values.
+    pub fn new(values: impl Into<Arc<[Value]>>) -> Self {
+        Tuple(values.into())
+    }
+
+    /// The empty (0-ary) tuple, used by nullary condition functions whose
+    /// truth is "non-empty result".
+    pub fn unit() -> Self {
+        Tuple(Arc::from(Vec::new()))
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether this is the 0-ary tuple.
+    pub fn is_unit(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The values as a slice.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// Column accessor; `None` if out of range.
+    pub fn get(&self, idx: usize) -> Option<&Value> {
+        self.0.get(idx)
+    }
+
+    /// Project the given columns into a new tuple.
+    ///
+    /// # Panics
+    /// Panics if any index is out of range — projections are produced by
+    /// the compiler against known arities, so an out-of-range index is a
+    /// compiler bug, not a data error.
+    pub fn project(&self, cols: &[usize]) -> Tuple {
+        Tuple::new(cols.iter().map(|&c| self.0[c].clone()).collect::<Vec<_>>())
+    }
+
+    /// Concatenate two tuples (used by products and joins).
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut v = Vec::with_capacity(self.arity() + other.arity());
+        v.extend_from_slice(&self.0);
+        v.extend_from_slice(&other.0);
+        Tuple::new(v)
+    }
+
+    /// Iterate over the values.
+    pub fn iter(&self) -> std::slice::Iter<'_, Value> {
+        self.0.iter()
+    }
+}
+
+impl Index<usize> for Tuple {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        &self.0[idx]
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(v: Vec<Value>) -> Self {
+        Tuple::new(v)
+    }
+}
+
+impl FromIterator<Value> for Tuple {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
+        Tuple::new(iter.into_iter().collect::<Vec<_>>())
+    }
+}
+
+/// Convenience constructor: `tuple![1, "a", oid]` builds a [`Tuple`] from
+/// anything convertible into [`Value`].
+#[macro_export]
+macro_rules! tuple {
+    ($($v:expr),* $(,)?) => {
+        $crate::Tuple::from(vec![$($crate::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let t = tuple![1, 2, "x"];
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t[0], Value::Int(1));
+        assert_eq!(t.get(2), Some(&Value::str("x")));
+        assert_eq!(t.get(3), None);
+    }
+
+    #[test]
+    fn unit_tuple() {
+        let u = Tuple::unit();
+        assert!(u.is_unit());
+        assert_eq!(u.arity(), 0);
+        assert_eq!(u, Tuple::from(vec![]));
+    }
+
+    #[test]
+    fn project_and_concat() {
+        let t = tuple![10, 20, 30];
+        assert_eq!(t.project(&[2, 0]), tuple![30, 10]);
+        let u = tuple![1].concat(&tuple![2, 3]);
+        assert_eq!(u, tuple![1, 2, 3]);
+    }
+
+    #[test]
+    fn equality_is_structural() {
+        assert_eq!(tuple![1, 2], tuple![1, 2]);
+        assert_ne!(tuple![1, 2], tuple![2, 1]);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(tuple![1, "a"].to_string(), "(1, \"a\")");
+        assert_eq!(Tuple::unit().to_string(), "()");
+    }
+
+    #[test]
+    fn clone_is_shallow() {
+        let t = tuple![1, 2, 3];
+        let u = t.clone();
+        assert!(Arc::ptr_eq(&t.0, &u.0));
+    }
+}

@@ -1,0 +1,201 @@
+//! The named type lattice.
+//!
+//! `create type item;` introduces a user type. AMOS types form a lattice
+//! rooted at `object`; we support single-parent subtyping (`create type
+//! special_item under item;`), which is all the paper's examples need.
+//! Built-in scalar types (`boolean`, `integer`, `real`, `charstring`) are
+//! pre-registered.
+//!
+//! The extent of a type (the set of its instances) is stored as a unary
+//! base relation by the storage layer — the registry only tracks names
+//! and the subtype relation.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a registered type (index into the registry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TypeId(pub u32);
+
+/// Metadata about one registered type.
+#[derive(Debug, Clone)]
+pub struct TypeDef {
+    /// Unique id.
+    pub id: TypeId,
+    /// The type's name, e.g. `item`.
+    pub name: String,
+    /// Direct supertype, if any (`None` for `object` and the scalars).
+    pub supertype: Option<TypeId>,
+    /// Whether this is one of the built-in scalar types.
+    pub builtin: bool,
+}
+
+/// Errors from type registration/lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeError {
+    /// A type with this name already exists.
+    Duplicate(String),
+    /// No type with this name exists.
+    Unknown(String),
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::Duplicate(n) => write!(f, "type `{n}` already exists"),
+            TypeError::Unknown(n) => write!(f, "unknown type `{n}`"),
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+/// Registry of named types with single-parent subtyping.
+#[derive(Debug, Clone)]
+pub struct TypeRegistry {
+    defs: Vec<TypeDef>,
+    by_name: HashMap<String, TypeId>,
+    /// Id of the root type `object`.
+    object: TypeId,
+}
+
+impl TypeRegistry {
+    /// A registry pre-populated with `object` and the scalar types.
+    pub fn new() -> Self {
+        let mut reg = TypeRegistry {
+            defs: Vec::new(),
+            by_name: HashMap::new(),
+            object: TypeId(0),
+        };
+        let object = reg.insert("object", None, true);
+        reg.object = object;
+        for scalar in ["boolean", "integer", "real", "charstring"] {
+            reg.insert(scalar, Some(object), true);
+        }
+        reg
+    }
+
+    fn insert(&mut self, name: &str, supertype: Option<TypeId>, builtin: bool) -> TypeId {
+        let id = TypeId(self.defs.len() as u32);
+        self.defs.push(TypeDef {
+            id,
+            name: name.to_string(),
+            supertype,
+            builtin,
+        });
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// The root type `object`.
+    pub fn object(&self) -> TypeId {
+        self.object
+    }
+
+    /// Register a user type, optionally under a supertype name.
+    pub fn create(&mut self, name: &str, under: Option<&str>) -> Result<TypeId, TypeError> {
+        if self.by_name.contains_key(name) {
+            return Err(TypeError::Duplicate(name.to_string()));
+        }
+        let parent = match under {
+            Some(p) => self.lookup(p)?,
+            None => self.object,
+        };
+        Ok(self.insert(name, Some(parent), false))
+    }
+
+    /// Resolve a type name.
+    pub fn lookup(&self, name: &str) -> Result<TypeId, TypeError> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| TypeError::Unknown(name.to_string()))
+    }
+
+    /// Metadata for a type id.
+    pub fn def(&self, id: TypeId) -> &TypeDef {
+        &self.defs[id.0 as usize]
+    }
+
+    /// The name of a type id.
+    pub fn name(&self, id: TypeId) -> &str {
+        &self.def(id).name
+    }
+
+    /// Whether `sub` is `sup` or a (transitive) subtype of it.
+    pub fn is_subtype(&self, sub: TypeId, sup: TypeId) -> bool {
+        let mut cur = Some(sub);
+        while let Some(t) = cur {
+            if t == sup {
+                return true;
+            }
+            cur = self.def(t).supertype;
+        }
+        false
+    }
+
+    /// All registered types, in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &TypeDef> {
+        self.defs.iter()
+    }
+
+    /// Direct subtypes of `id`, in registration order.
+    pub fn subtypes(&self, id: TypeId) -> Vec<TypeId> {
+        self.defs
+            .iter()
+            .filter(|d| d.supertype == Some(id))
+            .map(|d| d.id)
+            .collect()
+    }
+}
+
+impl Default for TypeRegistry {
+    fn default() -> Self {
+        TypeRegistry::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtins_preregistered() {
+        let reg = TypeRegistry::new();
+        for name in ["object", "boolean", "integer", "real", "charstring"] {
+            let id = reg.lookup(name).unwrap();
+            assert!(reg.def(id).builtin);
+        }
+    }
+
+    #[test]
+    fn create_and_subtype() {
+        let mut reg = TypeRegistry::new();
+        let item = reg.create("item", None).unwrap();
+        let special = reg.create("special_item", Some("item")).unwrap();
+        assert!(reg.is_subtype(special, item));
+        assert!(reg.is_subtype(special, reg.object()));
+        assert!(reg.is_subtype(item, item));
+        assert!(!reg.is_subtype(item, special));
+        assert_eq!(reg.subtypes(item), vec![special]);
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let mut reg = TypeRegistry::new();
+        reg.create("item", None).unwrap();
+        assert_eq!(
+            reg.create("item", None),
+            Err(TypeError::Duplicate("item".into()))
+        );
+    }
+
+    #[test]
+    fn unknown_supertype_rejected() {
+        let mut reg = TypeRegistry::new();
+        assert_eq!(
+            reg.create("x", Some("nope")),
+            Err(TypeError::Unknown("nope".into()))
+        );
+    }
+}

@@ -1,0 +1,89 @@
+//! Incremental aggregates (the §8 "future work" extension): a fraud
+//! monitor over a per-account running **sum** of transfer amounts.
+//!
+//! `register_aggregate` turns `sum(amount(account, xfer))` into an
+//! ordinary stored function maintained incrementally at every commit —
+//! so rules can monitor conditions over aggregates with the same partial
+//! differencing machinery, and the min/max multiset state survives
+//! deletions without rescans.
+//!
+//! Run with: `cargo run --example aggregates`
+
+use amos_core::aggregate::AggFn;
+use amos_db::{Amos, Value};
+
+fn main() {
+    let mut db = Amos::new();
+    db.register_procedure("flag_account", |_ctx, args| {
+        println!("  FRAUD CHECK: account {} total {} exceeds 10000", args[0], args[1]);
+        Ok(())
+    });
+
+    db.execute(
+        r#"
+        create type account;
+        -- transfers: amount(account, transfer_id) -> integer
+        create function amount(account a, integer xfer) -> integer;
+        create account instances :alice, :bob;
+    "#,
+    )
+    .expect("schema");
+
+    // total(account) -> integer = sum of amounts, grouped by account
+    // (source columns: 0 = account, 1 = xfer id, 2 = amount).
+    db.register_aggregate("total", "amount", vec![0], 2, AggFn::Sum)
+        .expect("aggregate registered");
+    // Largest single transfer per account, maintained incrementally.
+    db.register_aggregate("largest", "amount", vec![0], 2, AggFn::Max)
+        .expect("aggregate registered");
+
+    db.execute(
+        r#"
+        create rule fraud_watch() as
+            when for each account a
+            where total(a) > 10000
+            do flag_account(a, total(a));
+        activate fraud_watch();
+    "#,
+    )
+    .expect("rule");
+
+    println!("small transfers — nothing happens:");
+    db.execute("add amount(:alice, 1) = 4000;").unwrap();
+    db.execute("add amount(:alice, 2) = 5000;").unwrap();
+    db.execute("add amount(:bob, 1) = 100;").unwrap();
+
+    let alice = db.iface_value("alice").cloned().unwrap();
+    println!(
+        "  total(:alice) = {}",
+        db.call_function("total", std::slice::from_ref(&alice)).unwrap()
+    );
+
+    println!("one more transfer pushes alice over the limit:");
+    db.execute("add amount(:alice, 3) = 2000;").unwrap();
+
+    println!("reversing a transfer (deletion through the aggregate):");
+    db.execute("remove amount(:alice, 2) = 5000;").unwrap();
+    println!(
+        "  total(:alice) = {}",
+        db.call_function("total", std::slice::from_ref(&alice)).unwrap()
+    );
+    assert_eq!(
+        db.call_function("total", std::slice::from_ref(&alice)).unwrap(),
+        Value::Int(6000)
+    );
+
+    // Max survives deleting the maximum (multiset state, no rescan).
+    println!(
+        "  largest(:alice) = {} (after removing the 5000 transfer)",
+        db.call_function("largest", std::slice::from_ref(&alice)).unwrap()
+    );
+    assert_eq!(
+        db.call_function("largest", &[alice]).unwrap(),
+        Value::Int(4000)
+    );
+
+    println!("\nback over the limit — a *new* false→true transition, flags again:");
+    db.execute("add amount(:alice, 4) = 9000;").unwrap();
+    println!("done.");
+}

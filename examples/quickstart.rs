@@ -1,0 +1,69 @@
+//! Quickstart: define a schema, a rule, and watch it trigger on exactly
+//! the net changes of a transaction.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use amos_db::{Amos, Value};
+
+fn main() {
+    let mut db = Amos::new();
+
+    // Procedures are the action vocabulary of rules — plain Rust
+    // closures (AMOS used Lisp/C foreign functions here).
+    db.register_procedure("alert", |_ctx, args| {
+        println!("  ALERT: sensor {} read {}", args[0], args[1]);
+        Ok(())
+    });
+
+    // AMOSQL: everything is an object, data lives in functions.
+    db.execute(
+        r#"
+        create type sensor;
+        create function reading(sensor s) -> integer;
+        create function limit_of(sensor s) -> integer;
+
+        create rule overheat(sensor s) as
+            when reading(s) > limit_of(s)
+            do alert(s, reading(s));
+
+        create sensor instances :boiler, :turbine;
+        set limit_of(:boiler) = 90;
+        set limit_of(:turbine) = 120;
+        set reading(:boiler) = 20;
+        set reading(:turbine) = 20;
+
+        activate overheat(:boiler);
+        activate overheat(:turbine);
+    "#,
+    )
+    .expect("schema");
+
+    println!("normal reading — nothing happens:");
+    db.execute("set reading(:boiler) = 50;").unwrap();
+
+    println!("boiler goes over its limit — the rule fires once:");
+    db.execute("set reading(:boiler) = 95;").unwrap();
+
+    println!("still hot (no false→true transition) — strict semantics, no re-fire:");
+    db.execute("set reading(:boiler) = 99;").unwrap();
+
+    println!("a transaction with no net change — no trigger:");
+    db.execute("begin; set reading(:turbine) = 500; set reading(:turbine) = 20; commit;")
+        .unwrap();
+
+    println!("querying like a database:");
+    let rows = db
+        .query("select s for each sensor s where reading(s) > 90;")
+        .unwrap();
+    for row in &rows {
+        println!("  over 90: {row}");
+    }
+
+    // Everything is also available programmatically.
+    let reading = db.call_function(
+        "reading",
+        &[db.iface_value("boiler").cloned().unwrap()],
+    );
+    assert_eq!(reading.unwrap(), Value::Int(99));
+    println!("done.");
+}

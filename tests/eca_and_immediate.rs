@@ -1,0 +1,212 @@
+//! Tests for the two §1 variations: ECA event restriction ("the event
+//! part just further restricts when the condition is tested") and
+//! immediate rule processing (checks after each statement instead of
+//! deferred to commit).
+
+use std::sync::{Arc, Mutex};
+
+use amos_db::{Amos, EngineOptions, Value};
+
+fn counting(db: &mut Amos, name: &'static str, log: Arc<Mutex<Vec<Value>>>) {
+    db.register_procedure(name, move |_ctx, args| {
+        log.lock().unwrap().push(args[0].clone());
+        Ok(())
+    });
+}
+
+const SCHEMA: &str = r#"
+    create type item;
+    create function price(item i) -> integer;
+    create function cost(item i) -> integer;
+"#;
+
+#[test]
+fn eca_event_restricts_condition_testing() {
+    let mut db = Amos::new();
+    let fired = Arc::new(Mutex::new(Vec::new()));
+    counting(&mut db, "losing", fired.clone());
+    db.execute(SCHEMA).unwrap();
+    // Condition depends on BOTH price and cost, but the event part only
+    // names price: cost-driven transitions must be ignored.
+    db.execute(
+        r#"
+        create rule loss_watch() as on price
+            when for each item i where price(i) < cost(i)
+            do losing(i);
+        create item instances :x;
+        set price(:x) = 100; set cost(:x) = 50;
+        activate loss_watch();
+    "#,
+    )
+    .unwrap();
+
+    // Condition becomes true via cost — but the event is price: the
+    // condition is never even tested, so no fire.
+    db.execute("set cost(:x) = 200;").unwrap();
+    assert!(fired.lock().unwrap().is_empty(), "cost event filtered out");
+
+    // A price event while the condition stays true: strict semantics
+    // sees no false→true transition (the state was already true), so
+    // the missed cost-driven transition is *not* caught up — exactly the
+    // under-reaction an event restriction trades for fewer tests.
+    db.execute("set price(:x) = 90;").unwrap();
+    assert!(fired.lock().unwrap().is_empty());
+
+    // Reset below, then a genuine transition through a price event.
+    db.execute("set cost(:x) = 50;").unwrap(); // condition false again (unobserved)
+    db.execute("set price(:x) = 40;").unwrap(); // price event, 40 < 50 → fires
+    assert_eq!(fired.lock().unwrap().len(), 1);
+
+    // Price event with condition still true: no re-fire (strict).
+    db.execute("set price(:x) = 30;").unwrap();
+    assert_eq!(fired.lock().unwrap().len(), 1);
+}
+
+#[test]
+fn eca_roundtrip_through_printer() {
+    let src = "create rule r() as on price, cost when for each item i \
+               where price(i) < cost(i) do losing(i);";
+    let parsed = amos_amosql::parser::parse(src).unwrap();
+    let printed = parsed[0].to_string();
+    assert!(printed.contains("on price, cost when"));
+    let reparsed = amos_amosql::parser::parse(&printed).unwrap();
+    assert_eq!(parsed, reparsed);
+}
+
+#[test]
+fn unknown_event_function_rejected() {
+    let mut db = Amos::new();
+    db.execute(SCHEMA).unwrap();
+    let err = db
+        .execute("create rule r() as on nosuch when for each item i where price(i) < 1 do f(i);")
+        .unwrap_err();
+    assert!(err.to_string().contains("unknown event function"));
+}
+
+#[test]
+fn immediate_mode_fires_mid_transaction() {
+    let mut db = Amos::with_options(EngineOptions {
+        immediate: true,
+        ..Default::default()
+    });
+    let fired = Arc::new(Mutex::new(Vec::new()));
+    counting(&mut db, "losing", fired.clone());
+    db.execute(SCHEMA).unwrap();
+    db.execute(
+        r#"
+        create rule loss_watch() as
+            when for each item i where price(i) < cost(i)
+            do losing(i);
+        create item instances :x;
+        set price(:x) = 100; set cost(:x) = 50;
+        activate loss_watch();
+    "#,
+    )
+    .unwrap();
+
+    db.execute("begin;").unwrap();
+    db.execute("set price(:x) = 10;").unwrap();
+    // Deferred semantics would wait for commit; immediate fires now.
+    assert_eq!(fired.lock().unwrap().len(), 1, "fired before commit");
+    // Restoring the price within the same transaction does NOT cancel
+    // the already-executed action — the defining difference from the
+    // deferred net-change semantics.
+    db.execute("set price(:x) = 100;").unwrap();
+    db.execute("commit;").unwrap();
+    assert_eq!(fired.lock().unwrap().len(), 1);
+}
+
+#[test]
+fn deferred_mode_cancels_what_immediate_does_not() {
+    let mut db = Amos::new(); // deferred (default)
+    let fired = Arc::new(Mutex::new(Vec::new()));
+    counting(&mut db, "losing", fired.clone());
+    db.execute(SCHEMA).unwrap();
+    db.execute(
+        r#"
+        create rule loss_watch() as
+            when for each item i where price(i) < cost(i)
+            do losing(i);
+        create item instances :x;
+        set price(:x) = 100; set cost(:x) = 50;
+        activate loss_watch();
+    "#,
+    )
+    .unwrap();
+    db.execute("begin; set price(:x) = 10; set price(:x) = 100; commit;")
+        .unwrap();
+    assert!(
+        fired.lock().unwrap().is_empty(),
+        "deferred semantics: no net change, no action"
+    );
+}
+
+#[test]
+fn check_now_inside_transaction() {
+    let mut db = Amos::new();
+    let fired = Arc::new(Mutex::new(Vec::new()));
+    counting(&mut db, "losing", fired.clone());
+    db.execute(SCHEMA).unwrap();
+    db.execute(
+        r#"
+        create rule loss_watch() as
+            when for each item i where price(i) < cost(i)
+            do losing(i);
+        create item instances :x;
+        set price(:x) = 100; set cost(:x) = 50;
+        activate loss_watch();
+    "#,
+    )
+    .unwrap();
+
+    db.begin().unwrap();
+    db.execute("set price(:x) = 10;").unwrap();
+    assert!(fired.lock().unwrap().is_empty(), "deferred: nothing yet");
+    let summary = db.check_now().unwrap();
+    assert_eq!(summary.executed.len(), 1);
+    assert_eq!(fired.lock().unwrap().len(), 1);
+    // The transaction is still open; more updates and a final commit.
+    db.execute("set cost(:x) = 5;").unwrap(); // condition now false
+    db.execute("commit;").unwrap();
+    assert_eq!(fired.lock().unwrap().len(), 1);
+}
+
+#[test]
+fn monitor_stats_expose_cost_profile() {
+    let mut db = Amos::new();
+    let fired = Arc::new(Mutex::new(Vec::new()));
+    counting(&mut db, "losing", fired.clone());
+    db.execute(SCHEMA).unwrap();
+    db.execute(
+        r#"
+        create rule loss_watch() as
+            when for each item i where price(i) < cost(i)
+            do losing(i);
+        create item instances :x, :y;
+        set price(:x) = 100; set cost(:x) = 50;
+        set price(:y) = 100; set cost(:y) = 50;
+        activate loss_watch();
+    "#,
+    )
+    .unwrap();
+    db.rules_mut().reset_stats();
+
+    db.execute("set price(:x) = 10;").unwrap();
+    db.execute("set price(:y) = 10;").unwrap();
+    let stats = db.rules().stats();
+    assert_eq!(stats.check_phases, 2);
+    assert!(stats.differentials_executed >= 2);
+    assert!(stats.tuples_produced >= 2);
+    assert_eq!(stats.actions_executed, 2);
+    assert_eq!(stats.naive_recomputations, 0);
+
+    // Naive mode counts recomputations instead.
+    db.set_monitor_mode(amos_core::MonitorMode::Naive);
+    db.execute("deactivate loss_watch(); activate loss_watch();")
+        .unwrap();
+    db.rules_mut().reset_stats();
+    db.execute("set price(:x) = 5;").unwrap();
+    let stats = db.rules().stats();
+    assert!(stats.naive_recomputations >= 1);
+    assert_eq!(stats.differentials_executed, 0);
+}

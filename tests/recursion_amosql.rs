@@ -1,0 +1,121 @@
+//! Linear recursion end to end through AMOSQL: transitive closure
+//! defined in the language, monitored by rules, incremental under
+//! insertions and exact under deletions.
+
+use std::sync::{Arc, Mutex};
+
+use amos_db::{Amos, Value};
+
+const SCHEMA: &str = r#"
+    create type node;
+    -- edge(a, b) -> boolean : adjacency (multi-valued via add)
+    create function edge(node a, node b) -> boolean;
+    -- reach(a, b): b reachable from a — linear recursion.
+    create function reach(node a, node b) -> boolean
+        as select true
+        where edge(a, b) or reach(a, b) and false;
+"#;
+
+/// The `or reach(a,b) and false` trick above would be useless — write
+/// the real recursive definition programmatically instead (through a
+/// helper node variable), which the AMOSQL subset expresses as:
+const REAL_SCHEMA: &str = r#"
+    create type node;
+    create function edge(node a, node b) -> boolean;
+    create function reach(node a, node b) -> boolean
+        as select true
+        for each node c
+        where edge(a, b) or reach(a, c) and edge(c, b);
+"#;
+
+#[test]
+fn transitive_closure_in_amosql() {
+    let mut db = Amos::new();
+    db.execute(REAL_SCHEMA).unwrap();
+    db.execute(
+        r#"
+        create node instances :n1, :n2, :n3, :n4;
+        add edge(:n1, :n2) = true;
+        add edge(:n2, :n3) = true;
+    "#,
+    )
+    .unwrap();
+
+    let rows = db
+        .query("select a, b for each node a, node b where reach(a, b);")
+        .unwrap();
+    assert_eq!(rows.len(), 3, "1→2, 2→3, 1→3");
+
+    // Point query through the fixpoint.
+    let n1 = db.iface_value("n1").cloned().unwrap();
+    let n3 = db.iface_value("n3").cloned().unwrap();
+    assert_eq!(
+        db.call_function("reach", &[n1, n3]).unwrap(),
+        Value::Bool(true)
+    );
+}
+
+#[test]
+fn rule_over_reachability_fires_incrementally() {
+    let mut db = Amos::new();
+    let fired = Arc::new(Mutex::new(Vec::new()));
+    let sink = fired.clone();
+    db.register_procedure("linked", move |_ctx, args| {
+        sink.lock()
+            .unwrap()
+            .push((args[0].clone(), args[1].clone()));
+        Ok(())
+    });
+    db.execute(REAL_SCHEMA).unwrap();
+    db.execute(
+        r#"
+        create rule connectivity() as
+            when for each node a, node b where reach(a, b)
+            do linked(a, b);
+        create node instances :n1, :n2, :n3;
+        add edge(:n1, :n2) = true;
+        activate connectivity();
+    "#,
+    )
+    .unwrap();
+    // Activation doesn't fire for already-true pairs; a new edge that
+    // transitively connects n1→n3 fires for both new pairs.
+    db.execute("add edge(:n2, :n3) = true;").unwrap();
+    let mut got = fired.lock().unwrap().clone();
+    got.sort_by_key(|(a, b)| (format!("{a}"), format!("{b}")));
+    let n1 = db.iface_value("n1").cloned().unwrap();
+    let n2 = db.iface_value("n2").cloned().unwrap();
+    let n3 = db.iface_value("n3").cloned().unwrap();
+    assert_eq!(got, vec![(n1, n3.clone()), (n2, n3)]);
+
+    // Deleting the bridge edge: strict semantics — pairs become false;
+    // re-adding re-fires (false→true transitions again).
+    fired.lock().unwrap().clear();
+    db.execute("remove edge(:n2, :n3) = true;").unwrap();
+    assert!(fired.lock().unwrap().is_empty());
+    db.execute("add edge(:n2, :n3) = true;").unwrap();
+    assert_eq!(fired.lock().unwrap().len(), 2);
+}
+
+#[test]
+fn nonlinear_recursion_rejected_in_amosql() {
+    let mut db = Amos::new();
+    db.execute("create type node; create function edge(node a, node b) -> boolean;")
+        .unwrap();
+    // reach(a,c) and reach(c,b): two self-references in one conjunct.
+    let err = db
+        .execute(
+            "create function reach(node a, node b) -> boolean \
+             as select true for each node c \
+             where reach(a, c) and reach(c, b);",
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("non-linear"), "{err}");
+}
+
+#[test]
+fn unused_const_schema_is_illustrative_only() {
+    // The doc-comment SCHEMA above is intentionally not used; silence
+    // the dead-code path by asserting it at least parses.
+    assert!(amos_amosql::parser::parse(SCHEMA).is_ok());
+}

@@ -1,0 +1,107 @@
+//! Subtyping through extents: instances of a subtype participate in
+//! `for each <supertype>` queries and rules (the Iris/Daplex "an object
+//! is an instance of its type and all supertypes").
+
+use std::sync::{Arc, Mutex};
+
+use amos_db::{Amos, Value};
+
+#[test]
+fn subtype_instances_seen_by_supertype_rules() {
+    let mut db = Amos::new();
+    let fired = Arc::new(Mutex::new(Vec::new()));
+    let sink = fired.clone();
+    db.register_procedure("notify", move |_ctx, args| {
+        sink.lock().unwrap().push(args[0].clone());
+        Ok(())
+    });
+    db.execute(
+        r#"
+        create type vehicle;
+        create type truck under vehicle;
+        create function speed(vehicle v) -> integer;
+
+        create rule speeding() as
+            when for each vehicle v where speed(v) > 100
+            do notify(v);
+
+        create vehicle instances :car1;
+        create truck instances :truck1;
+        set speed(:car1) = 50;
+        set speed(:truck1) = 50;
+        activate speeding();
+    "#,
+    )
+    .unwrap();
+
+    // The truck is a vehicle: the supertype rule fires for it.
+    db.execute("set speed(:truck1) = 120;").unwrap();
+    assert_eq!(fired.lock().unwrap().len(), 1);
+    assert_eq!(
+        fired.lock().unwrap()[0],
+        *db.iface_value("truck1").unwrap()
+    );
+
+    // Queries over both levels.
+    let vehicles = db.query("select v for each vehicle v;").unwrap();
+    assert_eq!(vehicles.len(), 2);
+    let trucks = db.query("select t for each truck t;").unwrap();
+    assert_eq!(trucks.len(), 1);
+}
+
+#[test]
+fn deep_hierarchy() {
+    let mut db = Amos::new();
+    db.execute(
+        r#"
+        create type a;
+        create type b under a;
+        create type c under b;
+        create c instances :x;
+    "#,
+    )
+    .unwrap();
+    for ty in ["a", "b", "c"] {
+        let rows = db.query(&format!("select v for each {ty} v;")).unwrap();
+        assert_eq!(rows.len(), 1, "instance visible at level {ty}");
+        assert_eq!(rows[0][0], *db.iface_value("x").unwrap());
+    }
+}
+
+#[test]
+fn builtin_instances_rejected() {
+    let mut db = Amos::new();
+    let err = db.execute("create integer instances :n;").unwrap_err();
+    assert!(err.to_string().contains("builtin"), "{err}");
+    assert!(db.execute("create missing instances :n;").is_err());
+}
+
+#[test]
+fn rule_on_subtype_only_ignores_supertype_instances() {
+    let mut db = Amos::new();
+    let fired = Arc::new(Mutex::new(Vec::<Value>::new()));
+    let sink = fired.clone();
+    db.register_procedure("notify", move |_ctx, args| {
+        sink.lock().unwrap().push(args[0].clone());
+        Ok(())
+    });
+    db.execute(
+        r#"
+        create type vehicle;
+        create type truck under vehicle;
+        create function speed(vehicle v) -> integer;
+        create rule truck_speeding() as
+            when for each truck t where speed(t) > 100
+            do notify(t);
+        create vehicle instances :car1;
+        create truck instances :truck1;
+        set speed(:car1) = 0; set speed(:truck1) = 0;
+        activate truck_speeding();
+    "#,
+    )
+    .unwrap();
+    db.execute("set speed(:car1) = 200;").unwrap();
+    assert!(fired.lock().unwrap().is_empty(), "cars are not trucks");
+    db.execute("set speed(:truck1) = 200;").unwrap();
+    assert_eq!(fired.lock().unwrap().len(), 1);
+}

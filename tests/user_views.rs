@@ -1,0 +1,197 @@
+//! §8 extensions end to end: incremental aggregates and user-defined
+//! differentials, monitored by rules through the ordinary partial
+//! differencing machinery.
+
+use std::sync::{Arc, Mutex};
+
+use amos_core::aggregate::AggFn;
+use amos_core::maintained::{ClosureView, SourceDeltas};
+use amos_core::CoreError;
+use amos_db::{Amos, Tuple, Value};
+use amos_storage::DeltaSet;
+
+#[test]
+fn rule_over_incremental_aggregate() {
+    let mut db = Amos::new();
+    let flags = Arc::new(Mutex::new(Vec::new()));
+    let sink = flags.clone();
+    db.register_procedure("flag", move |_ctx, args| {
+        sink.lock().unwrap().push(args[0].clone());
+        Ok(())
+    });
+    db.execute(
+        r#"
+        create type acct;
+        create function amount(acct a, integer xfer) -> integer;
+        create acct instances :a1, :a2;
+    "#,
+    )
+    .unwrap();
+    db.register_aggregate("total", "amount", vec![0], 2, AggFn::Sum)
+        .unwrap();
+    db.execute(
+        r#"
+        create rule watch() as
+            when for each acct a where total(a) > 100
+            do flag(a);
+        activate watch();
+    "#,
+    )
+    .unwrap();
+
+    db.execute("add amount(:a1, 1) = 60;").unwrap();
+    assert!(flags.lock().unwrap().is_empty());
+    db.execute("add amount(:a1, 2) = 50;").unwrap();
+    assert_eq!(flags.lock().unwrap().len(), 1, "110 > 100 triggers");
+    // Reverse below the limit and cross again: strict → a second firing.
+    db.execute("remove amount(:a1, 1) = 60;").unwrap();
+    db.execute("add amount(:a1, 3) = 70;").unwrap();
+    assert_eq!(flags.lock().unwrap().len(), 2);
+    // A no-net-change transaction through the aggregate.
+    db.execute("begin; add amount(:a2, 9) = 500; remove amount(:a2, 9) = 500; commit;")
+        .unwrap();
+    assert_eq!(flags.lock().unwrap().len(), 2);
+}
+
+#[test]
+fn min_aggregate_with_deletions() {
+    let mut db = Amos::new();
+    db.register_procedure("noop", |_ctx, _| Ok(()));
+    db.execute(
+        r#"
+        create type host;
+        create function latency(host h, integer probe) -> integer;
+        create host instances :h1;
+        add latency(:h1, 1) = 30;
+        add latency(:h1, 2) = 10;
+        add latency(:h1, 3) = 20;
+    "#,
+    )
+    .unwrap();
+    db.register_aggregate("best_latency", "latency", vec![0], 2, AggFn::Min)
+        .unwrap();
+    let h1 = db.iface_value("h1").cloned().unwrap();
+    assert_eq!(
+        db.call_function("best_latency", std::slice::from_ref(&h1)).unwrap(),
+        Value::Int(10)
+    );
+    // Deleting the minimum falls back to the next without a rescan.
+    db.execute("remove latency(:h1, 2) = 10;").unwrap();
+    assert_eq!(
+        db.call_function("best_latency", &[h1]).unwrap(),
+        Value::Int(20)
+    );
+}
+
+/// A user-defined differential: `risk(a) = total_out(a) − total_in(a)`
+/// over a transfers relation, maintained by custom Rust logic (the §8
+/// "incremental evaluation of foreign functions through user defined
+/// differentials"), monitored by a rule.
+#[test]
+fn closure_view_with_user_differential() {
+    let mut db = Amos::new();
+    let alerts = Arc::new(Mutex::new(Vec::new()));
+    let sink = alerts.clone();
+    db.register_procedure("alert", move |_ctx, args| {
+        sink.lock().unwrap().push(args[0].clone());
+        Ok(())
+    });
+    db.execute(
+        r#"
+        create type acct;
+        -- transfer(from, to, id) -> amount
+        create function transfer(acct f, acct t, integer id) -> integer;
+        create acct instances :a, :b;
+    "#,
+    )
+    .unwrap();
+
+    let transfer_rel = {
+        let cat = db.catalog();
+        cat.def(cat.lookup("transfer").unwrap()).stored_rel().unwrap()
+    };
+
+    // Shared incremental state: net outflow per account oid.
+    type NetMap = std::collections::HashMap<Value, i64>;
+    let state: Arc<Mutex<NetMap>> = Arc::new(Mutex::new(NetMap::new()));
+
+    let apply_tuple = |net: &mut NetMap, t: &Tuple, sign: i64| {
+        let amount = t[3].as_int().unwrap() * sign;
+        *net.entry(t[0].clone()).or_insert(0) += amount; // outflow from sender
+        *net.entry(t[1].clone()).or_insert(0) -= amount; // inflow to receiver
+    };
+    let snapshot = |net: &NetMap| -> Vec<Tuple> {
+        net.iter()
+            .map(|(k, v)| Tuple::new(vec![k.clone(), Value::Int(*v)]))
+            .collect()
+    };
+
+    let st_init = state.clone();
+    let st_diff = state.clone();
+    let view = ClosureView::new(
+        vec![transfer_rel],
+        move |_cat, storage| {
+            let mut net = st_init.lock().unwrap();
+            net.clear();
+            for t in storage.relation(transfer_rel).scan() {
+                apply_tuple(&mut net, t, 1);
+            }
+            Ok(snapshot(&net))
+        },
+        move |deltas: &SourceDeltas<'_>, _cat, _storage| {
+            let mut net = st_diff.lock().unwrap();
+            let before = snapshot(&net);
+            if let Some(d) = deltas.get(&transfer_rel) {
+                for t in d.minus() {
+                    apply_tuple(&mut net, t, -1);
+                }
+                for t in d.plus() {
+                    apply_tuple(&mut net, t, 1);
+                }
+            }
+            let after = snapshot(&net);
+            let before: std::collections::HashSet<Tuple> = before.into_iter().collect();
+            let after: std::collections::HashSet<Tuple> = after.into_iter().collect();
+            let mut out = DeltaSet::new();
+            for t in before.difference(&after) {
+                out.apply_delete(t.clone());
+            }
+            for t in after.difference(&before) {
+                out.apply_insert(t.clone());
+            }
+            Ok::<DeltaSet, CoreError>(out)
+        },
+    );
+    db.register_view("net_outflow", 2, 1, Box::new(view)).unwrap();
+
+    db.execute(
+        r#"
+        create rule drain_watch() as
+            when for each acct a where net_outflow(a) > 1000
+            do alert(a);
+        activate drain_watch();
+    "#,
+    )
+    .unwrap();
+
+    db.execute("add transfer(:a, :b, 1) = 600;").unwrap();
+    assert!(alerts.lock().unwrap().is_empty());
+    db.execute("add transfer(:a, :b, 2) = 700;").unwrap();
+    let a = db.iface_value("a").cloned().unwrap();
+    assert_eq!(alerts.lock().unwrap().as_slice(), std::slice::from_ref(&a));
+    assert_eq!(
+        db.call_function("net_outflow", std::slice::from_ref(&a)).unwrap(),
+        Value::Int(1300)
+    );
+    // b's inflow shows as negative outflow.
+    let b = db.iface_value("b").cloned().unwrap();
+    assert_eq!(
+        db.call_function("net_outflow", &[b]).unwrap(),
+        Value::Int(-1300)
+    );
+    // Reversing a transfer drops a below the limit; crossing again
+    // re-alerts (strict false→true).
+    db.execute("remove transfer(:a, :b, 2) = 700;").unwrap();
+    db.execute("add transfer(:a, :b, 3) = 900;").unwrap();
+    assert_eq!(alerts.lock().unwrap().len(), 2);
+}
