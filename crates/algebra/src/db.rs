@@ -27,7 +27,8 @@ impl AlgebraDb {
 
     /// Create (or reset) a relation with the given tuples.
     pub fn set_relation(&mut self, name: &str, tuples: impl IntoIterator<Item = Tuple>) {
-        self.rels.insert(name.to_string(), tuples.into_iter().collect());
+        self.rels
+            .insert(name.to_string(), tuples.into_iter().collect());
     }
 
     /// The current (new-state) contents of a relation; empty if unknown.
@@ -37,8 +38,16 @@ impl AlgebraDb {
 
     /// Apply a physical insert, updating the relation and its Δ-set.
     pub fn insert(&mut self, name: &str, t: Tuple) -> bool {
-        if self.rels.entry(name.to_string()).or_default().insert(t.clone()) {
-            self.deltas.entry(name.to_string()).or_default().apply_insert(t);
+        if self
+            .rels
+            .entry(name.to_string())
+            .or_default()
+            .insert(t.clone())
+        {
+            self.deltas
+                .entry(name.to_string())
+                .or_default()
+                .apply_insert(t);
             true
         } else {
             false
@@ -53,7 +62,10 @@ impl AlgebraDb {
             .map(|s| s.remove(t))
             .unwrap_or(false)
         {
-            self.deltas.entry(name.to_string()).or_default().apply_delete(t.clone());
+            self.deltas
+                .entry(name.to_string())
+                .or_default()
+                .apply_delete(t.clone());
             true
         } else {
             false
@@ -104,8 +116,7 @@ impl AlgebraDb {
             StateEpoch::Old => match self.deltas.get(name) {
                 None => now,
                 Some(d) => {
-                    let mut old: HashSet<Tuple> =
-                        now.difference(d.plus()).cloned().collect();
+                    let mut old: HashSet<Tuple> = now.difference(d.plus()).cloned().collect();
                     old.extend(d.minus().iter().cloned());
                     old
                 }
@@ -147,6 +158,9 @@ mod tests {
         db.delete("q", &tuple![1]);
         db.insert("q", tuple![1]);
         assert!(db.delta("q").is_empty());
-        assert_eq!(db.state("q", StateEpoch::Old), db.state("q", StateEpoch::New));
+        assert_eq!(
+            db.state("q", StateEpoch::Old),
+            db.state("q", StateEpoch::New)
+        );
     }
 }

@@ -32,14 +32,13 @@
 use std::collections::HashSet;
 use std::fmt;
 
-use amos_storage::{DeltaSet, StateEpoch};
 pub use amos_storage::Polarity;
+use amos_storage::{DeltaSet, StateEpoch};
 use amos_types::Tuple;
 
 use crate::db::AlgebraDb;
 use crate::expr::RelExpr;
 use crate::predicate::Predicate;
-
 
 /// A differential query: a chain from a Δ-set seed up through the
 /// operators of the original expression, with side operands evaluated as
@@ -75,12 +74,8 @@ impl DiffExpr {
         match self {
             DiffExpr::Delta(x, Polarity::Plus) => db.delta_plus(x),
             DiffExpr::Delta(x, Polarity::Minus) => db.delta_minus(x),
-            DiffExpr::Select(d, pred) => {
-                d.eval(db).into_iter().filter(|t| pred.eval(t)).collect()
-            }
-            DiffExpr::Project(d, cols) => {
-                d.eval(db).into_iter().map(|t| t.project(cols)).collect()
-            }
+            DiffExpr::Select(d, pred) => d.eval(db).into_iter().filter(|t| pred.eval(t)).collect(),
+            DiffExpr::Project(d, cols) => d.eval(db).into_iter().map(|t| t.project(cols)).collect(),
             DiffExpr::Minus(d, other, epoch) => d
                 .eval(db)
                 .into_iter()
@@ -209,7 +204,11 @@ pub struct PartialDifferential {
 
 impl fmt::Display for PartialDifferential {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "ΔP/{}{} ⇒ {}: {}", self.seed, self.influent, self.output, self.expr)
+        write!(
+            f,
+            "ΔP/{}{} ⇒ {}: {}",
+            self.seed, self.influent, self.output, self.expr
+        )
     }
 }
 
@@ -222,11 +221,7 @@ pub fn diff_expr(expr: &RelExpr) -> Vec<PartialDifferential> {
 }
 
 /// Wrap every differential in `from..` with `f` applied to its chain.
-fn wrap(
-    out: &mut [PartialDifferential],
-    from: usize,
-    f: impl Fn(DiffExpr) -> DiffExpr,
-) {
+fn wrap(out: &mut [PartialDifferential], from: usize, f: impl Fn(DiffExpr) -> DiffExpr) {
     for pd in &mut out[from..] {
         let chain = std::mem::replace(&mut pd.expr, DiffExpr::Delta(String::new(), Polarity::Plus));
         pd.expr = f(chain);
@@ -504,7 +499,9 @@ mod tests {
         let dp = delta_of(&p, &db, Correction::Negative);
         assert_eq!(
             dp.plus(),
-            &[tuple![1, 3], tuple![1, 4]].into_iter().collect::<HashSet<_>>()
+            &[tuple![1, 3], tuple![1, 4]]
+                .into_iter()
+                .collect::<HashSet<_>>()
         );
         assert!(dp.minus().is_empty());
     }

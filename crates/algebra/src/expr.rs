@@ -157,10 +157,7 @@ impl RelExpr {
         match self {
             RelExpr::Rel(name, _) => db.contains(name, t, epoch),
             RelExpr::Select(q, pred) => pred.eval(t) && q.contains(db, t, epoch),
-            RelExpr::Project(q, cols) => q
-                .eval(db, epoch)
-                .iter()
-                .any(|u| &u.project(cols) == t),
+            RelExpr::Project(q, cols) => q.eval(db, epoch).iter().any(|u| &u.project(cols) == t),
             RelExpr::Union(q, r) => q.contains(db, t, epoch) || r.contains(db, t, epoch),
             RelExpr::Diff(q, r) => q.contains(db, t, epoch) && !r.contains(db, t, epoch),
             RelExpr::Intersect(q, r) => q.contains(db, t, epoch) && r.contains(db, t, epoch),
@@ -251,7 +248,10 @@ mod tests {
     #[test]
     fn product_and_join() {
         let db = db();
-        let p = RelExpr::Product(Box::new(RelExpr::rel("q", 2)), Box::new(RelExpr::rel("r", 2)));
+        let p = RelExpr::Product(
+            Box::new(RelExpr::rel("q", 2)),
+            Box::new(RelExpr::rel("r", 2)),
+        );
         assert_eq!(p.eval(&db, StateEpoch::New).len(), 6);
         assert_eq!(p.arity(), 4);
 
@@ -264,7 +264,9 @@ mod tests {
         let out = j.eval(&db, StateEpoch::New);
         assert_eq!(
             out,
-            [tuple![1, 1, 1, 2], tuple![2, 3, 3, 4]].into_iter().collect()
+            [tuple![1, 1, 1, 2], tuple![2, 3, 3, 4]]
+                .into_iter()
+                .collect()
         );
     }
 

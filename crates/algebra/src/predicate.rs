@@ -67,12 +67,10 @@ impl Predicate {
     pub fn eval(&self, t: &Tuple) -> bool {
         match self {
             Predicate::True => true,
-            Predicate::Cmp(lhs, op, rhs) => {
-                match lhs.resolve(t).compare(rhs.resolve(t)) {
-                    Ok(ord) => op.matches(ord),
-                    Err(_) => false,
-                }
-            }
+            Predicate::Cmp(lhs, op, rhs) => match lhs.resolve(t).compare(rhs.resolve(t)) {
+                Ok(ord) => op.matches(ord),
+                Err(_) => false,
+            },
             Predicate::And(a, b) => a.eval(t) && b.eval(t),
             Predicate::Or(a, b) => a.eval(t) || b.eval(t),
             Predicate::Not(p) => !p.eval(t),

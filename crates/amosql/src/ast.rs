@@ -216,10 +216,9 @@ impl Expr {
 
     fn collect_vars(&self, out: &mut Vec<String>) {
         match self {
-            Expr::Var(v)
-                if !out.iter().any(|x| x == v) => {
-                    out.push(v.clone());
-                }
+            Expr::Var(v) if !out.iter().any(|x| x == v) => {
+                out.push(v.clone());
+            }
             Expr::Call { args, .. } => {
                 for a in args {
                     a.collect_vars(out);

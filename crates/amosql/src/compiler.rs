@@ -85,8 +85,16 @@ pub struct CompiledQuery {
 /// An atom of the predicate after boolean normalization.
 #[derive(Debug, Clone)]
 enum Atom {
-    Cmp { op: CmpOp, lhs: Expr, rhs: Expr },
-    BoolCall { func: String, args: Vec<Expr>, negated: bool },
+    Cmp {
+        op: CmpOp,
+        lhs: Expr,
+        rhs: Expr,
+    },
+    BoolCall {
+        func: String,
+        args: Vec<Expr>,
+        negated: bool,
+    },
 }
 
 /// Normalize a boolean expression to DNF over atoms, pushing `not`
@@ -204,9 +212,10 @@ impl<'e, 'a> ClauseCtx<'e, 'a> {
     }
 
     fn lookup_var(&self, name: &str) -> Result<Var, ParseError> {
-        self.vars.get(name).copied().ok_or_else(|| {
-            ParseError::unpositioned(format!("undeclared variable `{name}`"))
-        })
+        self.vars
+            .get(name)
+            .copied()
+            .ok_or_else(|| ParseError::unpositioned(format!("undeclared variable `{name}`")))
     }
 
     /// Emit the extent literal for a typed variable (user types only).
@@ -541,9 +550,8 @@ mod tests {
     #[test]
     fn disjunction_lifts_to_clauses() {
         let e = setup();
-        let sel = parse_select(
-            "select i for each item i where quantity(i) < 10 or quantity(i) > 100;",
-        );
+        let sel =
+            parse_select("select i for each item i where quantity(i) < 10 or quantity(i) > 100;");
         let q = compile_select(&env(&e), &sel, &[]).unwrap();
         assert_eq!(q.clauses.len(), 2);
         for c in &q.clauses {
@@ -572,9 +580,8 @@ mod tests {
             .any(|l| matches!(l, Literal::Pred { negated: true, .. })));
 
         // De Morgan over and
-        let sel = parse_select(
-            "select i for each item i where not (quantity(i) < 10 and in_stock(i));",
-        );
+        let sel =
+            parse_select("select i for each item i where not (quantity(i) < 10 and in_stock(i));");
         let q = compile_select(&env(&e), &sel, &[]).unwrap();
         assert_eq!(q.clauses.len(), 2);
     }
@@ -582,14 +589,19 @@ mod tests {
     #[test]
     fn interface_vars_resolve_to_constants() {
         let mut e = setup();
-        e.iface
-            .insert("item1".to_string(), Value::Oid(amos_types::Oid::from_raw(7)));
+        e.iface.insert(
+            "item1".to_string(),
+            Value::Oid(amos_types::Oid::from_raw(7)),
+        );
         let sel = parse_select("select quantity(:item1);");
         let q = compile_select(&env(&e), &sel, &[]).unwrap();
         let c = &q.clauses[0];
         match &c.body[0] {
             Literal::Pred { args, .. } => {
-                assert_eq!(args[0], Term::Const(Value::Oid(amos_types::Oid::from_raw(7))));
+                assert_eq!(
+                    args[0],
+                    Term::Const(Value::Oid(amos_types::Oid::from_raw(7)))
+                );
             }
             other => panic!("{other:?}"),
         }
@@ -637,8 +649,8 @@ mod tests {
         else {
             panic!()
         };
-        let q = compile_predicate(&env(&e), &condition.for_each, &condition.predicate, params)
-            .unwrap();
+        let q =
+            compile_predicate(&env(&e), &condition.for_each, &condition.predicate, params).unwrap();
         assert_eq!(q.head_arity, 2, "param i + for-each s");
         assert!(q.clauses[0].unsafe_var().is_none());
     }

@@ -176,7 +176,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Spanned>, ParseError> {
                 let mut is_real = false;
                 if j < bytes.len()
                     && bytes[j] == '.'
-                    && bytes.get(j + 1).map(|c| c.is_ascii_digit()).unwrap_or(false)
+                    && bytes
+                        .get(j + 1)
+                        .map(|c| c.is_ascii_digit())
+                        .unwrap_or(false)
                 {
                     is_real = true;
                     j += 1;
@@ -225,7 +228,11 @@ mod tests {
     use super::*;
 
     fn toks(src: &str) -> Vec<Token> {
-        tokenize(src).unwrap().into_iter().map(|s| s.token).collect()
+        tokenize(src)
+            .unwrap()
+            .into_iter()
+            .map(|s| s.token)
+            .collect()
     }
 
     #[test]
@@ -291,11 +298,14 @@ mod tests {
 
     #[test]
     fn minus_vs_arrow_vs_comment() {
-        assert_eq!(toks("a - b"), vec![
-            Token::Ident("a".into()),
-            Token::Minus,
-            Token::Ident("b".into())
-        ]);
+        assert_eq!(
+            toks("a - b"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Minus,
+                Token::Ident("b".into())
+            ]
+        );
     }
 
     #[test]

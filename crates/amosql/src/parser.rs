@@ -80,7 +80,9 @@ impl Parser {
         } else {
             Err(self.err_here(format!(
                 "expected `{tok}`, found {}",
-                self.peek().map(|t| format!("`{t}`")).unwrap_or_else(|| "end of input".into())
+                self.peek()
+                    .map(|t| format!("`{t}`"))
+                    .unwrap_or_else(|| "end of input".into())
             )))
         }
     }

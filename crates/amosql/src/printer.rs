@@ -77,16 +77,17 @@ impl fmt::Display for Select {
 
 impl fmt::Display for ProcStmt {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let kv = |f: &mut fmt::Formatter<'_>, kw: &str, func: &String, args: &[Expr], value: &Expr| {
-            write!(f, "{kw} {func}(")?;
-            for (i, a) in args.iter().enumerate() {
-                if i > 0 {
-                    write!(f, ", ")?;
+        let kv =
+            |f: &mut fmt::Formatter<'_>, kw: &str, func: &String, args: &[Expr], value: &Expr| {
+                write!(f, "{kw} {func}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
                 }
-                write!(f, "{a}")?;
-            }
-            write!(f, ") = {value}")
-        };
+                write!(f, ") = {value}")
+            };
         match self {
             ProcStmt::Call { name, args } => {
                 write!(f, "{name}(")?;
@@ -255,9 +256,8 @@ mod tests {
             .map(|s| s.to_string())
             .collect::<Vec<_>>()
             .join("\n");
-        let twice = parse(&printed).unwrap_or_else(|e| {
-            panic!("re-parse failed: {e}\nprinted source:\n{printed}")
-        });
+        let twice = parse(&printed)
+            .unwrap_or_else(|e| panic!("re-parse failed: {e}\nprinted source:\n{printed}"));
         assert_eq!(once, twice, "printed source:\n{printed}");
     }
 

@@ -103,21 +103,27 @@ fn bench_hybrid(c: &mut Criterion) {
         // Small-transaction workload: hybrid should track incremental.
         let mut world = InventoryWorld::new(N_ITEMS, mode, NetworkPrep::Flat);
         let mut v = 10_001i64;
-        group.bench_function(BenchmarkId::new(format!("{label}_small_tx"), N_ITEMS), |b| {
-            b.iter(|| {
-                v += 1;
-                world.tx_single_quantity_update(0, v);
-            });
-        });
+        group.bench_function(
+            BenchmarkId::new(format!("{label}_small_tx"), N_ITEMS),
+            |b| {
+                b.iter(|| {
+                    v += 1;
+                    world.tx_single_quantity_update(0, v);
+                });
+            },
+        );
         // Massive-transaction workload: hybrid should track naive.
         let mut world = InventoryWorld::new(N_ITEMS, mode, NetworkPrep::Flat);
         let mut round = 1i64;
-        group.bench_function(BenchmarkId::new(format!("{label}_massive_tx"), N_ITEMS), |b| {
-            b.iter(|| {
-                round += 1;
-                world.tx_massive_update(round);
-            });
-        });
+        group.bench_function(
+            BenchmarkId::new(format!("{label}_massive_tx"), N_ITEMS),
+            |b| {
+                b.iter(|| {
+                    round += 1;
+                    world.tx_massive_update(round);
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -30,7 +30,10 @@ fn operators() -> Vec<(&'static str, RelExpr)> {
     let q = || Box::new(RelExpr::rel("q", 2));
     let r = || Box::new(RelExpr::rel("r", 2));
     vec![
-        ("select", RelExpr::Select(q(), Predicate::col_const(1, CmpOp::Lt, 5))),
+        (
+            "select",
+            RelExpr::Select(q(), Predicate::col_const(1, CmpOp::Lt, 5)),
+        ),
         ("project", RelExpr::Project(q(), vec![1])),
         ("union", RelExpr::Union(q(), r())),
         ("difference", RelExpr::Diff(q(), r())),

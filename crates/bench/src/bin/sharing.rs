@@ -56,8 +56,7 @@ fn build(prep: NetworkPrep, n_rules: usize) -> (Amos, Vec<Oid>, amos_storage::Re
         rel("supplies"),
         rel("delivery_time"),
     ];
-    let (rq, rmax, rmin, rcf, rsup, rdt) =
-        (rels[0], rels[1], rels[2], rels[3], rels[4], rels[5]);
+    let (rq, rmax, rmin, rcf, rsup, rdt) = (rels[0], rels[1], rels[2], rels[3], rels[4], rels[5]);
     let consume_rel = rcf;
     let mut items = Vec::with_capacity(N_ITEMS);
     {
@@ -68,14 +67,30 @@ fn build(prep: NetworkPrep, n_rules: usize) -> (Amos, Vec<Oid>, amos_storage::Re
             items.push(item);
             let iv = Value::Oid(item);
             let sv = Value::Oid(sup);
-            storage.insert(item_extent, amos_types::Tuple::new(vec![iv.clone()])).unwrap();
-            storage.insert(supplier_extent, amos_types::Tuple::new(vec![sv.clone()])).unwrap();
-            storage.set_functional(rq, std::slice::from_ref(&iv), &[Value::Int(10_000)]).unwrap();
-            storage.set_functional(rmax, std::slice::from_ref(&iv), &[Value::Int(20_000)]).unwrap();
-            storage.set_functional(rmin, std::slice::from_ref(&iv), &[Value::Int(100)]).unwrap();
-            storage.set_functional(rcf, std::slice::from_ref(&iv), &[Value::Int(20)]).unwrap();
-            storage.set_functional(rsup, std::slice::from_ref(&sv), std::slice::from_ref(&iv)).unwrap();
-            storage.set_functional(rdt, &[iv, sv], &[Value::Int(2)]).unwrap();
+            storage
+                .insert(item_extent, amos_types::Tuple::new(vec![iv.clone()]))
+                .unwrap();
+            storage
+                .insert(supplier_extent, amos_types::Tuple::new(vec![sv.clone()]))
+                .unwrap();
+            storage
+                .set_functional(rq, std::slice::from_ref(&iv), &[Value::Int(10_000)])
+                .unwrap();
+            storage
+                .set_functional(rmax, std::slice::from_ref(&iv), &[Value::Int(20_000)])
+                .unwrap();
+            storage
+                .set_functional(rmin, std::slice::from_ref(&iv), &[Value::Int(100)])
+                .unwrap();
+            storage
+                .set_functional(rcf, std::slice::from_ref(&iv), &[Value::Int(20)])
+                .unwrap();
+            storage
+                .set_functional(rsup, std::slice::from_ref(&sv), std::slice::from_ref(&iv))
+                .unwrap();
+            storage
+                .set_functional(rdt, &[iv, sv], &[Value::Int(2)])
+                .unwrap();
         }
     }
     db.execute("activate monitor_items();").unwrap();
@@ -115,7 +130,10 @@ fn run(prep: NetworkPrep, n_rules: usize) -> f64 {
 fn main() {
     println!("# §7.1 node sharing — {TRANSACTIONS} transactions updating consume_freq of one item");
     println!("# ({N_ITEMS} items; rules all referencing threshold; times in ms)");
-    println!("{:>8} {:>10} {:>10} {:>12}", "rules", "flat_ms", "bushy_ms", "flat/bushy");
+    println!(
+        "{:>8} {:>10} {:>10} {:>12}",
+        "rules", "flat_ms", "bushy_ms", "flat/bushy"
+    );
     for &n_rules in &[1usize, 2, 4, 8] {
         let flat = run(NetworkPrep::Flat, n_rules);
         let bushy = run(NetworkPrep::Bushy, n_rules);

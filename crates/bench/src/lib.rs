@@ -22,6 +22,8 @@ use amos_db::{Amos, EngineOptions, Value};
 use amos_storage::RelId;
 use amos_types::Oid;
 
+pub mod report;
+
 /// The §3.1 inventory schema and `monitor_items` rule (verbatim).
 pub const SCHEMA: &str = r#"
     create type item;
@@ -108,7 +110,11 @@ impl InventoryWorld {
                     .insert(supplier_extent, amos_types::Tuple::new(vec![sv.clone()]))
                     .unwrap();
                 storage
-                    .set_functional(quantity_rel, std::slice::from_ref(&iv), &[Value::Int(10_000)])
+                    .set_functional(
+                        quantity_rel,
+                        std::slice::from_ref(&iv),
+                        &[Value::Int(10_000)],
+                    )
                     .unwrap();
                 storage
                     .set_functional(max_rel, std::slice::from_ref(&iv), &[Value::Int(20_000)])
@@ -120,7 +126,11 @@ impl InventoryWorld {
                     .set_functional(consume_rel, std::slice::from_ref(&iv), &[Value::Int(20)])
                     .unwrap();
                 storage
-                    .set_functional(supplies_rel, std::slice::from_ref(&sv), std::slice::from_ref(&iv))
+                    .set_functional(
+                        supplies_rel,
+                        std::slice::from_ref(&sv),
+                        std::slice::from_ref(&iv),
+                    )
                     .unwrap();
                 storage
                     .set_functional(delivery_rel, &[iv, sv], &[Value::Int(2)])
@@ -200,10 +210,9 @@ mod tests {
         w.tx_single_quantity_update(3, 9_999);
         w.tx_massive_update(1);
         // Condition never became true (values stay high).
-        let rows = w
-            .db
-            .query("select i for each item i where quantity(i) < threshold(i);")
-            .unwrap();
+        let rows =
+            w.db.query("select i for each item i where quantity(i) < threshold(i);")
+                .unwrap();
         assert!(rows.is_empty());
     }
 
@@ -212,10 +221,9 @@ mod tests {
         for mode in [MonitorMode::Incremental, MonitorMode::Naive] {
             let mut w = InventoryWorld::new(5, mode, NetworkPrep::Flat);
             w.tx_single_quantity_update(0, 50); // below threshold → triggers
-            let rows = w
-                .db
-                .query("select i for each item i where quantity(i) < threshold(i);")
-                .unwrap();
+            let rows =
+                w.db.query("select i for each item i where quantity(i) < threshold(i);")
+                    .unwrap();
             assert_eq!(rows.len(), 1, "mode {mode:?}");
         }
     }

@@ -1,0 +1,149 @@
+//! Machine-readable benchmark reports (`BENCH_*.json`) plus the shared
+//! command-line handling, so the CI bench-smoke job and local runs of
+//! the `fig6`/`fig7` binaries share one code path.
+//!
+//! The JSON artifact carries, per database size, the measured series
+//! timings and the full [`PassMetrics`] of the last incremental
+//! propagation pass — per-differential timings, candidate/rejected
+//! counters, and per-level wave-front sizes — so perf regressions are
+//! diffable across CI runs.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use amos_metrics::{JsonValue, PassMetrics};
+
+/// Command-line options shared by the figure binaries.
+#[derive(Debug, Default)]
+pub struct BenchArgs {
+    /// `--json PATH`: write the machine-readable report here.
+    pub json: Option<PathBuf>,
+    /// `--sizes 1,10,100`: override the database sizes to sweep.
+    pub sizes: Option<Vec<usize>>,
+    /// `--transactions N`: override the per-size transaction count
+    /// (fig. 6 only).
+    pub transactions: Option<usize>,
+}
+
+impl BenchArgs {
+    /// Parse `std::env::args()`; panics with a usage message on
+    /// unknown or malformed flags (these are dev binaries).
+    pub fn parse() -> Self {
+        let mut out = BenchArgs::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(flag) = args.next() {
+            let mut value = |name: &str| {
+                args.next()
+                    .unwrap_or_else(|| panic!("{name} requires a value"))
+            };
+            match flag.as_str() {
+                "--json" => out.json = Some(PathBuf::from(value("--json"))),
+                "--sizes" => {
+                    out.sizes = Some(
+                        value("--sizes")
+                            .split(',')
+                            .map(|s| {
+                                s.trim()
+                                    .parse()
+                                    .unwrap_or_else(|_| panic!("bad size {s:?}"))
+                            })
+                            .collect(),
+                    )
+                }
+                "--transactions" => {
+                    out.transactions = Some(
+                        value("--transactions")
+                            .parse()
+                            .expect("--transactions takes a count"),
+                    )
+                }
+                other => panic!(
+                    "unknown flag {other:?} (expected --json PATH, --sizes A,B,C, --transactions N)"
+                ),
+            }
+        }
+        out
+    }
+}
+
+/// One measured database size in a figure sweep.
+#[derive(Debug)]
+pub struct SizeRow {
+    /// Database size (number of inventory items).
+    pub n_items: usize,
+    /// Total time of the incremental series, milliseconds.
+    pub incremental_ms: f64,
+    /// Total time of the naive series, milliseconds.
+    pub naive_ms: f64,
+    /// Metrics of the last incremental propagation pass at this size.
+    pub last_pass: Option<PassMetrics>,
+}
+
+impl SizeRow {
+    fn to_json(&self) -> JsonValue {
+        let mut row = JsonValue::object()
+            .with("n_items", self.n_items)
+            .with("incremental_ms", self.incremental_ms)
+            .with("naive_ms", self.naive_ms);
+        row = match &self.last_pass {
+            Some(m) => row.with("last_pass", m.to_json()),
+            None => row.with("last_pass", JsonValue::Null),
+        };
+        row
+    }
+}
+
+/// Assemble the report document for one figure sweep.
+pub fn report_json(
+    bench: &str,
+    description: &str,
+    transactions: usize,
+    rows: &[SizeRow],
+) -> JsonValue {
+    JsonValue::object()
+        .with("bench", bench)
+        .with("description", description)
+        .with("transactions", transactions)
+        .with(
+            "results",
+            JsonValue::Array(rows.iter().map(SizeRow::to_json).collect()),
+        )
+}
+
+/// Write the report to `path` (pretty-printed, trailing newline).
+pub fn write_report(
+    path: &PathBuf,
+    bench: &str,
+    description: &str,
+    transactions: usize,
+    rows: &[SizeRow],
+) -> std::io::Result<()> {
+    let doc = report_json(bench, description, transactions, rows);
+    let mut file = std::fs::File::create(path)?;
+    writeln!(file, "{}", doc.to_pretty())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_shape() {
+        let rows = vec![SizeRow {
+            n_items: 10,
+            incremental_ms: 1.25,
+            naive_ms: 2.5,
+            last_pass: Some(PassMetrics {
+                strategy: "parallel".into(),
+                check: "nervous".into(),
+                ..Default::default()
+            }),
+        }];
+        let doc = report_json("fig6", "single-item updates", 100, &rows).to_compact();
+        assert!(doc.contains(r#""bench":"fig6""#));
+        assert!(doc.contains(r#""transactions":100"#));
+        assert!(doc.contains(r#""incremental_ms":1.25"#));
+        assert!(doc.contains(r#""last_pass":{"strategy":"parallel""#));
+    }
+}

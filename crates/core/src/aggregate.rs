@@ -120,9 +120,7 @@ impl GroupState {
                     Value::Int(self.sum_int)
                 }
             }
-            AggFn::Avg => {
-                Value::real((self.sum_real + self.sum_int as f64) / self.count as f64)?
-            }
+            AggFn::Avg => Value::real((self.sum_real + self.sum_int as f64) / self.count as f64)?,
             AggFn::Min => self
                 .values
                 .keys()
@@ -172,14 +170,11 @@ impl AggregateView {
     /// Initialize from the current contents of the source relation.
     pub fn initialize(&mut self, catalog: &Catalog, storage: &Storage) -> Result<(), CoreError> {
         self.groups.clear();
-        let rel = catalog
-            .def(self.source)
-            .stored_rel()
-            .ok_or_else(|| {
-                CoreError::ObjectLog(amos_objectlog::ObjectLogError::NotDerived(
-                    catalog.name(self.source).to_string(),
-                ))
-            })?;
+        let rel = catalog.def(self.source).stored_rel().ok_or_else(|| {
+            CoreError::ObjectLog(amos_objectlog::ObjectLogError::NotDerived(
+                catalog.name(self.source).to_string(),
+            ))
+        })?;
         for t in storage.relation(rel).scan() {
             let g = self.group_of(t);
             self.groups
@@ -197,9 +192,9 @@ impl AggregateView {
         // Collect affected groups and their before-values.
         let mut before: HashMap<Tuple, Option<Value>> = HashMap::new();
         let touch = |groups: &HashMap<Tuple, GroupState>,
-                         before: &mut HashMap<Tuple, Option<Value>>,
-                         g: Tuple,
-                         agg: AggFn|
+                     before: &mut HashMap<Tuple, Option<Value>>,
+                     g: Tuple,
+                     agg: AggFn|
          -> Result<(), CoreError> {
             if let std::collections::hash_map::Entry::Vacant(e) = before.entry(g) {
                 let v = match groups.get(e.key()) {

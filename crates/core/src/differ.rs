@@ -269,14 +269,9 @@ mod tests {
     fn four_differentials_for_two_influents() {
         let mut f = fixture();
         let nodes: HashSet<PredId> = [f.q, f.r].into_iter().collect();
-        let diffs = generate_differentials(
-            &f.catalog,
-            &mut f.storage,
-            f.p,
-            &nodes,
-            DiffScope::Full,
-        )
-        .unwrap();
+        let diffs =
+            generate_differentials(&f.catalog, &mut f.storage, f.p, &nodes, DiffScope::Full)
+                .unwrap();
         assert_eq!(diffs.len(), 4);
         let names: Vec<String> = diffs.iter().map(|d| d.display_name(&f.catalog)).collect();
         assert!(names.contains(&"Δp/Δ+q".to_string()));
@@ -369,8 +364,7 @@ mod tests {
             .unwrap();
         let nodes: HashSet<PredId> = [f.q, f.r].into_iter().collect();
         let diffs =
-            generate_differentials(&f.catalog, &mut f.storage, s, &nodes, DiffScope::Full)
-                .unwrap();
+            generate_differentials(&f.catalog, &mut f.storage, s, &nodes, DiffScope::Full).unwrap();
         assert_eq!(diffs.len(), 4);
         let r_diffs: Vec<_> = diffs.iter().filter(|d| d.influent == f.r).collect();
         for d in r_diffs {
@@ -429,9 +423,8 @@ mod tests {
             )
             .unwrap();
         let nodes: HashSet<PredId> = [f.q].into_iter().collect();
-        let diffs =
-            generate_differentials(&f.catalog, &mut f.storage, sj, &nodes, DiffScope::Full)
-                .unwrap();
+        let diffs = generate_differentials(&f.catalog, &mut f.storage, sj, &nodes, DiffScope::Full)
+            .unwrap();
         // two occurrences × two polarities
         assert_eq!(diffs.len(), 4);
         let lits: HashSet<usize> = diffs.iter().map(|d| d.literal_index).collect();

@@ -48,7 +48,10 @@ impl fmt::Display for CoreError {
             CoreError::UnknownRule(n) => write!(f, "unknown rule `{n}`"),
             CoreError::DuplicateRule(n) => write!(f, "rule `{n}` already exists"),
             CoreError::NonTerminatingRules { limit } => {
-                write!(f, "rule cascade did not terminate within {limit} iterations")
+                write!(
+                    f,
+                    "rule cascade did not terminate within {limit} iterations"
+                )
             }
             CoreError::ActionFailed { rule, reason } => {
                 write!(f, "action of rule `{rule}` failed: {reason}")

@@ -42,7 +42,11 @@ impl FiredDifferential {
             catalog.name(self.affected),
             self.seed,
             catalog.name(self.influent),
-            if self.output == Polarity::Plus { "+" } else { "-" },
+            if self.output == Polarity::Plus {
+                "+"
+            } else {
+                "-"
+            },
             ts.join(", ")
         )
     }
@@ -73,7 +77,11 @@ impl TriggerExplanation {
             .collect();
         format!(
             "{}{} of {} caused by [{}]",
-            if self.polarity == Polarity::Plus { "+" } else { "-" },
+            if self.polarity == Polarity::Plus {
+                "+"
+            } else {
+                "-"
+            },
             self.instance,
             catalog.name(self.condition),
             causes.join(", ")

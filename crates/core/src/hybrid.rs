@@ -99,12 +99,7 @@ impl CostModel {
     }
 
     /// Estimated cost of re-evaluating `condition` from scratch.
-    pub fn naive_cost(
-        &self,
-        catalog: &Catalog,
-        storage: &Storage,
-        condition: PredId,
-    ) -> f64 {
+    pub fn naive_cost(&self, catalog: &Catalog, storage: &Storage, condition: PredId) -> f64 {
         let mut cost = 0.0;
         for pred in catalog.stored_influents(condition) {
             if let Some(rel) = catalog.def(pred).stored_rel() {
@@ -205,10 +200,7 @@ mod tests {
             PropagationNetwork::build(&catalog, &mut storage, &[low], DiffScope::Full).unwrap();
         storage.begin().unwrap();
         let model = CostModel::default();
-        assert_eq!(
-            model.incremental_cost(&catalog, &storage, &net, low),
-            0.0
-        );
+        assert_eq!(model.incremental_cost(&catalog, &storage, &net, low), 0.0);
         assert_eq!(
             model.choose(&catalog, &storage, &net, low),
             Strategy::Incremental

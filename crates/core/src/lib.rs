@@ -61,7 +61,9 @@ pub use hybrid::{CostModel, Strategy};
 pub use maintained::{ClosureView, MaintainedAggregate, SourceDeltas, UserView};
 pub use naive::NaiveMonitor;
 pub use network::{NetworkStyle, NodeId, PropagationNetwork};
-pub use propagate::{propagate, recompute_delta, CheckLevel, PropagationResult};
+pub use propagate::{
+    propagate, propagate_with, recompute_delta, CheckLevel, ExecStrategy, PropagationResult,
+};
 pub use rules::{
     ActionCtx, ActionFn, MonitorMode, MonitorStats, Rule, RuleId, RuleManager, RuleSemantics,
 };

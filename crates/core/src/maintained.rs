@@ -34,11 +34,8 @@ pub trait UserView: Send {
     fn sources(&self) -> Vec<RelId>;
 
     /// Compute the full current result (called once at registration).
-    fn initialize(
-        &mut self,
-        catalog: &Catalog,
-        storage: &Storage,
-    ) -> Result<Vec<Tuple>, CoreError>;
+    fn initialize(&mut self, catalog: &Catalog, storage: &Storage)
+        -> Result<Vec<Tuple>, CoreError>;
 
     /// The user-defined differential: fold the influents' Δ-sets into
     /// internal state and return the Δ-set of result tuples.
@@ -171,9 +168,7 @@ mod tests {
             .unwrap();
         storage.insert(rel, tuple![1, 10]).unwrap();
 
-        let double = |t: &Tuple| -> Tuple {
-            tuple![t[0].clone(), t[1].as_int().unwrap() * 2]
-        };
+        let double = |t: &Tuple| -> Tuple { tuple![t[0].clone(), t[1].as_int().unwrap() * 2] };
         let mut view = ClosureView::new(
             vec![rel],
             move |_cat: &Catalog, storage: &Storage| {

@@ -76,11 +76,7 @@ impl NaiveMonitor {
         condition: PredId,
     ) -> Result<DeltaSet, CoreError> {
         let new = full_eval(catalog, storage, condition)?;
-        let old = self
-            .previous
-            .get(&condition)
-            .cloned()
-            .unwrap_or_default();
+        let old = self.previous.get(&condition).cloned().unwrap_or_default();
         let delta = DeltaSet::from_parts(
             new.difference(&old).cloned().collect(),
             old.difference(&new).cloned().collect(),

@@ -208,10 +208,7 @@ impl PropagationNetwork {
             for node_id in &self.levels[level] {
                 let node = &self.nodes[node_id.0 as usize];
                 let marker = if node.is_condition { "*" } else { " " };
-                out.push_str(&format!(
-                    "L{level}{marker} {}\n",
-                    catalog.name(node.pred)
-                ));
+                out.push_str(&format!("L{level}{marker} {}\n", catalog.name(node.pred)));
                 for did in &node.out_diffs {
                     let d = self.differential(*did);
                     out.push_str(&format!("      └─ {}\n", d.display_name(catalog)));
@@ -296,8 +293,7 @@ mod tests {
     #[test]
     fn bushy_network_matches_fig1() {
         let (mut storage, cat, cnd, threshold) = monitor_items_bushy();
-        let net =
-            PropagationNetwork::build(&cat, &mut storage, &[cnd], DiffScope::Full).unwrap();
+        let net = PropagationNetwork::build(&cat, &mut storage, &[cnd], DiffScope::Full).unwrap();
 
         assert_eq!(net.levels().len(), 3);
         assert_eq!(net.levels()[0].len(), 5, "five stored influents");
@@ -346,8 +342,7 @@ mod tests {
         .unwrap();
         cat.replace_clauses(cnd, expanded).unwrap();
 
-        let net =
-            PropagationNetwork::build(&cat, &mut storage, &[cnd], DiffScope::Full).unwrap();
+        let net = PropagationNetwork::build(&cat, &mut storage, &[cnd], DiffScope::Full).unwrap();
         assert_eq!(net.levels().len(), 2, "flat: stored + condition only");
         assert_eq!(net.levels()[0].len(), 5);
         // 5 influents × 2 polarities = 10 differentials, all into cnd.
@@ -373,8 +368,8 @@ mod tests {
                     .build()],
             )
             .unwrap();
-        let net = PropagationNetwork::build(&cat, &mut storage, &[cnd, cnd2], DiffScope::Full)
-            .unwrap();
+        let net =
+            PropagationNetwork::build(&cat, &mut storage, &[cnd, cnd2], DiffScope::Full).unwrap();
         // threshold node exists once; its out-edges feed both conditions.
         let tnode = net.node_of(threshold).unwrap();
         let affected: HashSet<PredId> = tnode

@@ -31,12 +31,16 @@
 //!   false→true transitions.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
+use amos_metrics::{DiffTiming, LevelStats, PassMetrics, Stopwatch};
 use amos_objectlog::catalog::{Catalog, PredId};
 use amos_objectlog::eval::{DeltaMap, EvalContext};
 use amos_storage::{DeltaSet, Polarity, StateEpoch, Storage};
 use amos_types::{Tuple, Value};
 
+use crate::differ::DiffId;
 use crate::error::CoreError;
 use crate::explain::FiredDifferential;
 use crate::network::PropagationNetwork;
@@ -56,6 +60,47 @@ pub enum CheckLevel {
     Strict,
 }
 
+impl CheckLevel {
+    /// Lowercase name for metrics and explain output.
+    pub fn name(self) -> &'static str {
+        match self {
+            CheckLevel::Raw => "raw",
+            CheckLevel::Nervous => "nervous",
+            CheckLevel::Strict => "strict",
+        }
+    }
+}
+
+/// How to execute the differentials of one wave-front level.
+///
+/// Within a level every differential execution is an independent
+/// read-only query: it reads storage and the *current* level's Δ-sets
+/// and writes only to strictly higher-level nodes — and the §7.2
+/// `accept` checks consult storage alone. The parallel strategy exploits
+/// this by snapshotting the wave immutably, running all (node,
+/// differential) tasks concurrently, and merging their accepted batches
+/// *sequentially in serial execution order* — so the resulting Δ-sets
+/// (and all counters) are identical to [`ExecStrategy::Serial`] under
+/// every [`CheckLevel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecStrategy {
+    /// One differential at a time, in network order.
+    Serial,
+    /// All differentials of a level concurrently (deterministic merge).
+    #[default]
+    Parallel,
+}
+
+impl ExecStrategy {
+    /// Lowercase name for metrics and explain output.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExecStrategy::Serial => "serial",
+            ExecStrategy::Parallel => "parallel",
+        }
+    }
+}
+
 /// The outcome of one propagation pass.
 #[derive(Debug, Default)]
 pub struct PropagationResult {
@@ -67,18 +112,64 @@ pub struct PropagationResult {
     pub candidates: usize,
     /// Candidates rejected by §7.2 checks.
     pub rejected: usize,
+    /// Instrumentation for this pass (timings, wave-front sizes).
+    pub metrics: PassMetrics,
+}
+
+/// Output of one differential execution, before the sequential merge.
+struct TaskOutput {
+    /// Tuples produced by the plan (count only; the tuples themselves
+    /// are dropped once checked).
+    candidates: usize,
+    /// Tuples surviving the §7.2 checks.
+    accepted: Vec<Tuple>,
+    /// Wall-clock time of plan execution plus checks.
+    nanos: u64,
+}
+
+/// One unit of wave-front work: execute differential `diff` seeded by
+/// the Δ-set of the node at `level`.
+#[derive(Clone, Copy)]
+struct Task {
+    diff: DiffId,
+    level: usize,
 }
 
 /// Run one breadth-first bottom-up propagation pass over the network,
 /// reading base-relation Δ-sets from `storage` and returning the
-/// condition-level net changes.
+/// condition-level net changes. Uses the default execution strategy
+/// ([`ExecStrategy::Parallel`]); see [`propagate_with`] to choose.
 pub fn propagate(
     network: &PropagationNetwork,
     catalog: &Catalog,
     storage: &Storage,
     check: CheckLevel,
 ) -> Result<PropagationResult, CoreError> {
+    propagate_with(network, catalog, storage, check, ExecStrategy::default())
+}
+
+/// [`propagate`] with an explicit execution strategy.
+///
+/// Both strategies share one code path: per level, (1) close changed
+/// self-recursive nodes to their fixpoints sequentially, (2) execute
+/// every remaining (changed node, out-differential) task — inline or on
+/// a thread pool — against the immutable level-start wave, and (3) merge
+/// the accepted batches sequentially in network order with `∪Δ`. Because
+/// within-level tasks never read each other's output (differentials
+/// write only to strictly higher levels) and checks consult storage
+/// only, the merged Δ-sets are identical under either strategy.
+pub fn propagate_with(
+    network: &PropagationNetwork,
+    catalog: &Catalog,
+    storage: &Storage,
+    check: CheckLevel,
+    strategy: ExecStrategy,
+) -> Result<PropagationResult, CoreError> {
+    let pass_timer = Stopwatch::start();
     let mut result = PropagationResult::default();
+    result.metrics.strategy = strategy.name().to_owned();
+    result.metrics.check = check.name().to_owned();
+
     // Wave-front Δ-sets, keyed by predicate. Level-0 nodes read straight
     // from storage's accumulated transaction Δ-sets.
     let mut wave: DeltaMap = DeltaMap::new();
@@ -96,96 +187,116 @@ pub fn propagate(
 
     let levels = network.levels().len();
     for level in 0..levels {
-        for node_id in &network.levels()[level] {
-            let node = &network.nodes()[node_id.0 as usize];
-            let changed = wave.get(&node.pred).map(|d| !d.is_empty()).unwrap_or(false);
-            if !changed {
-                continue;
-            }
-            // Linearly recursive node (§5 note 1): close its Δ-set to a
-            // fixpoint before firing out-edges to other nodes.
-            if catalog.is_self_recursive(node.pred) {
-                close_recursive_node(network, catalog, storage, node, &mut wave, check, &mut result)?;
-            }
-            for diff_id in &node.out_diffs {
-                let diff = network.differential(*diff_id);
-                // Self-differentials were consumed by the fixpoint
-                // closure above.
-                if diff.affected == node.pred {
-                    continue;
-                }
-                // Execute the differential's plan with the current wave
-                // as the Δ-environment.
-                let ctx = EvalContext::new(storage, catalog, &wave);
-                let mut produced: Vec<Tuple> = Vec::new();
-                let bindings = vec![None; diff.plan.n_vars as usize];
-                ctx.run_plan(
-                    &diff.plan,
-                    bindings,
-                    StateEpoch::New,
-                    0,
-                    &mut |b, head| {
-                        let vals: Option<Vec<Value>> = head
-                            .iter()
-                            .map(|t| match t {
-                                amos_objectlog::clause::Term::Const(v) => Some(v.clone()),
-                                amos_objectlog::clause::Term::Var(v) => {
-                                    b[v.0 as usize].clone()
-                                }
-                            })
-                            .collect();
-                        if let Some(vals) = vals {
-                            produced.push(Tuple::new(vals));
-                        }
-                        Ok(())
-                    },
-                )?;
+        // The changed set is fixed at level start: within a level,
+        // differentials write only to strictly higher-level nodes, so
+        // processing earlier nodes can never (un)change a later one.
+        let changed: Vec<&crate::network::Node> = network.levels()[level]
+            .iter()
+            .map(|node_id| &network.nodes()[node_id.0 as usize])
+            .filter(|node| wave.get(&node.pred).map(|d| !d.is_empty()).unwrap_or(false))
+            .collect();
+        if changed.is_empty() {
+            continue;
+        }
+        let wave_tuples: usize = changed
+            .iter()
+            .filter_map(|node| wave.get(&node.pred))
+            .map(DeltaSet::len)
+            .sum();
 
-                result.candidates += produced.len();
-                // Candidates feeding a recursive node skip the per-tuple
-                // §7.2 checks: the fixpoint closure (or the exact
-                // recompute fallback on deletions) establishes
-                // correctness for the whole node at once, and per-tuple
-                // `holds` on a recursive predicate would re-run the
-                // fixpoint per candidate.
-                let effective_check = if catalog.is_self_recursive(diff.affected) {
-                    CheckLevel::Raw
-                } else {
-                    check
-                };
-                let mut accepted: Vec<Tuple> = Vec::new();
-                {
-                    let ctx = EvalContext::new(storage, catalog, &wave);
-                    for t in produced {
-                        if accept(&ctx, diff.affected, &t, diff.output, effective_check)? {
-                            accepted.push(t);
-                        } else {
-                            result.rejected += 1;
-                        }
-                    }
-                }
-                if !accepted.is_empty() || !matches!(check, CheckLevel::Raw) {
-                    result.fired.push(FiredDifferential {
+        // Linearly recursive nodes (§5 note 1): close their Δ-sets to a
+        // fixpoint before firing out-edges to other nodes. Sequential:
+        // each closure mutates its own node's wave entry.
+        for node in &changed {
+            if catalog.is_self_recursive(node.pred) {
+                close_recursive_node(
+                    network,
+                    catalog,
+                    storage,
+                    node,
+                    &mut wave,
+                    check,
+                    &mut result,
+                )?;
+            }
+        }
+
+        // Gather the level's tasks in serial execution order; self-
+        // differentials were consumed by the fixpoint closure above.
+        let tasks: Vec<Task> = changed
+            .iter()
+            .flat_map(|node| {
+                node.out_diffs
+                    .iter()
+                    .filter(|diff_id| network.differential(**diff_id).affected != node.pred)
+                    .map(|diff_id| Task {
                         diff: *diff_id,
-                        affected: diff.affected,
-                        influent: diff.influent,
-                        seed: diff.seed,
-                        output: diff.output,
-                        tuples: accepted.clone(),
-                    });
-                }
-                let target = wave.entry(diff.affected).or_default();
-                for t in accepted {
-                    match diff.output {
-                        Polarity::Plus => target.delta_union_insert(t),
-                        Polarity::Minus => target.delta_union_delete(t),
-                    }
+                        level,
+                    })
+            })
+            .collect();
+
+        // Execute: threads when the strategy and the task count warrant
+        // it, inline otherwise. Either way `wave` is frozen (shared
+        // immutably) for the whole batch.
+        let parallel = strategy == ExecStrategy::Parallel && tasks.len() > 1;
+        let outputs: Vec<Result<TaskOutput, CoreError>> = if parallel {
+            run_tasks_threaded(network, catalog, storage, &wave, check, &tasks)
+        } else {
+            tasks
+                .iter()
+                .map(|task| run_differential(network, catalog, storage, &wave, task.diff, check))
+                .collect()
+        };
+
+        result.metrics.levels.push(LevelStats {
+            level,
+            active_nodes: changed.len(),
+            wave_tuples,
+            tasks: tasks.len(),
+            parallel,
+        });
+
+        // Merge sequentially, in serial execution order: `∪Δ` into the
+        // affected nodes' Δ-sets plus counters, trace, and timings.
+        for (task, output) in tasks.iter().zip(outputs) {
+            let output = output?;
+            let diff = network.differential(task.diff);
+            result.candidates += output.candidates;
+            result.rejected += output.candidates - output.accepted.len();
+            result.metrics.differentials.push(DiffTiming {
+                diff: task.diff.0 as usize,
+                differential: diff.display_name(catalog),
+                affected: catalog.name(diff.affected).to_owned(),
+                level: task.level,
+                nanos: output.nanos,
+                candidates: output.candidates,
+                accepted: output.accepted.len(),
+            });
+            if !output.accepted.is_empty() || !matches!(check, CheckLevel::Raw) {
+                result.fired.push(FiredDifferential {
+                    diff: task.diff,
+                    affected: diff.affected,
+                    influent: diff.influent,
+                    seed: diff.seed,
+                    output: diff.output,
+                    tuples: output.accepted.clone(),
+                });
+            }
+            let target = wave.entry(diff.affected).or_default();
+            for t in output.accepted {
+                match diff.output {
+                    Polarity::Plus => target.delta_union_insert(t),
+                    Polarity::Minus => target.delta_union_delete(t),
                 }
             }
-            // Clear the processed node's wave-front Δ-set (the paper's
-            // space optimization). Base Δ-sets live in storage and are
-            // untouched; condition deltas are collected below before the
-            // wave map is dropped.
+        }
+
+        // Clear the processed nodes' wave-front Δ-sets (the paper's
+        // space optimization). Base Δ-sets live in storage and are
+        // untouched; condition deltas are collected below before the
+        // wave map is dropped.
+        for node in &changed {
             if !node.is_condition {
                 wave.remove(&node.pred);
             }
@@ -196,7 +307,104 @@ pub fn propagate(
         let delta = wave.remove(cond).unwrap_or_default();
         result.condition_deltas.insert(*cond, delta);
     }
+    result.metrics.fired = result.fired.len();
+    result.metrics.candidates = result.candidates;
+    result.metrics.rejected = result.rejected;
+    result.metrics.nanos = pass_timer.elapsed_nanos();
     Ok(result)
+}
+
+/// Execute one differential against the frozen wave: run its plan, then
+/// apply the §7.2 checks. Read-only with respect to `wave` and
+/// `storage`, so any number of these can run concurrently.
+fn run_differential(
+    network: &PropagationNetwork,
+    catalog: &Catalog,
+    storage: &Storage,
+    wave: &DeltaMap,
+    diff_id: DiffId,
+    check: CheckLevel,
+) -> Result<TaskOutput, CoreError> {
+    let timer = Stopwatch::start();
+    let diff = network.differential(diff_id);
+    let ctx = EvalContext::new(storage, catalog, wave);
+    let mut produced: Vec<Tuple> = Vec::new();
+    let bindings = vec![None; diff.plan.n_vars as usize];
+    ctx.run_plan(&diff.plan, bindings, StateEpoch::New, 0, &mut |b, head| {
+        let vals: Option<Vec<Value>> = head
+            .iter()
+            .map(|t| match t {
+                amos_objectlog::clause::Term::Const(v) => Some(v.clone()),
+                amos_objectlog::clause::Term::Var(v) => b[v.0 as usize].clone(),
+            })
+            .collect();
+        if let Some(vals) = vals {
+            produced.push(Tuple::new(vals));
+        }
+        Ok(())
+    })?;
+
+    // Candidates feeding a recursive node skip the per-tuple §7.2
+    // checks: the fixpoint closure (or the exact recompute fallback on
+    // deletions) establishes correctness for the whole node at once, and
+    // per-tuple `holds` on a recursive predicate would re-run the
+    // fixpoint per candidate.
+    let effective_check = if catalog.is_self_recursive(diff.affected) {
+        CheckLevel::Raw
+    } else {
+        check
+    };
+    let candidates = produced.len();
+    let mut accepted: Vec<Tuple> = Vec::new();
+    for t in produced {
+        if accept(&ctx, diff.affected, &t, diff.output, effective_check)? {
+            accepted.push(t);
+        }
+    }
+    Ok(TaskOutput {
+        candidates,
+        accepted,
+        nanos: timer.elapsed_nanos(),
+    })
+}
+
+/// Run a level's tasks on scoped worker threads pulling from a shared
+/// atomic queue. Outputs land in per-task slots, so the caller's merge
+/// order is independent of completion order.
+fn run_tasks_threaded(
+    network: &PropagationNetwork,
+    catalog: &Catalog,
+    storage: &Storage,
+    wave: &DeltaMap,
+    check: CheckLevel,
+    tasks: &[Task],
+) -> Vec<Result<TaskOutput, CoreError>> {
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    // At least two workers even on one hardware thread: the strategy's
+    // contract (frozen wave, per-slot outputs, deterministic merge) must
+    // hold under real concurrency wherever it runs.
+    let workers = hw.max(2).min(tasks.len());
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<TaskOutput, CoreError>>>> =
+        tasks.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(task) = tasks.get(i) else {
+                    break;
+                };
+                let out = run_differential(network, catalog, storage, wave, task.diff, check);
+                *slots[i].lock().unwrap() = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().unwrap().expect("worker filled its slot"))
+        .collect()
 }
 
 /// Close a linearly recursive node's Δ-set to a fixpoint ("revisiting
@@ -401,8 +609,8 @@ mod tests {
     #[test]
     fn positive_example_propagates() {
         let mut f = fixture();
-        let net = PropagationNetwork::build(&f.catalog, &mut f.storage, &[f.p], DiffScope::Full)
-            .unwrap();
+        let net =
+            PropagationNetwork::build(&f.catalog, &mut f.storage, &[f.p], DiffScope::Full).unwrap();
         f.storage.begin().unwrap();
         f.storage.insert(f.rq, tuple![1, 2]).unwrap();
         f.storage.insert(f.rr, tuple![1, 4]).unwrap();
@@ -428,8 +636,8 @@ mod tests {
     #[test]
     fn negative_example_uses_old_state() {
         let mut f = fixture();
-        let net = PropagationNetwork::build(&f.catalog, &mut f.storage, &[f.p], DiffScope::Full)
-            .unwrap();
+        let net =
+            PropagationNetwork::build(&f.catalog, &mut f.storage, &[f.p], DiffScope::Full).unwrap();
         f.storage.begin().unwrap();
         f.storage.insert(f.rq, tuple![1, 2]).unwrap();
         f.storage.insert(f.rr, tuple![1, 4]).unwrap();
@@ -446,8 +654,8 @@ mod tests {
     #[test]
     fn matches_recompute() {
         let mut f = fixture();
-        let net = PropagationNetwork::build(&f.catalog, &mut f.storage, &[f.p], DiffScope::Full)
-            .unwrap();
+        let net =
+            PropagationNetwork::build(&f.catalog, &mut f.storage, &[f.p], DiffScope::Full).unwrap();
         f.storage.begin().unwrap();
         f.storage.insert(f.rq, tuple![2, 2]).unwrap();
         f.storage.delete(f.rq, &tuple![1, 1]).unwrap();
@@ -462,8 +670,8 @@ mod tests {
     #[test]
     fn no_changes_no_work() {
         let mut f = fixture();
-        let net = PropagationNetwork::build(&f.catalog, &mut f.storage, &[f.p], DiffScope::Full)
-            .unwrap();
+        let net =
+            PropagationNetwork::build(&f.catalog, &mut f.storage, &[f.p], DiffScope::Full).unwrap();
         f.storage.begin().unwrap();
         let result = propagate(&net, &f.catalog, &f.storage, CheckLevel::Strict).unwrap();
         assert!(result.condition_deltas[&f.p].is_empty());
@@ -476,14 +684,17 @@ mod tests {
     #[test]
     fn cancelled_updates_propagate_nothing() {
         let mut f = fixture();
-        let net = PropagationNetwork::build(&f.catalog, &mut f.storage, &[f.p], DiffScope::Full)
-            .unwrap();
+        let net =
+            PropagationNetwork::build(&f.catalog, &mut f.storage, &[f.p], DiffScope::Full).unwrap();
         f.storage.begin().unwrap();
         f.storage.delete(f.rq, &tuple![1, 1]).unwrap();
         f.storage.insert(f.rq, tuple![1, 1]).unwrap();
         let result = propagate(&net, &f.catalog, &f.storage, CheckLevel::Strict).unwrap();
         assert!(result.condition_deltas[&f.p].is_empty());
-        assert_eq!(result.candidates, 0, "empty Δ-sets never execute differentials");
+        assert_eq!(
+            result.candidates, 0,
+            "empty Δ-sets never execute differentials"
+        );
     }
 
     /// Strict vs nervous: an insertion of an already-true instance is
@@ -494,14 +705,16 @@ mod tests {
         // Make p(1,2) derivable twice: q(1,1) ∧ r(1,2) already holds; add
         // q(1,2) ∧ r(2,2) as a second derivation.
         f.storage.insert(f.rr, tuple![2, 2]).unwrap();
-        let net = PropagationNetwork::build(&f.catalog, &mut f.storage, &[f.p], DiffScope::Full)
-            .unwrap();
+        let net =
+            PropagationNetwork::build(&f.catalog, &mut f.storage, &[f.p], DiffScope::Full).unwrap();
         f.storage.begin().unwrap();
         f.storage.insert(f.rq, tuple![1, 2]).unwrap();
 
         let nervous = propagate(&net, &f.catalog, &f.storage, CheckLevel::Nervous).unwrap();
         assert!(
-            nervous.condition_deltas[&f.p].plus().contains(&tuple![1, 2]),
+            nervous.condition_deltas[&f.p]
+                .plus()
+                .contains(&tuple![1, 2]),
             "nervous over-reports the second derivation"
         );
         let strict = propagate(&net, &f.catalog, &f.storage, CheckLevel::Strict).unwrap();
@@ -520,17 +733,88 @@ mod tests {
         // p(1,2) via q(1,1),r(1,2); add second derivation q(1,2),r(2,2).
         f.storage.insert(f.rq, tuple![1, 2]).unwrap();
         f.storage.insert(f.rr, tuple![2, 2]).unwrap();
-        let net = PropagationNetwork::build(&f.catalog, &mut f.storage, &[f.p], DiffScope::Full)
-            .unwrap();
+        let net =
+            PropagationNetwork::build(&f.catalog, &mut f.storage, &[f.p], DiffScope::Full).unwrap();
         f.storage.begin().unwrap();
         f.storage.delete(f.rq, &tuple![1, 1]).unwrap();
 
         let result = propagate(&net, &f.catalog, &f.storage, CheckLevel::Nervous).unwrap();
         assert!(
-            !result.condition_deltas[&f.p].minus().contains(&tuple![1, 2]),
+            !result.condition_deltas[&f.p]
+                .minus()
+                .contains(&tuple![1, 2]),
             "p(1,2) still derivable — deletion must be filtered"
         );
         assert!(result.rejected > 0, "the check did reject the candidate");
+    }
+
+    /// Serial and parallel strategies agree — Δ-sets, counters, and the
+    /// set of fired differentials — under every check level.
+    #[test]
+    fn serial_and_parallel_strategies_agree() {
+        let mut f = fixture();
+        let net =
+            PropagationNetwork::build(&f.catalog, &mut f.storage, &[f.p], DiffScope::Full).unwrap();
+        f.storage.begin().unwrap();
+        f.storage.insert(f.rq, tuple![1, 2]).unwrap();
+        f.storage.insert(f.rr, tuple![1, 4]).unwrap();
+        f.storage.delete(f.rr, &tuple![2, 3]).unwrap();
+
+        for check in [CheckLevel::Raw, CheckLevel::Nervous, CheckLevel::Strict] {
+            let serial =
+                propagate_with(&net, &f.catalog, &f.storage, check, ExecStrategy::Serial).unwrap();
+            let parallel =
+                propagate_with(&net, &f.catalog, &f.storage, check, ExecStrategy::Parallel)
+                    .unwrap();
+            assert_eq!(serial.condition_deltas, parallel.condition_deltas);
+            assert_eq!(serial.candidates, parallel.candidates);
+            assert_eq!(serial.rejected, parallel.rejected);
+            assert_eq!(
+                serial.fired.iter().map(|fd| fd.diff).collect::<Vec<_>>(),
+                parallel.fired.iter().map(|fd| fd.diff).collect::<Vec<_>>(),
+                "trace order must match serial execution order"
+            );
+        }
+    }
+
+    /// The metrics layer records the pass: per-differential timings in
+    /// merge order, per-level wave sizes, and consistent totals.
+    #[test]
+    fn metrics_describe_the_pass() {
+        let mut f = fixture();
+        let net =
+            PropagationNetwork::build(&f.catalog, &mut f.storage, &[f.p], DiffScope::Full).unwrap();
+        f.storage.begin().unwrap();
+        f.storage.insert(f.rq, tuple![1, 2]).unwrap();
+        f.storage.insert(f.rr, tuple![1, 4]).unwrap();
+
+        let result = propagate(&net, &f.catalog, &f.storage, CheckLevel::Strict).unwrap();
+        let m = &result.metrics;
+        assert_eq!(m.strategy, "parallel");
+        assert_eq!(m.check, "strict");
+        assert_eq!(m.fired, result.fired.len());
+        assert_eq!(m.candidates, result.candidates);
+        assert_eq!(m.rejected, result.rejected);
+        // Both base relations changed at level 0, each with a positive
+        // and a negative differential into p (full diff scope); the wave
+        // then reaches p's level, which has no out-edges.
+        assert_eq!(m.levels.len(), 2);
+        assert_eq!(m.levels[0].active_nodes, 2);
+        assert_eq!(m.levels[0].wave_tuples, 2);
+        assert_eq!(m.levels[0].tasks, 4);
+        assert!(m.levels[0].parallel);
+        assert_eq!(m.levels[1].active_nodes, 1);
+        assert_eq!(m.levels[1].tasks, 0);
+        assert_eq!(m.differentials.len(), 4);
+        let total: usize = m.differentials.iter().map(|d| d.candidates).sum();
+        assert_eq!(total, result.candidates);
+        assert!(m
+            .differentials
+            .iter()
+            .all(|d| d.differential.starts_with("Δp/")));
+        // The JSON artifact serializes without panicking and mentions
+        // the differential names.
+        assert!(m.to_json().to_compact().contains("Δp/"));
     }
 
     /// Multi-level (bushy) propagation: changes pass through an
@@ -565,8 +849,8 @@ mod tests {
                     .build()],
             )
             .unwrap();
-        let net = PropagationNetwork::build(&f.catalog, &mut f.storage, &[top], DiffScope::Full)
-            .unwrap();
+        let net =
+            PropagationNetwork::build(&f.catalog, &mut f.storage, &[top], DiffScope::Full).unwrap();
         assert_eq!(net.levels().len(), 3);
 
         f.storage.begin().unwrap();

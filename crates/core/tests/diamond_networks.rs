@@ -204,8 +204,7 @@ fn three_level_chain() {
     storage.monitor(rq);
     storage.insert(rq, tuple![1, 10]).unwrap();
 
-    let net =
-        PropagationNetwork::build(&catalog, &mut storage, &[v3], DiffScope::Full).unwrap();
+    let net = PropagationNetwork::build(&catalog, &mut storage, &[v3], DiffScope::Full).unwrap();
     assert_eq!(net.levels().len(), 4);
 
     storage.begin().unwrap();

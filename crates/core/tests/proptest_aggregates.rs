@@ -30,9 +30,7 @@ fn recompute(rows: &HashSet<Tuple>, agg: AggFn) -> Vec<Tuple> {
             AggFn::Sum => Value::Int(vals.iter().sum()),
             AggFn::Min => Value::Int(*vals.iter().min().unwrap()),
             AggFn::Max => Value::Int(*vals.iter().max().unwrap()),
-            AggFn::Avg => {
-                Value::real(vals.iter().sum::<i64>() as f64 / vals.len() as f64).unwrap()
-            }
+            AggFn::Avg => Value::real(vals.iter().sum::<i64>() as f64 / vals.len() as f64).unwrap(),
         };
         out.push(Tuple::new(vec![g, v]));
     }
@@ -135,7 +133,10 @@ impl CloneEmpty for Storage {
     fn clone_empty_like(&self, rel: amos_storage::RelId) -> Storage {
         let mut s = Storage::new();
         let r = s
-            .create_relation(self.relation(rel).name().to_string(), self.relation(rel).arity())
+            .create_relation(
+                self.relation(rel).name().to_string(),
+                self.relation(rel).arity(),
+            )
             .unwrap();
         assert_eq!(r, rel, "single-relation fixture");
         s

@@ -12,7 +12,7 @@ use std::collections::HashSet;
 
 use amos_core::differ::DiffScope;
 use amos_core::network::PropagationNetwork;
-use amos_core::propagate::{propagate, recompute_delta, CheckLevel};
+use amos_core::propagate::{propagate, propagate_with, recompute_delta, CheckLevel, ExecStrategy};
 use amos_objectlog::catalog::{Catalog, PredId};
 use amos_objectlog::clause::{ClauseBuilder, Term};
 use amos_storage::{RelId, Storage};
@@ -258,6 +258,60 @@ proptest! {
         let result = propagate(&net, &w.catalog, &w.storage, CheckLevel::Strict).unwrap();
         let truth = recompute_delta(&w.catalog, &w.storage, w.cond).unwrap();
         prop_assert_eq!(&result.condition_deltas[&w.cond], &truth);
+    }
+
+    /// Parallel wave-front execution is an implementation detail: for
+    /// every condition shape, every §7.2 check level, and random update
+    /// batches, the serial and parallel strategies produce identical
+    /// condition Δ-sets (and identical work counters — same candidates,
+    /// same rejections — since the merge replays serial order).
+    #[test]
+    fn serial_and_parallel_agree_under_all_check_levels(
+        shape in 0u8..6,
+        q0 in tuples(),
+        r0 in tuples(),
+        ups in updates(),
+    ) {
+        let mut w = build_world(shape, &q0, &r0);
+        let net = PropagationNetwork::build(
+            &w.catalog, &mut w.storage, &[w.cond], DiffScope::Full,
+        ).unwrap();
+        w.storage.begin().unwrap();
+        for (on_q, is_insert, t) in &ups {
+            let rel = if *on_q { w.rq } else { w.rr };
+            if *is_insert {
+                w.storage.insert(rel, t.clone()).unwrap();
+            } else {
+                w.storage.delete(rel, t).unwrap();
+            }
+        }
+        for check in [CheckLevel::Raw, CheckLevel::Nervous, CheckLevel::Strict] {
+            let serial = propagate_with(
+                &net, &w.catalog, &w.storage, check, ExecStrategy::Serial,
+            ).unwrap();
+            let parallel = propagate_with(
+                &net, &w.catalog, &w.storage, check, ExecStrategy::Parallel,
+            ).unwrap();
+            prop_assert_eq!(
+                &serial.condition_deltas, &parallel.condition_deltas,
+                "Δ-sets diverged (shape {}, check {:?})", shape, check
+            );
+            prop_assert_eq!(
+                serial.metrics.candidates, parallel.metrics.candidates,
+                "candidate counts diverged (shape {}, check {:?})", shape, check
+            );
+            prop_assert_eq!(
+                serial.metrics.rejected, parallel.metrics.rejected,
+                "rejection counts diverged (shape {}, check {:?})", shape, check
+            );
+            let fired = |r: &amos_core::propagate::PropagationResult| -> Vec<_> {
+                r.fired.iter().map(|f| f.diff).collect()
+            };
+            prop_assert_eq!(
+                fired(&serial), fired(&parallel),
+                "fired order diverged (shape {}, check {:?})", shape, check
+            );
+        }
     }
 
     /// The old-state view used during propagation is consistent: a

@@ -66,8 +66,7 @@ fn world(edges: &[(i64, i64)]) -> World {
 fn inserting_an_edge_extends_closure_incrementally() {
     let mut w = world(&[(1, 2), (3, 4)]);
     let net =
-        PropagationNetwork::build(&w.catalog, &mut w.storage, &[w.reach], DiffScope::Full)
-            .unwrap();
+        PropagationNetwork::build(&w.catalog, &mut w.storage, &[w.reach], DiffScope::Full).unwrap();
     // The recursive node carries self-differentials.
     let self_edges = net
         .differentials()
@@ -93,8 +92,7 @@ fn inserting_an_edge_extends_closure_incrementally() {
 fn deleting_an_edge_falls_back_to_exact_recompute() {
     let mut w = world(&[(1, 2), (2, 3), (3, 4)]);
     let net =
-        PropagationNetwork::build(&w.catalog, &mut w.storage, &[w.reach], DiffScope::Full)
-            .unwrap();
+        PropagationNetwork::build(&w.catalog, &mut w.storage, &[w.reach], DiffScope::Full).unwrap();
     w.storage.begin().unwrap();
     // Cut the chain in the middle: everything crossing 2→3 disappears.
     w.storage.delete(w.re, &tuple![2, 3]).unwrap();
@@ -111,8 +109,7 @@ fn deleting_an_edge_falls_back_to_exact_recompute() {
 fn cycle_creation_terminates_and_is_exact() {
     let mut w = world(&[(1, 2), (2, 3)]);
     let net =
-        PropagationNetwork::build(&w.catalog, &mut w.storage, &[w.reach], DiffScope::Full)
-            .unwrap();
+        PropagationNetwork::build(&w.catalog, &mut w.storage, &[w.reach], DiffScope::Full).unwrap();
     w.storage.begin().unwrap();
     w.storage.insert(w.re, tuple![3, 1]).unwrap(); // close the cycle
     let result = propagate(&net, &w.catalog, &w.storage, CheckLevel::Strict).unwrap();
@@ -129,8 +126,7 @@ fn randomized_transactions_match_recompute() {
     let mut rng = StdRng::seed_from_u64(0x5EED);
     let mut w = world(&[]);
     let net =
-        PropagationNetwork::build(&w.catalog, &mut w.storage, &[w.reach], DiffScope::Full)
-            .unwrap();
+        PropagationNetwork::build(&w.catalog, &mut w.storage, &[w.reach], DiffScope::Full).unwrap();
     for _round in 0..30 {
         w.storage.begin().unwrap();
         for _ in 0..rng.gen_range(1..4) {

@@ -78,7 +78,11 @@ fn main() -> io::Result<()> {
 }
 
 fn prompt(buffer: &str) -> io::Result<()> {
-    let p = if buffer.is_empty() { "amosql> " } else { "   ...> " };
+    let p = if buffer.is_empty() {
+        "amosql> "
+    } else {
+        "   ...> "
+    };
     print!("{p}");
     io::stdout().flush()
 }

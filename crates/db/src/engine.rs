@@ -10,6 +10,7 @@ use amos_amosql::parser::parse;
 use amos_amosql::ParseError;
 use amos_core::aggregate::{AggFn, AggregateView};
 use amos_core::maintained::{MaintainedAggregate, SourceDeltas, UserView};
+use amos_core::propagate::ExecStrategy;
 use amos_core::rules::{ActionFn, CheckSummary, MonitorMode, RuleManager, RuleSemantics};
 use amos_objectlog::catalog::{Catalog, ForeignFn, PredId};
 use amos_objectlog::eval::{DeltaMap, EvalContext};
@@ -44,6 +45,9 @@ pub struct EngineOptions {
     /// update statement instead of deferring to commit. The calculus is
     /// identical; only the check-phase timing changes.
     pub immediate: bool,
+    /// Wave-front execution strategy for propagation passes (parallel
+    /// by default; serial retained for the ablation benches).
+    pub propagation: ExecStrategy,
 }
 
 /// Context handed to registered procedures (rule actions' side-effect
@@ -107,11 +111,13 @@ impl Amos {
 
     /// A fresh database with the given options.
     pub fn with_options(options: EngineOptions) -> Self {
+        let mut rules = RuleManager::new();
+        rules.exec = options.propagation;
         Amos {
             storage: Storage::new(),
             catalog: Catalog::new(),
             types: TypeRegistry::new(),
-            rules: RuleManager::new(),
+            rules,
             extents: HashMap::new(),
             iface: HashMap::new(),
             procedures: Arc::new(Mutex::new(HashMap::new())),
@@ -275,6 +281,18 @@ impl Amos {
         self.rules.mode = mode;
     }
 
+    /// Switch the wave-front execution strategy (parallel / serial).
+    /// Takes effect from the next propagation pass.
+    pub fn set_propagation_strategy(&mut self, strategy: ExecStrategy) {
+        self.options.propagation = strategy;
+        self.rules.exec = strategy;
+    }
+
+    /// Instrumentation of the most recent propagation pass, if any.
+    pub fn last_pass_metrics(&self) -> Option<&amos_metrics::PassMetrics> {
+        self.rules.last_metrics()
+    }
+
     /// The session value of an interface variable, if bound.
     pub fn iface_value(&self, name: &str) -> Option<&Value> {
         self.iface.get(name)
@@ -396,8 +414,12 @@ impl Amos {
                         let pred = *self.extents.get(&def.name).ok_or_else(|| {
                             DbError::Other(format!("type `{}` has no extent", def.name))
                         })?;
-                        chain_rels
-                            .push(self.catalog.def(pred).stored_rel().expect("extent is stored"));
+                        chain_rels.push(
+                            self.catalog
+                                .def(pred)
+                                .stored_rel()
+                                .expect("extent is stored"),
+                        );
                     }
                     ty = def.supertype;
                 }
@@ -409,7 +431,8 @@ impl Amos {
                 for n in names {
                     let oid = self.storage.fresh_oid();
                     for &rel in &chain_rels {
-                        self.storage.insert(rel, Tuple::new(vec![Value::Oid(oid)]))?;
+                        self.storage
+                            .insert(rel, Tuple::new(vec![Value::Oid(oid)]))?;
                     }
                     self.iface.insert(n, Value::Oid(oid));
                 }
@@ -453,12 +476,8 @@ impl Amos {
             Statement::Deactivate { rule, args } => {
                 let id = self.rules.rule_id(&rule)?;
                 let params = self.eval_args(&args)?;
-                self.rules.deactivate(
-                    id,
-                    &Tuple::new(params),
-                    &self.catalog,
-                    &mut self.storage,
-                )?;
+                self.rules
+                    .deactivate(id, &Tuple::new(params), &self.catalog, &mut self.storage)?;
                 Ok(ExecResult::Ok)
             }
             Statement::DropRule(name) => {
@@ -560,9 +579,10 @@ impl Amos {
             if deltas.is_empty() {
                 continue;
             }
-            let source_deltas: SourceDeltas<'_> =
-                deltas.iter().map(|(rel, d)| (*rel, d)).collect();
-            let out = reg.view.apply(&source_deltas, &self.catalog, &self.storage)?;
+            let source_deltas: SourceDeltas<'_> = deltas.iter().map(|(rel, d)| (*rel, d)).collect();
+            let out = reg
+                .view
+                .apply(&source_deltas, &self.catalog, &self.storage)?;
             for t in out.minus() {
                 self.storage.delete(reg.backing, t)?;
             }
@@ -604,7 +624,8 @@ impl Amos {
                     let key_cols: Vec<usize> = (0..key_arity).collect();
                     self.storage.ensure_index(rel, &key_cols);
                 }
-                self.catalog.define_stored(name, signature, rel, key_arity)?;
+                self.catalog
+                    .define_stored(name, signature, rel, key_arity)?;
             }
             Some(sel) => {
                 if sel.exprs.len() != results.len() {
@@ -718,7 +739,11 @@ impl Amos {
         let q = compile_select(&self.query_env(), sel, &[])?;
         let mut out = String::new();
         for (i, clause) in q.clauses.iter().enumerate() {
-            out.push_str(&format!("clause {i} ({} vars, {} literals):\n", clause.n_vars, clause.body.len()));
+            out.push_str(&format!(
+                "clause {i} ({} vars, {} literals):\n",
+                clause.n_vars,
+                clause.body.len()
+            ));
             let plan = compile_clause(&self.catalog, clause, &Default::default())?;
             out.push_str(&plan.render(&self.catalog));
         }
@@ -752,6 +777,12 @@ impl Amos {
             out.push_str(&format!("{}\n", d.display_name(&self.catalog)));
             for line in d.plan.render(&self.catalog).lines() {
                 out.push_str(&format!("    {line}\n"));
+            }
+        }
+        if let Some(metrics) = self.rules.last_metrics() {
+            out.push_str("last propagation pass:\n");
+            for line in metrics.render().lines() {
+                out.push_str(&format!("  {line}\n"));
             }
         }
         Ok(out)
@@ -854,10 +885,7 @@ pub fn eval_scalar(
             let deltas = DeltaMap::new();
             let ctx = EvalContext::new(storage, catalog, &deltas);
             let results = ctx.eval_pred(pred, &pattern, StateEpoch::New)?;
-            let mut vals: Vec<Value> = results
-                .into_iter()
-                .map(|t| t[arity - 1].clone())
-                .collect();
+            let mut vals: Vec<Value> = results.into_iter().map(|t| t[arity - 1].clone()).collect();
             vals.sort();
             vals.into_iter().next().ok_or_else(|| {
                 DbError::Other(format!("no value stored for `{func}` at these arguments"))

@@ -115,7 +115,11 @@ fn run_scenario(prep: NetworkPrep, mode: MonitorMode) {
     // A no-net-effect transaction (the §4.1 example) must not trigger.
     db.execute("begin; set quantity(:item2) = 400; set quantity(:item2) = 250; commit;")
         .unwrap();
-    assert_eq!(orders.lock().unwrap().len(), 3, "no net change → no trigger");
+    assert_eq!(
+        orders.lock().unwrap().len(),
+        3,
+        "no net change → no trigger"
+    );
 
     // Threshold-side influents also trigger: raising min_stock above the
     // current quantity makes the condition true.
@@ -165,7 +169,10 @@ fn flat_network_shape_matches_fig2() {
         "min_stock",
         "item_extent",
     ] {
-        assert!(stored.contains(&name.to_string()), "{stored:?} missing {name}");
+        assert!(
+            stored.contains(&name.to_string()),
+            "{stored:?} missing {name}"
+        );
     }
     // Δcnd_monitor_items/Δ+quantity exists (the fig. 1 `*` edge).
     let quantity = catalog.lookup("quantity").unwrap();
@@ -209,7 +216,8 @@ fn explanations_identify_influent() {
 #[test]
 fn rollback_discards_pending_triggers() {
     let (mut db, orders) = setup(NetworkPrep::Flat, MonitorMode::Incremental);
-    db.execute("begin; set quantity(:item1) = 1; rollback;").unwrap();
+    db.execute("begin; set quantity(:item1) = 1; rollback;")
+        .unwrap();
     assert!(orders.lock().unwrap().is_empty());
     let rows = db.query("select quantity(:item1);").unwrap();
     assert_eq!(rows[0][0], Value::Int(5000));

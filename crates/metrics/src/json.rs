@@ -1,0 +1,219 @@
+//! A minimal JSON document model with a serializer.
+//!
+//! The workspace has no registry access (so no `serde`/`serde_json`);
+//! this hand-rolled writer covers what the metrics layer and the bench
+//! harness need: building documents programmatically and rendering them
+//! with correct string escaping, either compact or pretty-printed.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    Null,
+    Bool(bool),
+    /// Integers are kept exact rather than routed through `f64`.
+    Int(i128),
+    Float(f64),
+    Str(String),
+    Array(Vec<JsonValue>),
+    /// Insertion-ordered object (stable output for diffing artifacts).
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// An empty object builder.
+    pub fn object() -> JsonValue {
+        JsonValue::Object(Vec::new())
+    }
+
+    /// Append a field (builder-style; panics on non-objects).
+    pub fn with(mut self, key: &str, value: impl Into<JsonValue>) -> JsonValue {
+        match &mut self {
+            JsonValue::Object(fields) => fields.push((key.to_owned(), value.into())),
+            _ => panic!("JsonValue::with on non-object"),
+        }
+        self
+    }
+
+    /// Render without whitespace.
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.render(&mut out, None, 0);
+        out
+    }
+
+    /// Render with two-space indentation.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.render(&mut out, Some(2), 0);
+        out
+    }
+
+    fn render(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            JsonValue::Float(f) => {
+                if f.is_finite() {
+                    let mut s = format!("{f}");
+                    // `{}` omits the point for whole floats; keep the
+                    // value unambiguously a float for JSON consumers.
+                    if !s.contains(['.', 'e', 'E']) {
+                        s.push_str(".0");
+                    }
+                    out.push_str(&s);
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Str(s) => render_string(s, out),
+            JsonValue::Array(items) => {
+                render_seq(out, indent, depth, '[', ']', items.len(), |out, i| {
+                    items[i].render(out, indent, depth + 1)
+                });
+            }
+            JsonValue::Object(fields) => {
+                render_seq(out, indent, depth, '{', '}', fields.len(), |out, i| {
+                    let (k, v) = &fields[i];
+                    render_string(k, out);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.render(out, indent, depth + 1);
+                });
+            }
+        }
+    }
+}
+
+fn render_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(step) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', step * (depth + 1)));
+        }
+        item(out, i);
+    }
+    if let Some(step) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', step * depth));
+    }
+    out.push(close);
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for JsonValue {
+    fn from(b: bool) -> Self {
+        JsonValue::Bool(b)
+    }
+}
+
+impl From<&str> for JsonValue {
+    fn from(s: &str) -> Self {
+        JsonValue::Str(s.to_owned())
+    }
+}
+
+impl From<String> for JsonValue {
+    fn from(s: String) -> Self {
+        JsonValue::Str(s)
+    }
+}
+
+impl From<f64> for JsonValue {
+    fn from(f: f64) -> Self {
+        JsonValue::Float(f)
+    }
+}
+
+macro_rules! from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for JsonValue {
+            fn from(i: $t) -> Self {
+                JsonValue::Int(i as i128)
+            }
+        }
+    )*};
+}
+
+from_int!(i8, i16, i32, i64, i128, u8, u16, u32, u64, usize);
+
+impl<T: Into<JsonValue>> From<Vec<T>> for JsonValue {
+    fn from(items: Vec<T>) -> Self {
+        JsonValue::Array(items.into_iter().map(Into::into).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::JsonValue;
+
+    #[test]
+    fn compact_rendering_and_escaping() {
+        let doc = JsonValue::object()
+            .with("name", "he said \"hi\"\n")
+            .with("n", 42u64)
+            .with("ok", true)
+            .with("xs", vec![1i64, 2, 3]);
+        assert_eq!(
+            doc.to_compact(),
+            r#"{"name":"he said \"hi\"\n","n":42,"ok":true,"xs":[1,2,3]}"#
+        );
+    }
+
+    #[test]
+    fn floats_stay_floats() {
+        assert_eq!(JsonValue::Float(1.5).to_compact(), "1.5");
+        assert_eq!(JsonValue::Float(2.0).to_compact(), "2.0");
+        assert_eq!(JsonValue::Float(f64::NAN).to_compact(), "null");
+    }
+
+    #[test]
+    fn pretty_rendering_indents() {
+        let doc = JsonValue::object()
+            .with("xs", vec![1i64])
+            .with("e", JsonValue::object());
+        assert_eq!(
+            doc.to_pretty(),
+            "{\n  \"xs\": [\n    1\n  ],\n  \"e\": {}\n}"
+        );
+    }
+}

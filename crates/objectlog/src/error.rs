@@ -75,7 +75,10 @@ impl fmt::Display for ObjectLogError {
                 "clause head of `{pred}` has {found} terms, signature requires {expected}"
             ),
             ObjectLogError::UnsafeClause { pred, var } => {
-                write!(f, "clause of `{pred}` is unsafe: variable {var} cannot be bound")
+                write!(
+                    f,
+                    "clause of `{pred}` is unsafe: variable {var} cannot be bound"
+                )
             }
             ObjectLogError::NotDerived(n) => write!(f, "predicate `{n}` is not derived"),
             ObjectLogError::LiteralArityMismatch {

@@ -41,15 +41,19 @@ pub struct EvalContext<'a> {
     /// predicate and bound-argument bitmask. A differential whose Δ-set
     /// seeds `n` tuples calls its derived sub-goals `n` times with the
     /// same binding pattern — without the cache each call would re-run
-    /// the greedy optimizer.
-    plan_cache: std::cell::RefCell<PlanCache>,
+    /// the greedy optimizer. A `Mutex` (not `RefCell`) so a read-only
+    /// context is `Sync` and the propagation wave-front can evaluate
+    /// differentials from several threads; contexts are never shared
+    /// across threads in practice (each propagation task builds its
+    /// own), so the uncontended lock is cheap.
+    plan_cache: std::sync::Mutex<PlanCache>,
     /// Lazily-built old-state hash indexes, used for old-epoch probes
     /// when the relation's Δ-set is too large for the per-probe linear
     /// overlay of [`amos_storage::OldStateView::probe`]. The build cost
     /// (one old-state scan) amortizes over the many probes a massive
     /// transaction performs — this is what keeps the fig. 7 workload
     /// linear instead of quadratic.
-    old_index: std::cell::RefCell<OldIndexCache>,
+    old_index: std::sync::Mutex<OldIndexCache>,
 }
 
 /// Variable bindings during plan execution.
@@ -60,7 +64,7 @@ pub type EmitFn<'e> = dyn FnMut(&Bindings, &[Term]) -> Result<(), ObjectLogError
 
 /// Per-context cache of compiled clause plans, keyed by predicate and
 /// bound-argument bitmask.
-type PlanCache = HashMap<(PredId, u64), std::rc::Rc<Vec<(usize, Plan)>>>;
+type PlanCache = HashMap<(PredId, u64), std::sync::Arc<Vec<(usize, Plan)>>>;
 
 /// Per-context cache of old-state hash indexes keyed by relation and
 /// probed column set.
@@ -125,8 +129,8 @@ impl<'a> EvalContext<'a> {
             catalog,
             deltas,
             depth_limit: 64,
-            plan_cache: std::cell::RefCell::new(HashMap::new()),
-            old_index: std::cell::RefCell::new(HashMap::new()),
+            plan_cache: std::sync::Mutex::new(HashMap::new()),
+            old_index: std::sync::Mutex::new(HashMap::new()),
         }
     }
 
@@ -356,15 +360,15 @@ impl<'a> EvalContext<'a> {
         pred: PredId,
         clauses: &[crate::clause::Clause],
         pattern: &[Option<Value>],
-    ) -> Result<std::rc::Rc<Vec<(usize, Plan)>>, ObjectLogError> {
+    ) -> Result<std::sync::Arc<Vec<(usize, Plan)>>, ObjectLogError> {
         debug_assert!(pattern.len() <= 64, "pattern mask is a u64");
         let mask: u64 = pattern
             .iter()
             .enumerate()
             .filter(|(_, v)| v.is_some())
             .fold(0, |m, (i, _)| m | (1 << i));
-        if let Some(hit) = self.plan_cache.borrow().get(&(pred, mask)) {
-            return Ok(std::rc::Rc::clone(hit));
+        if let Some(hit) = self.plan_cache.lock().unwrap().get(&(pred, mask)) {
+            return Ok(std::sync::Arc::clone(hit));
         }
         let mut plans = Vec::with_capacity(clauses.len());
         for (i, clause) in clauses.iter().enumerate() {
@@ -379,10 +383,11 @@ impl<'a> EvalContext<'a> {
                 .collect();
             plans.push((i, compile_clause(self.catalog, clause, &bound_vars)?));
         }
-        let rc = std::rc::Rc::new(plans);
+        let rc = std::sync::Arc::new(plans);
         self.plan_cache
-            .borrow_mut()
-            .insert((pred, mask), std::rc::Rc::clone(&rc));
+            .lock()
+            .unwrap()
+            .insert((pred, mask), std::sync::Arc::clone(&rc));
         Ok(rc)
     }
 
@@ -433,16 +438,16 @@ impl<'a> EvalContext<'a> {
                 } else {
                     // Massive transaction: amortize one old-state scan
                     // into a hash index shared across this context.
-                    let mut cache = self.old_index.borrow_mut();
-                    let idx = cache
-                        .entry((rel, bound_cols.clone()))
-                        .or_insert_with(|| {
-                            let mut map: HashMap<Tuple, Vec<Tuple>> = HashMap::new();
-                            for t in v.scan() {
-                                map.entry(t.project(&bound_cols)).or_default().push(t.clone());
-                            }
-                            map
-                        });
+                    let mut cache = self.old_index.lock().unwrap();
+                    let idx = cache.entry((rel, bound_cols.clone())).or_insert_with(|| {
+                        let mut map: HashMap<Tuple, Vec<Tuple>> = HashMap::new();
+                        for t in v.scan() {
+                            map.entry(t.project(&bound_cols))
+                                .or_default()
+                                .push(t.clone());
+                        }
+                        map
+                    });
                     match idx.get(&Tuple::new(key)) {
                         Some(ts) => ts.iter().cloned().collect(),
                         None => HashSet::new(),
@@ -579,37 +584,35 @@ impl<'a> EvalContext<'a> {
                 }
                 Ok(())
             }
-            PlanStep::Unify { lhs, rhs } => {
-                match (resolve(lhs, b), resolve(rhs, b)) {
-                    (Some(l), Some(r)) => {
-                        if l == r {
-                            self.exec_step(plan, idx + 1, b, outer_epoch, depth, emit)?;
-                        }
-                        Ok(())
-                    }
-                    (Some(l), None) => {
-                        let (ok, bound) = unify_term(rhs, &l, b);
-                        debug_assert!(ok);
+            PlanStep::Unify { lhs, rhs } => match (resolve(lhs, b), resolve(rhs, b)) {
+                (Some(l), Some(r)) => {
+                    if l == r {
                         self.exec_step(plan, idx + 1, b, outer_epoch, depth, emit)?;
-                        if let Some(i) = bound {
-                            b[i] = None;
-                        }
-                        Ok(())
                     }
-                    (None, Some(r)) => {
-                        let (ok, bound) = unify_term(lhs, &r, b);
-                        debug_assert!(ok);
-                        self.exec_step(plan, idx + 1, b, outer_epoch, depth, emit)?;
-                        if let Some(i) = bound {
-                            b[i] = None;
-                        }
-                        Ok(())
-                    }
-                    (None, None) => Err(ObjectLogError::NotSchedulable {
-                        literal: format!("{lhs} = {rhs}"),
-                    }),
+                    Ok(())
                 }
-            }
+                (Some(l), None) => {
+                    let (ok, bound) = unify_term(rhs, &l, b);
+                    debug_assert!(ok);
+                    self.exec_step(plan, idx + 1, b, outer_epoch, depth, emit)?;
+                    if let Some(i) = bound {
+                        b[i] = None;
+                    }
+                    Ok(())
+                }
+                (None, Some(r)) => {
+                    let (ok, bound) = unify_term(lhs, &r, b);
+                    debug_assert!(ok);
+                    self.exec_step(plan, idx + 1, b, outer_epoch, depth, emit)?;
+                    if let Some(i) = bound {
+                        b[i] = None;
+                    }
+                    Ok(())
+                }
+                (None, None) => Err(ObjectLogError::NotSchedulable {
+                    literal: format!("{lhs} = {rhs}"),
+                }),
+            },
         }
     }
 }
@@ -701,7 +704,10 @@ mod tests {
         f.storage.delete(rq, &tuple![1, 1]).unwrap();
         let deltas = DeltaMap::new();
         let ctx = EvalContext::new(&f.storage, &f.catalog, &deltas);
-        assert!(ctx.eval_pred(f.p, &[None, None], StateEpoch::New).unwrap().is_empty());
+        assert!(ctx
+            .eval_pred(f.p, &[None, None], StateEpoch::New)
+            .unwrap()
+            .is_empty());
         let old = ctx.eval_pred(f.p, &[None, None], StateEpoch::Old).unwrap();
         assert_eq!(old, [tuple![1, 2]].into_iter().collect());
     }
@@ -741,7 +747,10 @@ mod tests {
         let dp = f.catalog.define_derived("dp", sig(2), vec![diff]).unwrap();
         let deltas = DeltaMap::new();
         let ctx = EvalContext::new(&f.storage, &f.catalog, &deltas);
-        assert!(ctx.eval_pred(dp, &[None, None], StateEpoch::New).unwrap().is_empty());
+        assert!(ctx
+            .eval_pred(dp, &[None, None], StateEpoch::New)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -760,7 +769,10 @@ mod tests {
         let deltas = DeltaMap::new();
         let ctx = EvalContext::new(&f.storage, &f.catalog, &deltas);
         // q(1,1), r(1,2) exists → ¬r(1,2) fails → empty.
-        assert!(ctx.eval_pred(s, &[None], StateEpoch::New).unwrap().is_empty());
+        assert!(ctx
+            .eval_pred(s, &[None], StateEpoch::New)
+            .unwrap()
+            .is_empty());
 
         // Remove r(1,2) → s(1) holds.
         let rr = f.catalog.def(f.r).stored_rel().unwrap();
@@ -851,16 +863,32 @@ mod tests {
         assert_eq!(out, [tuple![1]].into_iter().collect());
     }
 
+    /// The parallel wave-front shares read-only contexts across threads;
+    /// regressing this bound breaks `amos-core`'s parallel propagation.
+    #[test]
+    fn context_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EvalContext<'static>>();
+    }
+
     #[test]
     fn holds_shortcuts_stored_lookup() {
         let f = fixture();
         let deltas = DeltaMap::new();
         let ctx = EvalContext::new(&f.storage, &f.catalog, &deltas);
         assert!(ctx
-            .holds(f.q, &[Some(Value::Int(1)), Some(Value::Int(1))], StateEpoch::New)
+            .holds(
+                f.q,
+                &[Some(Value::Int(1)), Some(Value::Int(1))],
+                StateEpoch::New
+            )
             .unwrap());
         assert!(!ctx
-            .holds(f.q, &[Some(Value::Int(1)), Some(Value::Int(7))], StateEpoch::New)
+            .holds(
+                f.q,
+                &[Some(Value::Int(1)), Some(Value::Int(7))],
+                StateEpoch::New
+            )
             .unwrap());
     }
 }
@@ -907,11 +935,12 @@ mod recursion_tests {
 
     #[test]
     fn transitive_closure_fixpoint() {
-        let (storage, catalog, reach) =
-            reach_world(&[(1, 2), (2, 3), (3, 4), (10, 11)]);
+        let (storage, catalog, reach) = reach_world(&[(1, 2), (2, 3), (3, 4), (10, 11)]);
         let deltas = DeltaMap::new();
         let ctx = EvalContext::new(&storage, &catalog, &deltas);
-        let out = ctx.eval_pred(reach, &[None, None], StateEpoch::New).unwrap();
+        let out = ctx
+            .eval_pred(reach, &[None, None], StateEpoch::New)
+            .unwrap();
         let expected: HashSet<Tuple> = [
             tuple![1, 2],
             tuple![1, 3],
@@ -931,7 +960,9 @@ mod recursion_tests {
         let (storage, catalog, reach) = reach_world(&[(1, 2), (2, 3), (3, 1)]);
         let deltas = DeltaMap::new();
         let ctx = EvalContext::new(&storage, &catalog, &deltas);
-        let out = ctx.eval_pred(reach, &[None, None], StateEpoch::New).unwrap();
+        let out = ctx
+            .eval_pred(reach, &[None, None], StateEpoch::New)
+            .unwrap();
         // Every pair in the 3-cycle reaches every node (incl. itself).
         assert_eq!(out.len(), 9);
         assert!(out.contains(&tuple![1, 1]));
@@ -947,22 +978,33 @@ mod recursion_tests {
             .unwrap();
         assert_eq!(from1, [tuple![1, 2], tuple![1, 3]].into_iter().collect());
         assert!(ctx
-            .holds(reach, &[Some(Value::Int(1)), Some(Value::Int(3))], StateEpoch::New)
+            .holds(
+                reach,
+                &[Some(Value::Int(1)), Some(Value::Int(3))],
+                StateEpoch::New
+            )
             .unwrap());
     }
 
     #[test]
     fn old_state_fixpoint_via_rollback() {
         let (mut storage, catalog, reach) = reach_world(&[(1, 2)]);
-        let re = catalog.def(catalog.lookup("edge").unwrap()).stored_rel().unwrap();
+        let re = catalog
+            .def(catalog.lookup("edge").unwrap())
+            .stored_rel()
+            .unwrap();
         storage.monitor(re);
         storage.begin().unwrap();
         storage.insert(re, tuple![2, 3]).unwrap();
         let deltas = DeltaMap::new();
         let ctx = EvalContext::new(&storage, &catalog, &deltas);
-        let new = ctx.eval_pred(reach, &[None, None], StateEpoch::New).unwrap();
+        let new = ctx
+            .eval_pred(reach, &[None, None], StateEpoch::New)
+            .unwrap();
         assert!(new.contains(&tuple![1, 3]));
-        let old = ctx.eval_pred(reach, &[None, None], StateEpoch::Old).unwrap();
+        let old = ctx
+            .eval_pred(reach, &[None, None], StateEpoch::Old)
+            .unwrap();
         assert_eq!(old, [tuple![1, 2]].into_iter().collect());
     }
 

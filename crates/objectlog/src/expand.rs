@@ -201,7 +201,9 @@ fn expand_at(
             new_clause.body.push(shifted);
         }
         // Body after the expanded literal.
-        new_clause.body.extend(clause.body[idx + 1..].iter().cloned());
+        new_clause
+            .body
+            .extend(clause.body[idx + 1..].iter().cloned());
         out.push(new_clause);
     }
     Ok(out)
@@ -268,9 +270,7 @@ mod tests {
             .pred(mid, [Term::var(0), Term::var(2)])
             .cmp(Term::var(1), CmpOp::Lt, Term::var(2))
             .build();
-        let top = cat
-            .define_derived("top", sig(1), vec![top_clause])
-            .unwrap();
+        let top = cat.define_derived("top", sig(1), vec![top_clause]).unwrap();
 
         // Unexpanded evaluation.
         let deltas = DeltaMap::new();
@@ -281,10 +281,7 @@ mod tests {
         // Expand fully: the mid literal disappears.
         let expanded = expand_predicate(&cat, top, &ExpandOptions::full()).unwrap();
         assert_eq!(expanded.len(), 1);
-        assert!(expanded[0]
-            .body
-            .iter()
-            .all(|l| l.pred() != Some(mid)));
+        assert!(expanded[0].body.iter().all(|l| l.pred() != Some(mid)));
         let mut cat2 = cat.clone();
         cat2.replace_clauses(top, expanded).unwrap();
         let ctx2 = EvalContext::new(&storage, &cat2, &deltas);

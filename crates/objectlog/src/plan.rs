@@ -177,7 +177,11 @@ fn literal_cost(catalog: &Catalog, lit: &Literal, bound: &HashSet<Var>) -> f64 {
             let n_bound = args.iter().filter(|t| term_bound(t, bound)).count();
             let all_bound = n_bound == args.len();
             if *negated {
-                return if all_bound { cost::NEG_CHECK } else { cost::INF };
+                return if all_bound {
+                    cost::NEG_CHECK
+                } else {
+                    cost::INF
+                };
             }
             let derived = !matches!(catalog.def(*pred).kind, PredKind::Stored { .. });
             match (all_bound, n_bound > 0, derived) {
@@ -372,25 +376,40 @@ impl Plan {
                     format!(
                         "{access} {}{}{:?}",
                         catalog.name(*pred),
-                        if *epoch == StateEpoch::Old { "_old" } else { "" },
+                        if *epoch == StateEpoch::Old {
+                            "_old"
+                        } else {
+                            ""
+                        },
                         bound_cols
                     )
                 }
-                PlanStep::Delta {
-                    pred, polarity, ..
-                } => format!("delta-scan {polarity}{}", catalog.name(*pred)),
+                PlanStep::Delta { pred, polarity, .. } => {
+                    format!("delta-scan {polarity}{}", catalog.name(*pred))
+                }
                 PlanStep::Call {
-                    pred, bound_cols, epoch, ..
+                    pred,
+                    bound_cols,
+                    epoch,
+                    ..
                 } => format!(
                     "call {}{}{:?}",
                     catalog.name(*pred),
-                    if *epoch == StateEpoch::Old { "_old" } else { "" },
+                    if *epoch == StateEpoch::Old {
+                        "_old"
+                    } else {
+                        ""
+                    },
                     bound_cols
                 ),
                 PlanStep::NegCheck { pred, epoch, .. } => format!(
                     "neg-check {}{}",
                     catalog.name(*pred),
-                    if *epoch == StateEpoch::Old { "_old" } else { "" }
+                    if *epoch == StateEpoch::Old {
+                        "_old"
+                    } else {
+                        ""
+                    }
                 ),
                 PlanStep::Cmp { op, lhs, rhs } => format!("test {lhs} {op} {rhs}"),
                 PlanStep::Arith {
@@ -423,7 +442,9 @@ mod tests {
     fn differential_plan_is_delta_seeded() {
         let mut cat = Catalog::new();
         let quantity = cat.define_stored("quantity", sig(2), RelId(0), 1).unwrap();
-        let consume = cat.define_stored("consume_freq", sig(2), RelId(1), 1).unwrap();
+        let consume = cat
+            .define_stored("consume_freq", sig(2), RelId(1), 1)
+            .unwrap();
         let delivery = cat
             .define_stored("delivery_time", sig(3), RelId(2), 2)
             .unwrap();

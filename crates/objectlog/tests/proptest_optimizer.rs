@@ -52,9 +52,7 @@ fn reference_eval(
                 };
                 present != *negated
             }
-            Literal::Cmp { op, lhs, rhs } => {
-                op.apply(&value(lhs), &value(rhs)).unwrap_or(false)
-            }
+            Literal::Cmp { op, lhs, rhs } => op.apply(&value(lhs), &value(rhs)).unwrap_or(false),
             Literal::Arith {
                 op,
                 result,
@@ -104,7 +102,12 @@ fn shapes() -> impl Strategy<Value = Shape> {
     let n_vars = 3u32;
     (
         prop::collection::vec(
-            (any::<bool>(), 0..n_vars, 0..n_vars, prop::bool::weighted(0.25)),
+            (
+                any::<bool>(),
+                0..n_vars,
+                0..n_vars,
+                prop::bool::weighted(0.25),
+            ),
             1..4,
         ),
         prop::option::of((
@@ -127,9 +130,12 @@ fn shapes() -> impl Strategy<Value = Shape> {
         })
 }
 
-fn build_clause(shape: &Shape, q: amos_objectlog::catalog::PredId, r: amos_objectlog::catalog::PredId) -> Option<Clause> {
-    let mut b = ClauseBuilder::new(shape.n_vars)
-        .head(shape.head.iter().map(|&v| Term::var(v)));
+fn build_clause(
+    shape: &Shape,
+    q: amos_objectlog::catalog::PredId,
+    r: amos_objectlog::catalog::PredId,
+) -> Option<Clause> {
+    let mut b = ClauseBuilder::new(shape.n_vars).head(shape.head.iter().map(|&v| Term::var(v)));
     for &(on_q, a, bb, negated) in &shape.literals {
         let pred = if on_q { q } else { r };
         let args = [Term::var(a), Term::var(bb)];

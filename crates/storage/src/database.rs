@@ -338,7 +338,10 @@ mod tests {
         let (mut db, q) = db_with_rel();
         db.begin().unwrap();
         db.insert(q, tuple![1, 2]).unwrap();
-        assert!(db.delta(q).is_none(), "no Δ-set overhead without monitoring");
+        assert!(
+            db.delta(q).is_none(),
+            "no Δ-set overhead without monitoring"
+        );
         assert!(!db.has_changes());
     }
 
@@ -364,12 +367,14 @@ mod tests {
         db.commit().unwrap();
 
         db.begin().unwrap();
-        db.set_functional(q, &[Value::Int(1)], &[Value::Int(150)]).unwrap();
+        db.set_functional(q, &[Value::Int(1)], &[Value::Int(150)])
+            .unwrap();
         let d = db.delta(q).unwrap();
         assert!(d.plus().contains(&tuple![1, 150]));
         assert!(d.minus().contains(&tuple![1, 100]));
         // restore → no net effect (the §4.1 example at database level)
-        db.set_functional(q, &[Value::Int(1)], &[Value::Int(100)]).unwrap();
+        db.set_functional(q, &[Value::Int(1)], &[Value::Int(100)])
+            .unwrap();
         assert!(db.delta(q).unwrap().is_empty());
     }
 
@@ -398,7 +403,8 @@ mod tests {
         db.commit().unwrap();
 
         db.begin().unwrap();
-        db.set_functional(q, &[Value::Int(1)], &[Value::Int(9)]).unwrap();
+        db.set_functional(q, &[Value::Int(1)], &[Value::Int(9)])
+            .unwrap();
         let old = db.old_view(q);
         assert!(old.contains(&tuple![1, 2]));
         assert!(!old.contains(&tuple![1, 9]));

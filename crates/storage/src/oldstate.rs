@@ -100,12 +100,7 @@ mod tests {
     use std::collections::HashSet;
 
     /// Build a relation + delta pair by replaying events through both.
-    fn apply(
-        rel: &mut BaseRelation,
-        delta: &mut DeltaSet,
-        inserts: &[Tuple],
-        deletes: &[Tuple],
-    ) {
+    fn apply(rel: &mut BaseRelation, delta: &mut DeltaSet, inserts: &[Tuple], deletes: &[Tuple]) {
         for t in inserts {
             if rel.insert(t.clone()) {
                 delta.apply_insert(t.clone());
@@ -141,7 +136,10 @@ mod tests {
         for t in &old_snapshot {
             assert!(view.contains(t));
         }
-        assert!(!view.contains(&tuple![1, 4]), "inserted tuple not in old state");
+        assert!(
+            !view.contains(&tuple![1, 4]),
+            "inserted tuple not in old state"
+        );
     }
 
     #[test]

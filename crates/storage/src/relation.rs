@@ -29,7 +29,10 @@ impl HashIndex {
     }
 
     fn insert(&mut self, t: &Tuple) {
-        self.map.entry(self.key_of(t)).or_default().insert(t.clone());
+        self.map
+            .entry(self.key_of(t))
+            .or_default()
+            .insert(t.clone());
     }
 
     fn remove(&mut self, t: &Tuple) {

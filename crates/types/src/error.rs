@@ -55,8 +55,14 @@ mod tests {
             expected: "integer",
             found: "boolean",
         };
-        assert_eq!(e.to_string(), "type mismatch: expected integer, found boolean");
+        assert_eq!(
+            e.to_string(),
+            "type mismatch: expected integer, found boolean"
+        );
         assert_eq!(ValueError::DivisionByZero.to_string(), "division by zero");
-        assert_eq!(ValueError::Overflow("*").to_string(), "integer overflow in `*`");
+        assert_eq!(
+            ValueError::Overflow("*").to_string(),
+            "integer overflow in `*`"
+        );
     }
 }

@@ -136,13 +136,23 @@ mod tests {
 
     #[test]
     fn flipped_and_negated() {
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             let (a, b) = (Value::Int(1), Value::Int(2));
             assert_eq!(
                 op.apply(&a, &b).unwrap(),
                 op.flipped().apply(&b, &a).unwrap()
             );
-            assert_eq!(op.apply(&a, &b).unwrap(), !op.negated().apply(&a, &b).unwrap());
+            assert_eq!(
+                op.apply(&a, &b).unwrap(),
+                !op.negated().apply(&a, &b).unwrap()
+            );
         }
     }
 
@@ -153,7 +163,9 @@ mod tests {
             Value::Int(40)
         );
         assert_eq!(
-            ArithOp::Add.apply(&Value::Int(40), &Value::Int(100)).unwrap(),
+            ArithOp::Add
+                .apply(&Value::Int(40), &Value::Int(100))
+                .unwrap(),
             Value::Int(140)
         );
     }

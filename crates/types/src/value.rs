@@ -186,7 +186,10 @@ impl Value {
     /// Unary negation.
     pub fn neg(&self) -> Result<Value, ValueError> {
         match self {
-            Value::Int(a) => a.checked_neg().map(Value::Int).ok_or(ValueError::Overflow("-")),
+            Value::Int(a) => a
+                .checked_neg()
+                .map(Value::Int)
+                .ok_or(ValueError::Overflow("-")),
             Value::Real(r) => Value::real(-r),
             other => Err(ValueError::TypeMismatch {
                 expected: "numeric",
@@ -351,8 +354,14 @@ mod tests {
     #[test]
     fn overflow_is_an_error() {
         let a = Value::Int(i64::MAX);
-        assert!(matches!(a.add(&Value::Int(1)), Err(ValueError::Overflow("+"))));
-        assert!(matches!(a.mul(&Value::Int(2)), Err(ValueError::Overflow("*"))));
+        assert!(matches!(
+            a.add(&Value::Int(1)),
+            Err(ValueError::Overflow("+"))
+        ));
+        assert!(matches!(
+            a.mul(&Value::Int(2)),
+            Err(ValueError::Overflow("*"))
+        ));
     }
 
     #[test]

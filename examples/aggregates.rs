@@ -15,7 +15,10 @@ use amos_db::{Amos, Value};
 fn main() {
     let mut db = Amos::new();
     db.register_procedure("flag_account", |_ctx, args| {
-        println!("  FRAUD CHECK: account {} total {} exceeds 10000", args[0], args[1]);
+        println!(
+            "  FRAUD CHECK: account {} total {} exceeds 10000",
+            args[0], args[1]
+        );
         Ok(())
     });
 
@@ -56,7 +59,8 @@ fn main() {
     let alice = db.iface_value("alice").cloned().unwrap();
     println!(
         "  total(:alice) = {}",
-        db.call_function("total", std::slice::from_ref(&alice)).unwrap()
+        db.call_function("total", std::slice::from_ref(&alice))
+            .unwrap()
     );
 
     println!("one more transfer pushes alice over the limit:");
@@ -66,17 +70,20 @@ fn main() {
     db.execute("remove amount(:alice, 2) = 5000;").unwrap();
     println!(
         "  total(:alice) = {}",
-        db.call_function("total", std::slice::from_ref(&alice)).unwrap()
+        db.call_function("total", std::slice::from_ref(&alice))
+            .unwrap()
     );
     assert_eq!(
-        db.call_function("total", std::slice::from_ref(&alice)).unwrap(),
+        db.call_function("total", std::slice::from_ref(&alice))
+            .unwrap(),
         Value::Int(6000)
     );
 
     // Max survives deleting the maximum (multiset state, no rescan).
     println!(
         "  largest(:alice) = {} (after removing the 5000 transfer)",
-        db.call_function("largest", std::slice::from_ref(&alice)).unwrap()
+        db.call_function("largest", std::slice::from_ref(&alice))
+            .unwrap()
     );
     assert_eq!(
         db.call_function("largest", &[alice]).unwrap(),

@@ -14,7 +14,10 @@ use amos_db::Amos;
 fn main() {
     let mut db = Amos::new();
     db.register_procedure("page", |_ctx, args| {
-        println!("  SUPPLY-CHAIN ALERT: {} now depends on quarantined {}", args[0], args[1]);
+        println!(
+            "  SUPPLY-CHAIN ALERT: {} now depends on quarantined {}",
+            args[0], args[1]
+        );
         Ok(())
     });
 

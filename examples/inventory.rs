@@ -57,10 +57,13 @@ fn run(prep: NetworkPrep) {
     db.execute(SCHEMA).expect("schema compiles");
     db.execute(POPULATE).expect("population");
 
-    println!("propagation network (fig. {}):", match prep {
-        NetworkPrep::Flat => "2 — flat, fully expanded",
-        NetworkPrep::Bushy => "1 — bushy, threshold shared",
-    });
+    println!(
+        "propagation network (fig. {}):",
+        match prep {
+            NetworkPrep::Flat => "2 — flat, fully expanded",
+            NetworkPrep::Bushy => "1 — bushy, threshold shared",
+        }
+    );
     println!("{}", db.rules().network().render(db.catalog()));
 
     // Thresholds: item1 = 20*2+100 = 140, item2 = 30*3+200 = 290.
@@ -81,7 +84,9 @@ fn run(prep: NetworkPrep) {
     db.execute("set quantity(:item1) = 110;").unwrap();
 
     println!("changing the *threshold side*: min_stock(:item2) = 7500");
-    println!("(threshold becomes 90 + 7500 = 7590 > quantity 7500) — triggers through Δ+min_stock:");
+    println!(
+        "(threshold becomes 90 + 7500 = 7590 > quantity 7500) — triggers through Δ+min_stock:"
+    );
     db.execute("set min_stock(:item2) = 7500;").unwrap();
     for e in &db.rules().last_trace().explanations {
         println!("  {}", e.render(db.catalog()));

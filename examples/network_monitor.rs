@@ -80,18 +80,13 @@ fn main() {
 
     println!("\na flapping link inside one transaction — net change is zero, nobody is paged:");
     db.execute("set up(:dbhost, 1) = 1;").unwrap(); // repair first
-    db.execute(
-        "begin; set up(:dbhost, 1) = 0; set up(:dbhost, 1) = 1; commit;",
-    )
-    .unwrap();
+    db.execute("begin; set up(:dbhost, 1) = 0; set up(:dbhost, 1) = 1; commit;")
+        .unwrap();
 
     // Final state sanity.
     let up = db.call_function(
         "up",
-        &[
-            db.iface_value("dbhost").cloned().unwrap(),
-            Value::Int(1),
-        ],
+        &[db.iface_value("dbhost").cloned().unwrap(), Value::Int(1)],
     );
     assert_eq!(up.unwrap(), Value::Int(1));
     println!("\ndone.");

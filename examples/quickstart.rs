@@ -60,10 +60,7 @@ fn main() {
     }
 
     // Everything is also available programmatically.
-    let reading = db.call_function(
-        "reading",
-        &[db.iface_value("boiler").cloned().unwrap()],
-    );
+    let reading = db.call_function("reading", &[db.iface_value("boiler").cloned().unwrap()]);
     assert_eq!(reading.unwrap(), Value::Int(99));
     println!("done.");
 }

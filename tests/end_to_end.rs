@@ -96,7 +96,10 @@ fn rule_cascade_across_rules() {
     assert_eq!(calls[0].0, "archive");
     // The cascaded update is visible.
     let t1 = db.iface_value("t1").cloned().unwrap();
-    assert_eq!(db.call_function("attention", &[t1]).unwrap(), Value::Int(70));
+    assert_eq!(
+        db.call_function("attention", &[t1]).unwrap(),
+        Value::Int(70)
+    );
 }
 
 #[test]
@@ -190,7 +193,8 @@ fn deletion_driven_rule_via_remove() {
     assert!(log.lock().unwrap().is_empty());
     // Removing group membership makes the negated literal true — the
     // rule fires through a *negative* partial differential.
-    db.execute("remove in_group(:u1, \"admins\") = true;").unwrap();
+    db.execute("remove in_group(:u1, \"admins\") = true;")
+        .unwrap();
     assert_eq!(log.lock().unwrap().len(), 1);
 }
 
@@ -245,7 +249,10 @@ fn rollback_undoes_everything_between_begin_and_rollback() {
     )
     .unwrap();
     db.execute("begin; set qty(:x) = 1; rollback;").unwrap();
-    assert!(log.lock().unwrap().is_empty(), "rollback suppresses triggers");
+    assert!(
+        log.lock().unwrap().is_empty(),
+        "rollback suppresses triggers"
+    );
     let x = db.iface_value("x").cloned().unwrap();
     assert_eq!(db.call_function("qty", &[x]).unwrap(), Value::Int(100));
 }

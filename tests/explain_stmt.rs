@@ -52,6 +52,34 @@ fn explain_rule_inactive_and_active() {
     assert!(out.contains("Δcnd_low/Δ-threshold"), "{out}");
 }
 
+/// After a commit runs the check phase, `explain rule` includes the
+/// metrics of the last propagation pass (timings and counters).
+#[test]
+fn explain_rule_reports_pass_metrics() {
+    let mut db = Amos::new();
+    db.register_procedure("order", |_ctx, _| Ok(()));
+    db.execute(SCHEMA).unwrap();
+    db.execute("activate low();").unwrap();
+    db.execute(
+        "begin;
+         create item instances :i1;
+         set quantity(:i1) = 2;
+         set threshold(:i1) = 5;
+         commit;",
+    )
+    .unwrap();
+
+    let out = text(db.execute("explain rule low;").unwrap());
+    assert!(out.contains("last propagation pass:"), "{out}");
+    assert!(out.contains("strategy=parallel check=nervous"), "{out}");
+    assert!(out.contains("candidates="), "{out}");
+    assert!(out.contains("Δcnd_low/Δ+quantity"), "{out}");
+
+    let metrics = db.last_pass_metrics().expect("a pass ran at commit");
+    assert!(!metrics.differentials.is_empty());
+    assert!(metrics.to_json().to_compact().contains("\"levels\""));
+}
+
 #[test]
 fn explain_unknown_rule_errors() {
     let mut db = Amos::new();
@@ -77,7 +105,9 @@ fn drop_rule_removes_everything() {
     // Influents monitored while active.
     let quantity_rel = {
         let cat = db.catalog();
-        cat.def(cat.lookup("quantity").unwrap()).stored_rel().unwrap()
+        cat.def(cat.lookup("quantity").unwrap())
+            .stored_rel()
+            .unwrap()
     };
     assert!(db.storage().is_monitored(quantity_rel));
 

@@ -110,10 +110,9 @@ fn modes_and_network_shapes_agree_on_random_workloads() {
         firings.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
         all_firings.push(firings);
 
-        let rows = w
-            .db
-            .query("select i, stock(i), demand(i) for each item i;")
-            .unwrap();
+        let rows =
+            w.db.query("select i, stock(i), demand(i) for each item i;")
+                .unwrap();
         all_states.push(rows.iter().map(|t| t.to_string()).collect());
     }
     for i in 1..all_firings.len() {
@@ -123,8 +122,14 @@ fn modes_and_network_shapes_agree_on_random_workloads() {
             "config {i} fired a different number of times"
         );
         assert_eq!(all_firings[0], all_firings[i], "config {i} diverged");
-        assert_eq!(all_states[0], all_states[i], "config {i} final state diverged");
+        assert_eq!(
+            all_states[0], all_states[i],
+            "config {i} final state diverged"
+        );
     }
     // The workload actually exercised the rules.
-    assert!(!all_firings[0].is_empty(), "workload never triggered anything");
+    assert!(
+        !all_firings[0].is_empty(),
+        "workload never triggered anything"
+    );
 }

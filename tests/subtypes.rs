@@ -37,10 +37,7 @@ fn subtype_instances_seen_by_supertype_rules() {
     // The truck is a vehicle: the supertype rule fires for it.
     db.execute("set speed(:truck1) = 120;").unwrap();
     assert_eq!(fired.lock().unwrap().len(), 1);
-    assert_eq!(
-        fired.lock().unwrap()[0],
-        *db.iface_value("truck1").unwrap()
-    );
+    assert_eq!(fired.lock().unwrap()[0], *db.iface_value("truck1").unwrap());
 
     // Queries over both levels.
     let vehicles = db.query("select v for each vehicle v;").unwrap();

@@ -72,7 +72,8 @@ fn min_aggregate_with_deletions() {
         .unwrap();
     let h1 = db.iface_value("h1").cloned().unwrap();
     assert_eq!(
-        db.call_function("best_latency", std::slice::from_ref(&h1)).unwrap(),
+        db.call_function("best_latency", std::slice::from_ref(&h1))
+            .unwrap(),
         Value::Int(10)
     );
     // Deleting the minimum falls back to the next without a rescan.
@@ -108,7 +109,9 @@ fn closure_view_with_user_differential() {
 
     let transfer_rel = {
         let cat = db.catalog();
-        cat.def(cat.lookup("transfer").unwrap()).stored_rel().unwrap()
+        cat.def(cat.lookup("transfer").unwrap())
+            .stored_rel()
+            .unwrap()
     };
 
     // Shared incremental state: net outflow per account oid.
@@ -162,7 +165,8 @@ fn closure_view_with_user_differential() {
             Ok::<DeltaSet, CoreError>(out)
         },
     );
-    db.register_view("net_outflow", 2, 1, Box::new(view)).unwrap();
+    db.register_view("net_outflow", 2, 1, Box::new(view))
+        .unwrap();
 
     db.execute(
         r#"
@@ -180,7 +184,8 @@ fn closure_view_with_user_differential() {
     let a = db.iface_value("a").cloned().unwrap();
     assert_eq!(alerts.lock().unwrap().as_slice(), std::slice::from_ref(&a));
     assert_eq!(
-        db.call_function("net_outflow", std::slice::from_ref(&a)).unwrap(),
+        db.call_function("net_outflow", std::slice::from_ref(&a))
+            .unwrap(),
         Value::Int(1300)
     );
     // b's inflow shows as negative outflow.
