@@ -5,7 +5,9 @@
 //! layer self-contained for tests and benchmarks; the real engine drives
 //! the ObjectLog evaluator against `Storage` directly.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
+
+use amos_types::FxHashSet as HashSet;
 
 use amos_storage::DeltaSet;
 use amos_types::Tuple;

@@ -29,7 +29,7 @@
 //! unacceptable), `Strict` additionally verifies candidate insertions
 //! against the old state (false→true transitions only).
 
-use std::collections::HashSet;
+use amos_types::FxHashSet as HashSet;
 use std::fmt;
 
 pub use amos_storage::Polarity;
@@ -89,10 +89,11 @@ impl DiffExpr {
             DiffExpr::ProductL(d, other, epoch) => {
                 let seed = d.eval(db);
                 if seed.is_empty() {
-                    return HashSet::new();
+                    return HashSet::default();
                 }
                 let side = other.eval(db, *epoch);
-                let mut out = HashSet::with_capacity(seed.len() * side.len());
+                let mut out =
+                    HashSet::with_capacity_and_hasher(seed.len() * side.len(), Default::default());
                 for a in &seed {
                     for b in &side {
                         out.insert(a.concat(b));
@@ -103,10 +104,11 @@ impl DiffExpr {
             DiffExpr::ProductR(other, epoch, d) => {
                 let seed = d.eval(db);
                 if seed.is_empty() {
-                    return HashSet::new();
+                    return HashSet::default();
                 }
                 let side = other.eval(db, *epoch);
-                let mut out = HashSet::with_capacity(seed.len() * side.len());
+                let mut out =
+                    HashSet::with_capacity_and_hasher(seed.len() * side.len(), Default::default());
                 for b in &seed {
                     for a in &side {
                         out.insert(a.concat(b));
@@ -117,10 +119,10 @@ impl DiffExpr {
             DiffExpr::JoinL(d, other, epoch, on) => {
                 let seed = d.eval(db);
                 if seed.is_empty() {
-                    return HashSet::new();
+                    return HashSet::default();
                 }
                 let side = other.eval(db, *epoch);
-                let mut out = HashSet::new();
+                let mut out = HashSet::default();
                 for a in &seed {
                     for b in &side {
                         if on.iter().all(|&(qa, rb)| a[qa] == b[rb]) {
@@ -133,10 +135,10 @@ impl DiffExpr {
             DiffExpr::JoinR(other, epoch, d, on) => {
                 let seed = d.eval(db);
                 if seed.is_empty() {
-                    return HashSet::new();
+                    return HashSet::default();
                 }
                 let side = other.eval(db, *epoch);
-                let mut out = HashSet::new();
+                let mut out = HashSet::default();
                 for b in &seed {
                     for a in &side {
                         if on.iter().all(|&(qa, rb)| a[qa] == b[rb]) {
@@ -419,8 +421,8 @@ pub fn delta_from_differentials(
     db: &AlgebraDb,
     correction: Correction,
 ) -> DeltaSet {
-    let mut plus: HashSet<Tuple> = HashSet::new();
-    let mut minus: HashSet<Tuple> = HashSet::new();
+    let mut plus: HashSet<Tuple> = HashSet::default();
+    let mut minus: HashSet<Tuple> = HashSet::default();
     for pd in diffs {
         let result = pd.expr.eval(db);
         match pd.output {

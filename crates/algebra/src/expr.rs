@@ -4,7 +4,7 @@
 //! projection π, union ∪, difference −, cartesian product ×, equi-join ⋈,
 //! and intersection ∩, over named base relations.
 
-use std::collections::HashSet;
+use amos_types::FxHashSet as HashSet;
 use std::fmt;
 
 use amos_storage::StateEpoch;
@@ -116,7 +116,8 @@ impl RelExpr {
             RelExpr::Product(q, r) => {
                 let rs = r.eval(db, epoch);
                 let qs = q.eval(db, epoch);
-                let mut out = HashSet::with_capacity(qs.len() * rs.len());
+                let mut out =
+                    HashSet::with_capacity_and_hasher(qs.len() * rs.len(), Default::default());
                 for a in &qs {
                     for b in &rs {
                         out.insert(a.concat(b));
@@ -136,7 +137,7 @@ impl RelExpr {
                 for b in &rs {
                     built.entry(b.project(&r_cols)).or_default().push(b);
                 }
-                let mut out = HashSet::new();
+                let mut out = HashSet::default();
                 for a in &qs {
                     if let Some(matches) = built.get(&a.project(&q_cols)) {
                         for b in matches {

@@ -10,7 +10,7 @@
 //!   correction equals naive recomputation, and raw differentials are
 //!   *complete* (never miss a real change).
 
-use std::collections::HashSet;
+use amos_types::FxHashSet as HashSet;
 
 use amos_algebra::diff::{delta_of, diff_expr, recompute_delta, Correction, Polarity};
 use amos_algebra::predicate::CmpOp;
@@ -89,8 +89,8 @@ proptest! {
 
         // Completeness of the raw contributions (pre-∪Δ): collect raw sides.
         let diffs = diff_expr(&expr);
-        let mut raw_plus: HashSet<Tuple> = HashSet::new();
-        let mut raw_minus: HashSet<Tuple> = HashSet::new();
+        let mut raw_plus: HashSet<Tuple> = HashSet::default();
+        let mut raw_minus: HashSet<Tuple> = HashSet::default();
         for pd in &diffs {
             match pd.output {
                 Polarity::Plus => raw_plus.extend(pd.expr.eval(&db)),

@@ -32,11 +32,11 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use amos_metrics::{DiffTiming, LevelStats, PassMetrics, Stopwatch};
 use amos_objectlog::catalog::{Catalog, PredId};
-use amos_objectlog::eval::{DeltaMap, EvalContext};
+use amos_objectlog::eval::{DeltaMap, EvalContext, EvalShared};
 use amos_storage::{DeltaSet, Polarity, StateEpoch, Storage};
 use amos_types::{Tuple, Value};
 
@@ -165,7 +165,36 @@ pub fn propagate_with(
     check: CheckLevel,
     strategy: ExecStrategy,
 ) -> Result<PropagationResult, CoreError> {
+    propagate_shared(
+        network,
+        catalog,
+        storage,
+        check,
+        strategy,
+        &Arc::new(EvalShared::default()),
+    )
+}
+
+/// [`propagate_with`] against caller-owned shared evaluator state
+/// (plan cache, old-state indexes, derived-call memo table).
+///
+/// The rule manager passes a long-lived [`EvalShared`] here so plan
+/// compilations survive across passes and tabled derived-call results
+/// are shared by every differential of the pass — the paper's
+/// cross-differential sharing, realized at the evaluator level. The
+/// caller is responsible for calling [`EvalShared::reset_pass`] at pass
+/// boundaries (storage changes invalidate per-pass state).
+pub fn propagate_shared(
+    network: &PropagationNetwork,
+    catalog: &Catalog,
+    storage: &Storage,
+    check: CheckLevel,
+    strategy: ExecStrategy,
+    shared: &Arc<EvalShared>,
+) -> Result<PropagationResult, CoreError> {
     let pass_timer = Stopwatch::start();
+    let hits_before = shared.tabling_hits();
+    let misses_before = shared.tabling_misses();
     let mut result = PropagationResult::default();
     result.metrics.strategy = strategy.name().to_owned();
     result.metrics.check = check.name().to_owned();
@@ -240,13 +269,18 @@ pub fn propagate_with(
         // it, inline otherwise. Either way `wave` is frozen (shared
         // immutably) for the whole batch.
         let parallel = strategy == ExecStrategy::Parallel && tasks.len() > 1;
-        let outputs: Vec<Result<TaskOutput, CoreError>> = if parallel {
-            run_tasks_threaded(network, catalog, storage, &wave, check, &tasks)
-        } else {
-            tasks
-                .iter()
-                .map(|task| run_differential(network, catalog, storage, &wave, task.diff, check))
-                .collect()
+        let outputs: Vec<Result<TaskOutput, CoreError>> = {
+            // One evaluation context for the whole level, borrowing the
+            // frozen wave; dropped before the merge mutates `wave`.
+            let ctx = EvalContext::with_shared(storage, catalog, &wave, Arc::clone(shared));
+            if parallel {
+                run_tasks_threaded(network, catalog, &ctx, check, &tasks)
+            } else {
+                tasks
+                    .iter()
+                    .map(|task| run_differential(network, catalog, &ctx, task.diff, check))
+                    .collect()
+            }
         };
 
         result.metrics.levels.push(LevelStats {
@@ -310,6 +344,8 @@ pub fn propagate_with(
     result.metrics.fired = result.fired.len();
     result.metrics.candidates = result.candidates;
     result.metrics.rejected = result.rejected;
+    result.metrics.tabling_hits = shared.tabling_hits() - hits_before;
+    result.metrics.tabling_misses = shared.tabling_misses() - misses_before;
     result.metrics.nanos = pass_timer.elapsed_nanos();
     Ok(result)
 }
@@ -320,14 +356,12 @@ pub fn propagate_with(
 fn run_differential(
     network: &PropagationNetwork,
     catalog: &Catalog,
-    storage: &Storage,
-    wave: &DeltaMap,
+    ctx: &EvalContext<'_>,
     diff_id: DiffId,
     check: CheckLevel,
 ) -> Result<TaskOutput, CoreError> {
     let timer = Stopwatch::start();
     let diff = network.differential(diff_id);
-    let ctx = EvalContext::new(storage, catalog, wave);
     let mut produced: Vec<Tuple> = Vec::new();
     let bindings = vec![None; diff.plan.n_vars as usize];
     ctx.run_plan(&diff.plan, bindings, StateEpoch::New, 0, &mut |b, head| {
@@ -357,7 +391,7 @@ fn run_differential(
     let candidates = produced.len();
     let mut accepted: Vec<Tuple> = Vec::new();
     for t in produced {
-        if accept(&ctx, diff.affected, &t, diff.output, effective_check)? {
+        if accept(ctx, diff.affected, &t, diff.output, effective_check)? {
             accepted.push(t);
         }
     }
@@ -374,8 +408,7 @@ fn run_differential(
 fn run_tasks_threaded(
     network: &PropagationNetwork,
     catalog: &Catalog,
-    storage: &Storage,
-    wave: &DeltaMap,
+    ctx: &EvalContext<'_>,
     check: CheckLevel,
     tasks: &[Task],
 ) -> Vec<Result<TaskOutput, CoreError>> {
@@ -396,7 +429,7 @@ fn run_tasks_threaded(
                 let Some(task) = tasks.get(i) else {
                     break;
                 };
-                let out = run_differential(network, catalog, storage, wave, task.diff, check);
+                let out = run_differential(network, catalog, ctx, task.diff, check);
                 *slots[i].lock().unwrap() = Some(out);
             });
         }
@@ -445,8 +478,8 @@ fn close_recursive_node(
         .map(|d| network.differential(*d))
         .filter(|d| d.affected == node.pred && d.seed == Polarity::Plus)
         .collect();
-    let mut total: std::collections::HashSet<Tuple> = delta.plus().clone();
-    let mut frontier: std::collections::HashSet<Tuple> = total.clone();
+    let mut total: amos_types::FxHashSet<Tuple> = delta.plus().clone();
+    let mut frontier: amos_types::FxHashSet<Tuple> = total.clone();
     while !frontier.is_empty() {
         let mut fdelta = DeltaSet::new();
         for t in frontier.drain() {

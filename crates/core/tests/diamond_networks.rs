@@ -4,7 +4,7 @@
 //! order must deliver *complete* Δ-sets to every node before its
 //! out-edges fire — these shapes are where a wrong order would show.
 
-use std::collections::HashSet;
+use amos_types::FxHashSet as HashSet;
 
 use amos_core::differ::DiffScope;
 use amos_core::network::PropagationNetwork;

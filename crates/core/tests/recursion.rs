@@ -3,7 +3,7 @@
 //! closure for insertions, exact recompute fallback for deletions —
 //! always matching naive recomputation.
 
-use std::collections::HashSet;
+use amos_types::FxHashSet as HashSet;
 
 use amos_core::differ::DiffScope;
 use amos_core::network::PropagationNetwork;

@@ -13,7 +13,7 @@ use amos_core::maintained::{MaintainedAggregate, SourceDeltas, UserView};
 use amos_core::propagate::ExecStrategy;
 use amos_core::rules::{ActionFn, CheckSummary, MonitorMode, RuleManager, RuleSemantics};
 use amos_objectlog::catalog::{Catalog, ForeignFn, PredId};
-use amos_objectlog::eval::{DeltaMap, EvalContext};
+use amos_objectlog::eval::{DeltaMap, EvalConfig, EvalContext};
 use amos_objectlog::expand::{expand_clause, ExpandOptions};
 use amos_objectlog::plan::compile_clause;
 use amos_storage::{RelId, StateEpoch, Storage};
@@ -35,7 +35,7 @@ pub enum NetworkPrep {
 }
 
 /// Engine construction options.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct EngineOptions {
     /// Condition preparation style.
     pub network_prep: NetworkPrep,
@@ -48,6 +48,21 @@ pub struct EngineOptions {
     /// Wave-front execution strategy for propagation passes (parallel
     /// by default; serial retained for the ablation benches).
     pub propagation: ExecStrategy,
+    /// Per-pass tabling of derived-call results (on by default; the
+    /// `--no-tabling` bench flag disables it for ablation runs).
+    pub tabling: bool,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            network_prep: NetworkPrep::default(),
+            default_semantics: RuleSemantics::default(),
+            immediate: false,
+            propagation: ExecStrategy::default(),
+            tabling: true,
+        }
+    }
 }
 
 /// Context handed to registered procedures (rule actions' side-effect
@@ -113,6 +128,12 @@ impl Amos {
     pub fn with_options(options: EngineOptions) -> Self {
         let mut rules = RuleManager::new();
         rules.exec = options.propagation;
+        if !options.tabling {
+            rules.set_eval_config(EvalConfig {
+                tabling: false,
+                ..EvalConfig::default()
+            });
+        }
         Amos {
             storage: Storage::new(),
             catalog: Catalog::new(),
@@ -286,6 +307,16 @@ impl Amos {
     pub fn set_propagation_strategy(&mut self, strategy: ExecStrategy) {
         self.options.propagation = strategy;
         self.rules.exec = strategy;
+    }
+
+    /// Enable/disable per-pass tabling of derived-call results (the
+    /// `--no-tabling` ablation). Takes effect from the next pass.
+    pub fn set_tabling(&mut self, on: bool) {
+        self.options.tabling = on;
+        self.rules.set_eval_config(EvalConfig {
+            tabling: on,
+            ..self.rules.eval_config()
+        });
     }
 
     /// Instrumentation of the most recent propagation pass, if any.

@@ -119,6 +119,11 @@ pub struct PassMetrics {
     pub candidates: usize,
     /// Total candidates rejected by checks.
     pub rejected: usize,
+    /// Derived-call memo ("tabling") hits during the pass — evaluations
+    /// shared across differentials instead of recomputed.
+    pub tabling_hits: u64,
+    /// Derived-call memo misses (first evaluation of a call pattern).
+    pub tabling_misses: u64,
     /// Per-level wave-front statistics, in propagation order.
     pub levels: Vec<LevelStats>,
     /// Per-differential-execution records, in merge (= serial) order.
@@ -135,6 +140,8 @@ impl PassMetrics {
             .with("fired", self.fired)
             .with("candidates", self.candidates)
             .with("rejected", self.rejected)
+            .with("tabling_hits", self.tabling_hits)
+            .with("tabling_misses", self.tabling_misses)
             .with(
                 "levels",
                 JsonValue::Array(self.levels.iter().map(LevelStats::to_json).collect()),
@@ -150,13 +157,15 @@ impl PassMetrics {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "propagation pass: strategy={} check={} time={:.3}ms fired={} candidates={} rejected={}",
+            "propagation pass: strategy={} check={} time={:.3}ms fired={} candidates={} rejected={} tabling_hits={} tabling_misses={}",
             self.strategy,
             self.check,
             self.nanos as f64 / 1e6,
             self.fired,
             self.candidates,
-            self.rejected
+            self.rejected,
+            self.tabling_hits,
+            self.tabling_misses
         );
         for lvl in &self.levels {
             let _ = writeln!(
@@ -197,6 +206,8 @@ mod tests {
             fired: 2,
             candidates: 5,
             rejected: 1,
+            tabling_hits: 4,
+            tabling_misses: 2,
             levels: vec![LevelStats {
                 level: 0,
                 active_nodes: 2,
@@ -222,6 +233,7 @@ mod tests {
         assert!(doc.starts_with(r#"{"strategy":"parallel","check":"strict","nanos":1500000"#));
         assert!(doc.contains(r#""levels":[{"level":0,"active_nodes":2"#));
         assert!(doc.contains(r#""rejected":1,"#));
+        assert!(doc.contains(r#""tabling_hits":4,"tabling_misses":2,"#));
         assert!(doc.contains(r#""differential":"Δcnd/Δ₊quantity""#));
     }
 
@@ -229,6 +241,7 @@ mod tests {
     fn render_mentions_every_section() {
         let text = sample().render();
         assert!(text.contains("strategy=parallel"));
+        assert!(text.contains("tabling_hits=4"));
         assert!(text.contains("level 0: active_nodes=2"));
         assert!(text.contains("accepted=4 rejected=1"));
     }

@@ -15,9 +15,11 @@
 //! propagation).
 
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 
 use amos_storage::{DeltaSet, StateEpoch, Storage};
-use amos_types::{Tuple, Value};
+use amos_types::{FxHashMap, Tuple, Value};
 
 use crate::catalog::{Catalog, PredId, PredKind};
 use crate::clause::{Term, Var};
@@ -26,6 +28,110 @@ use crate::plan::{compile_clause, Plan, PlanStep};
 
 /// Δ-sets keyed by influent predicate, available to Δ-literals.
 pub type DeltaMap = HashMap<PredId, DeltaSet>;
+
+/// Tunable evaluation knobs, kept separate from the per-query context so
+/// ablation runs (`--no-tabling`) can toggle them in one place.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvalConfig {
+    /// Memoize derived-predicate call results for the lifetime of the
+    /// shared cache state (one check-phase pass) — the paper's
+    /// cross-differential sharing, realized at the evaluator level.
+    pub tabling: bool,
+    /// Recursion guard for derived-predicate calls.
+    pub depth_limit: usize,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig {
+            tabling: true,
+            depth_limit: 64,
+        }
+    }
+}
+
+/// Cache state shared by every [`EvalContext`] of one propagation pass.
+///
+/// The wave-front executes many differentials (often concurrently) whose
+/// contexts differ only in their Δ-environment; everything cacheable
+/// between them lives here, behind `RwLock`s so parallel tasks read
+/// without convoying:
+///
+/// * **plan cache** — compiled clause plans per (predicate, binding
+///   mask). Valid as long as the catalog's clauses are; the rule layer
+///   replaces the whole `EvalShared` when the network is rebuilt.
+/// * **old-state indexes** — lazily-built hash indexes over logical-
+///   rollback views, shared by every negative differential of the pass
+///   (previously rebuilt per differential). Valid for one pass: the next
+///   transaction has different Δ-sets.
+/// * **memo table** — derived-call results per (predicate, binding
+///   pattern, epoch); see [`EvalContext::eval_call`]. Valid for one
+///   pass: storage is frozen while a pass runs.
+///
+/// [`EvalShared::reset_pass`] clears the per-pass state (old indexes +
+/// memo) and must be called at every pass boundary when the value is
+/// reused across passes.
+#[derive(Debug)]
+pub struct EvalShared {
+    config: EvalConfig,
+    plan_cache: RwLock<PlanCache>,
+    old_index: RwLock<OldIndexCache>,
+    memo: RwLock<MemoTable>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for EvalShared {
+    fn default() -> Self {
+        EvalShared::new(EvalConfig::default())
+    }
+}
+
+impl EvalShared {
+    /// Fresh, empty cache state under the given configuration.
+    pub fn new(config: EvalConfig) -> Self {
+        EvalShared {
+            config,
+            plan_cache: RwLock::new(PlanCache::default()),
+            old_index: RwLock::new(OldIndexCache::default()),
+            memo: RwLock::new(MemoTable::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The configuration this state was created with.
+    pub fn config(&self) -> EvalConfig {
+        self.config
+    }
+
+    /// Invalidate everything that is only valid within one propagation
+    /// pass: old-state indexes (the next transaction rolls back to a
+    /// different state) and the derived-call memo table (storage mutates
+    /// between passes). The plan cache survives — plans depend only on
+    /// the catalog, and the rule layer swaps the whole `EvalShared` when
+    /// rules or the network change.
+    pub fn reset_pass(&self) {
+        self.old_index.write().unwrap().clear();
+        self.memo.write().unwrap().clear();
+    }
+
+    /// Drop every cache including compiled plans (schema changes).
+    pub fn clear_all(&self) {
+        self.plan_cache.write().unwrap().clear();
+        self.reset_pass();
+    }
+
+    /// Cumulative derived-call memo hits since construction.
+    pub fn tabling_hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative derived-call memo misses since construction.
+    pub fn tabling_misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
 
 /// Evaluation context: storage, catalog, and the Δ-environment.
 pub struct EvalContext<'a> {
@@ -37,23 +143,8 @@ pub struct EvalContext<'a> {
     pub deltas: &'a DeltaMap,
     /// Recursion guard for derived-predicate calls.
     pub depth_limit: usize,
-    /// Compiled-plan cache for derived-predicate calls, keyed by
-    /// predicate and bound-argument bitmask. A differential whose Δ-set
-    /// seeds `n` tuples calls its derived sub-goals `n` times with the
-    /// same binding pattern — without the cache each call would re-run
-    /// the greedy optimizer. A `Mutex` (not `RefCell`) so a read-only
-    /// context is `Sync` and the propagation wave-front can evaluate
-    /// differentials from several threads; contexts are never shared
-    /// across threads in practice (each propagation task builds its
-    /// own), so the uncontended lock is cheap.
-    plan_cache: std::sync::Mutex<PlanCache>,
-    /// Lazily-built old-state hash indexes, used for old-epoch probes
-    /// when the relation's Δ-set is too large for the per-probe linear
-    /// overlay of [`amos_storage::OldStateView::probe`]. The build cost
-    /// (one old-state scan) amortizes over the many probes a massive
-    /// transaction performs — this is what keeps the fig. 7 workload
-    /// linear instead of quadratic.
-    old_index: std::sync::Mutex<OldIndexCache>,
+    /// Caches shared across the contexts of one propagation pass.
+    shared: Arc<EvalShared>,
 }
 
 /// Variable bindings during plan execution.
@@ -62,13 +153,29 @@ type Bindings = Vec<Option<Value>>;
 /// Solution callback invoked by [`EvalContext::run_plan`].
 pub type EmitFn<'e> = dyn FnMut(&Bindings, &[Term]) -> Result<(), ObjectLogError> + 'e;
 
-/// Per-context cache of compiled clause plans, keyed by predicate and
-/// bound-argument bitmask.
-type PlanCache = HashMap<(PredId, u64), std::sync::Arc<Vec<(usize, Plan)>>>;
+/// Cache of compiled clause plans, keyed by predicate and bound-argument
+/// bitmask. A differential whose Δ-set seeds `n` tuples calls its
+/// derived sub-goals `n` times with the same binding pattern — without
+/// the cache each call would re-run the greedy optimizer.
+type PlanCache = FxHashMap<(PredId, u64), Arc<Vec<(usize, Plan)>>>;
 
-/// Per-context cache of old-state hash indexes keyed by relation and
-/// probed column set.
-type OldIndexCache = HashMap<(amos_storage::RelId, Vec<usize>), HashMap<Tuple, Vec<Tuple>>>;
+/// One lazily-built old-state hash index: probe-key projection → the
+/// matching old-state tuples.
+type OldIndex = FxHashMap<Tuple, Vec<Tuple>>;
+
+/// Cache of old-state hash indexes keyed by relation and probed column
+/// set, used for old-epoch probes when the relation's Δ-set is too large
+/// for the per-probe linear overlay of
+/// [`amos_storage::OldStateView::probe`]. The build cost (one old-state
+/// scan) amortizes over the many probes a massive transaction performs —
+/// this is what keeps the fig. 7 workload linear instead of quadratic.
+type OldIndexCache = FxHashMap<(amos_storage::RelId, Vec<usize>), Arc<OldIndex>>;
+
+/// Memo table for derived-predicate calls: full binding pattern + state
+/// epoch → the call's result set. Within one pass the database is
+/// frozen, so a derived predicate is a pure function of its pattern and
+/// epoch (source clauses never contain Δ-literals).
+type MemoTable = FxHashMap<(PredId, Vec<Option<Value>>, StateEpoch), Arc<Vec<Tuple>>>;
 
 fn resolve(t: &Term, b: &Bindings) -> Option<Value> {
     match t {
@@ -122,16 +229,34 @@ fn undo(trail: &[usize], b: &mut Bindings) {
 }
 
 impl<'a> EvalContext<'a> {
-    /// Build a context with the default depth limit.
+    /// Build a context with fresh private caches and default config.
     pub fn new(storage: &'a Storage, catalog: &'a Catalog, deltas: &'a DeltaMap) -> Self {
+        EvalContext::with_shared(storage, catalog, deltas, Arc::new(EvalShared::default()))
+    }
+
+    /// Build a context over existing shared cache state — the wave-front
+    /// executor creates one `EvalShared` per pass and threads it through
+    /// every differential's context so plan compilations, old-state
+    /// indexes, and derived-call results are computed once per pass
+    /// instead of once per differential.
+    pub fn with_shared(
+        storage: &'a Storage,
+        catalog: &'a Catalog,
+        deltas: &'a DeltaMap,
+        shared: Arc<EvalShared>,
+    ) -> Self {
         EvalContext {
             storage,
             catalog,
             deltas,
-            depth_limit: 64,
-            plan_cache: std::sync::Mutex::new(HashMap::new()),
-            old_index: std::sync::Mutex::new(HashMap::new()),
+            depth_limit: shared.config().depth_limit,
+            shared,
         }
+    }
+
+    /// The shared cache state this context evaluates through.
+    pub fn shared(&self) -> &Arc<EvalShared> {
+        &self.shared
     }
 
     /// Evaluate a predicate under a binding pattern: return all full
@@ -154,7 +279,9 @@ impl<'a> EvalContext<'a> {
     ) -> Result<bool, ObjectLogError> {
         // For stored predicates with full patterns this is a hash lookup;
         // otherwise fall back to (short-circuiting would need a lazy
-        // evaluator; result sets are small at the call sites) evaluation.
+        // evaluator; result sets are small at the call sites) evaluation
+        // through the memoized call path — the §7.2 checks issue the
+        // same derived-predicate calls over and over.
         let def = self.catalog.def(pred);
         if let PredKind::Stored { rel, .. } = def.kind {
             if pattern.iter().all(Option::is_some) {
@@ -165,7 +292,56 @@ impl<'a> EvalContext<'a> {
                 });
             }
         }
-        Ok(!self.eval_pred(pred, pattern, epoch)?.is_empty())
+        Ok(!self.eval_call(pred, pattern, epoch, 0)?.is_empty())
+    }
+
+    /// Evaluate a predicate call, memoizing derived-predicate results in
+    /// the shared per-pass table ("tabling"). `N` differentials sharing
+    /// a derived subcondition — the common case in bushy networks where
+    /// a node like `threshold` is kept unexpanded — evaluate it once per
+    /// (binding pattern, epoch) and pay an `Arc` clone thereafter.
+    ///
+    /// Only `Derived` predicates are memoized: stored lookups are
+    /// already cheap, and foreign predicates may be impure. Correctness
+    /// rests on two invariants: storage is frozen while a pass runs, and
+    /// source clauses never contain Δ-literals, so a derived call is a
+    /// pure function of `(pred, pattern, epoch)` for the pass duration.
+    fn eval_call(
+        &self,
+        pred: PredId,
+        pattern: &[Option<Value>],
+        epoch: StateEpoch,
+        depth: usize,
+    ) -> Result<Arc<Vec<Tuple>>, ObjectLogError> {
+        // Fully-bound patterns are membership probes issued per candidate
+        // tuple (the §7.2 accept checks); memoizing them costs a key
+        // allocation per tuple with near-zero reuse, so only calls with
+        // at least one free column go through the memo table.
+        let memoize = self.shared.config.tabling
+            && pattern.iter().any(Option::is_none)
+            && matches!(self.catalog.def(pred).kind, PredKind::Derived(_));
+        if !memoize {
+            return Ok(Arc::new(
+                self.eval_pred_depth(pred, pattern, epoch, depth)?
+                    .into_iter()
+                    .collect(),
+            ));
+        }
+        let key = (pred, pattern.to_vec(), epoch);
+        if let Some(hit) = self.shared.memo.read().unwrap().get(&key) {
+            self.shared.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(hit));
+        }
+        // Compute outside the lock; a racing thread may insert first, in
+        // which case its (identical) result wins.
+        let computed: Arc<Vec<Tuple>> = Arc::new(
+            self.eval_pred_depth(pred, pattern, epoch, depth)?
+                .into_iter()
+                .collect(),
+        );
+        self.shared.misses.fetch_add(1, Ordering::Relaxed);
+        let mut memo = self.shared.memo.write().unwrap();
+        Ok(Arc::clone(memo.entry(key).or_insert(computed)))
     }
 
     fn eval_pred_depth(
@@ -181,7 +357,9 @@ impl<'a> EvalContext<'a> {
         let def = self.catalog.def(pred);
         debug_assert_eq!(pattern.len(), def.arity, "pattern arity for {}", def.name);
         match &def.kind {
-            PredKind::Stored { rel, .. } => Ok(self.eval_stored(*rel, pattern, epoch)),
+            PredKind::Stored { rel, .. } => {
+                Ok(self.eval_stored(*rel, pattern, epoch).into_iter().collect())
+            }
             PredKind::Foreign(f) => Ok(f(pattern).into_iter().map(Tuple::new).collect()),
             PredKind::Derived(clauses) if self.catalog.is_self_recursive(pred) => {
                 self.eval_recursive(pred, clauses, pattern, epoch, depth)
@@ -354,21 +532,22 @@ impl<'a> EvalContext<'a> {
     }
 
     /// Plans for a derived predicate's clauses under a binding mask,
-    /// compiled once per context and shared across calls.
+    /// compiled once per shared cache state (read-mostly `RwLock`, so
+    /// concurrent wave-front tasks don't convoy on the common hit path).
     fn plans_for(
         &self,
         pred: PredId,
         clauses: &[crate::clause::Clause],
         pattern: &[Option<Value>],
-    ) -> Result<std::sync::Arc<Vec<(usize, Plan)>>, ObjectLogError> {
+    ) -> Result<Arc<Vec<(usize, Plan)>>, ObjectLogError> {
         debug_assert!(pattern.len() <= 64, "pattern mask is a u64");
         let mask: u64 = pattern
             .iter()
             .enumerate()
             .filter(|(_, v)| v.is_some())
             .fold(0, |m, (i, _)| m | (1 << i));
-        if let Some(hit) = self.plan_cache.lock().unwrap().get(&(pred, mask)) {
-            return Ok(std::sync::Arc::clone(hit));
+        if let Some(hit) = self.shared.plan_cache.read().unwrap().get(&(pred, mask)) {
+            return Ok(Arc::clone(hit));
         }
         let mut plans = Vec::with_capacity(clauses.len());
         for (i, clause) in clauses.iter().enumerate() {
@@ -383,20 +562,24 @@ impl<'a> EvalContext<'a> {
                 .collect();
             plans.push((i, compile_clause(self.catalog, clause, &bound_vars)?));
         }
-        let rc = std::sync::Arc::new(plans);
-        self.plan_cache
-            .lock()
-            .unwrap()
-            .insert((pred, mask), std::sync::Arc::clone(&rc));
-        Ok(rc)
+        let rc = Arc::new(plans);
+        let mut cache = self.shared.plan_cache.write().unwrap();
+        Ok(Arc::clone(cache.entry((pred, mask)).or_insert(rc)))
     }
 
+    /// Evaluate a stored relation under a binding pattern.
+    ///
+    /// Returns a `Vec`, not a set: base relations already have set
+    /// semantics, an index probe returns each tuple once, and the
+    /// old-state overlay `(S_new − Δ₊) ∪ Δ₋` is duplicate-free because
+    /// `Δ₋ ∩ S_new = ∅` — so the per-probe dedup the previous `HashSet`
+    /// return performed was pure overhead on the hottest path.
     fn eval_stored(
         &self,
         rel: amos_storage::RelId,
         pattern: &[Option<Value>],
         epoch: StateEpoch,
-    ) -> HashSet<Tuple> {
+    ) -> Vec<Tuple> {
         let bound_cols: Vec<usize> = pattern
             .iter()
             .enumerate()
@@ -412,11 +595,7 @@ impl<'a> EvalContext<'a> {
                 StateEpoch::New => self.storage.relation(rel).contains(&t),
                 StateEpoch::Old => self.storage.old_view(rel).contains(&t),
             };
-            return if present {
-                [t].into_iter().collect()
-            } else {
-                HashSet::new()
-            };
+            return if present { vec![t] } else { Vec::new() };
         }
         match epoch {
             StateEpoch::New => {
@@ -437,24 +616,37 @@ impl<'a> EvalContext<'a> {
                     v.probe(&bound_cols, &key).into_iter().cloned().collect()
                 } else {
                     // Massive transaction: amortize one old-state scan
-                    // into a hash index shared across this context.
-                    let mut cache = self.old_index.lock().unwrap();
-                    let idx = cache.entry((rel, bound_cols.clone())).or_insert_with(|| {
-                        let mut map: HashMap<Tuple, Vec<Tuple>> = HashMap::new();
-                        for t in v.scan() {
-                            map.entry(t.project(&bound_cols))
-                                .or_default()
-                                .push(t.clone());
-                        }
-                        map
-                    });
+                    // into a hash index shared across the whole pass.
+                    let idx = self.old_state_index(rel, &bound_cols);
                     match idx.get(&Tuple::new(key)) {
-                        Some(ts) => ts.iter().cloned().collect(),
-                        None => HashSet::new(),
+                        Some(ts) => ts.clone(),
+                        None => Vec::new(),
                     }
                 }
             }
         }
+    }
+
+    /// The shared old-state index for `(rel, cols)`, building it on
+    /// first use. Probes happen on the returned `Arc` outside the lock.
+    fn old_state_index(&self, rel: amos_storage::RelId, cols: &[usize]) -> Arc<OldIndex> {
+        if let Some(hit) = self
+            .shared
+            .old_index
+            .read()
+            .unwrap()
+            .get(&(rel, cols.to_vec()))
+        {
+            return Arc::clone(hit);
+        }
+        let v = self.storage.old_view(rel);
+        let mut map = OldIndex::default();
+        for t in v.scan() {
+            map.entry(t.project(cols)).or_default().push(t.clone());
+        }
+        let rc = Arc::new(map);
+        let mut cache = self.shared.old_index.write().unwrap();
+        Arc::clone(cache.entry((rel, cols.to_vec())).or_insert(rc))
     }
 
     /// Execute a pre-compiled plan with initial bindings, invoking `emit`
@@ -530,9 +722,9 @@ impl<'a> EvalContext<'a> {
             } => {
                 let epoch = Self::effective_epoch(outer_epoch, *epoch);
                 let pattern: Vec<Option<Value>> = args.iter().map(|t| resolve(t, b)).collect();
-                let results = self.eval_pred_depth(*pred, &pattern, epoch, depth + 1)?;
-                for tuple in results {
-                    if let Some(trail) = unify_tuple(args, &tuple, b) {
+                let results = self.eval_call(*pred, &pattern, epoch, depth + 1)?;
+                for tuple in results.iter() {
+                    if let Some(trail) = unify_tuple(args, tuple, b) {
                         self.exec_step(plan, idx + 1, b, outer_epoch, depth, emit)?;
                         undo(&trail, b);
                     }
@@ -869,6 +1061,136 @@ mod tests {
     fn context_is_send_and_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<EvalContext<'static>>();
+    }
+
+    /// Wrap `p` so evaluating the wrapper issues a `PlanStep::Call` on a
+    /// derived predicate — the memoized path.
+    fn wrap(f: &mut Fixture) -> PredId {
+        let c = ClauseBuilder::new(2)
+            .head([Term::var(0), Term::var(1)])
+            .pred(f.p, [Term::var(0), Term::var(1)])
+            .build();
+        f.catalog.define_derived("w", sig(2), vec![c]).unwrap()
+    }
+
+    #[test]
+    fn tabling_memoizes_repeated_derived_calls() {
+        let mut f = fixture();
+        let w = wrap(&mut f);
+        let deltas = DeltaMap::new();
+        let ctx = EvalContext::new(&f.storage, &f.catalog, &deltas);
+        let expected: HashSet<Tuple> = [tuple![1, 2]].into_iter().collect();
+
+        assert_eq!(
+            ctx.eval_pred(w, &[None, None], StateEpoch::New).unwrap(),
+            expected
+        );
+        assert_eq!(ctx.shared().tabling_hits(), 0);
+        assert_eq!(ctx.shared().tabling_misses(), 1);
+
+        // Same call pattern again: served from the memo table.
+        assert_eq!(
+            ctx.eval_pred(w, &[None, None], StateEpoch::New).unwrap(),
+            expected
+        );
+        assert_eq!(ctx.shared().tabling_hits(), 1);
+        assert_eq!(ctx.shared().tabling_misses(), 1);
+
+        // A different binding pattern is a different memo key.
+        ctx.eval_pred(w, &[Some(Value::Int(1)), None], StateEpoch::New)
+            .unwrap();
+        assert_eq!(ctx.shared().tabling_misses(), 2);
+    }
+
+    #[test]
+    fn tabling_disabled_keeps_counters_zero() {
+        let mut f = fixture();
+        let w = wrap(&mut f);
+        let deltas = DeltaMap::new();
+        let shared = Arc::new(EvalShared::new(EvalConfig {
+            tabling: false,
+            ..EvalConfig::default()
+        }));
+        let ctx = EvalContext::with_shared(&f.storage, &f.catalog, &deltas, shared);
+        let expected: HashSet<Tuple> = [tuple![1, 2]].into_iter().collect();
+        for _ in 0..2 {
+            assert_eq!(
+                ctx.eval_pred(w, &[None, None], StateEpoch::New).unwrap(),
+                expected
+            );
+        }
+        assert_eq!(ctx.shared().tabling_hits(), 0);
+        assert_eq!(ctx.shared().tabling_misses(), 0);
+    }
+
+    #[test]
+    fn reset_pass_clears_memo_between_passes() {
+        let mut f = fixture();
+        let w = wrap(&mut f);
+        let deltas = DeltaMap::new();
+        let shared = Arc::new(EvalShared::default());
+        {
+            let ctx =
+                EvalContext::with_shared(&f.storage, &f.catalog, &deltas, Arc::clone(&shared));
+            let out = ctx.eval_pred(w, &[None, None], StateEpoch::New).unwrap();
+            assert_eq!(out.len(), 1);
+        }
+        // Storage changes between passes; the memo entry is now stale.
+        let rq = f.catalog.def(f.q).stored_rel().unwrap();
+        f.storage.insert(rq, tuple![5, 2]).unwrap();
+        shared.reset_pass();
+        let ctx = EvalContext::with_shared(&f.storage, &f.catalog, &deltas, Arc::clone(&shared));
+        let out = ctx.eval_pred(w, &[None, None], StateEpoch::New).unwrap();
+        assert_eq!(out, [tuple![1, 2], tuple![5, 3]].into_iter().collect());
+        // It recomputed (a miss), rather than serving the stale entry.
+        assert_eq!(shared.tabling_hits(), 0);
+        assert_eq!(shared.tabling_misses(), 2);
+    }
+
+    /// Regression: a big-transaction old-state index built in one
+    /// transaction's check phase must not leak into the next
+    /// transaction, where the logical old state is different.
+    #[test]
+    fn reset_pass_evicts_stale_old_state_index() {
+        let mut storage = Storage::new();
+        let rs = storage.create_relation("s", 2).unwrap();
+        let mut catalog = Catalog::new();
+        let s = catalog.define_stored("s", sig(2), rs, 1).unwrap();
+        for i in 0..40 {
+            storage.insert(rs, tuple![i, 0]).unwrap();
+        }
+        storage.monitor(rs);
+
+        // Transaction 1: delete everything (|Δ| = 40 > 32 forces the
+        // hash-indexed old-state path for partially-bound probes).
+        storage.begin().unwrap();
+        for i in 0..40 {
+            storage.delete(rs, &tuple![i, 0]).unwrap();
+        }
+        let deltas = DeltaMap::new();
+        let shared = Arc::new(EvalShared::default());
+        {
+            let ctx = EvalContext::with_shared(&storage, &catalog, &deltas, Arc::clone(&shared));
+            let old = ctx
+                .eval_pred(s, &[None, Some(Value::Int(0))], StateEpoch::Old)
+                .unwrap();
+            assert_eq!(old.len(), 40);
+        }
+        storage.commit().unwrap();
+
+        // Transaction 2: the old state is now empty. Without the pass
+        // reset the cached index would still answer with 40 tuples.
+        storage.begin().unwrap();
+        storage.insert(rs, tuple![99, 0]).unwrap();
+        for i in 0..40 {
+            storage.insert(rs, tuple![100 + i, 1]).unwrap();
+        }
+        shared.reset_pass();
+        let ctx = EvalContext::with_shared(&storage, &catalog, &deltas, Arc::clone(&shared));
+        let old = ctx
+            .eval_pred(s, &[None, Some(Value::Int(0))], StateEpoch::Old)
+            .unwrap();
+        assert!(old.is_empty(), "stale old-state index leaked across passes");
     }
 
     #[test]

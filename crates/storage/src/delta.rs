@@ -11,10 +11,9 @@
 //! `min_stock` double-update example therefore folds to the empty Δ-set —
 //! see the `min_stock_example_has_no_net_effect` unit test.
 
-use std::collections::HashSet;
 use std::fmt;
 
-use amos_types::Tuple;
+use amos_types::{FxHashSet, Tuple};
 
 /// Whether a change, Δ-set side, or differential concerns insertions
 /// (`Δ₊`) or deletions (`Δ₋`).
@@ -48,8 +47,8 @@ impl fmt::Display for Polarity {
 /// A disjoint pair of inserted (`Δ₊`) and deleted (`Δ₋`) tuples.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DeltaSet {
-    plus: HashSet<Tuple>,
-    minus: HashSet<Tuple>,
+    plus: FxHashSet<Tuple>,
+    minus: FxHashSet<Tuple>,
 }
 
 impl DeltaSet {
@@ -63,7 +62,7 @@ impl DeltaSet {
     /// # Panics
     /// Panics if the two sets are not disjoint — the disjointness
     /// invariant is what makes `∪Δ` and logical rollback correct.
-    pub fn from_parts(plus: HashSet<Tuple>, minus: HashSet<Tuple>) -> Self {
+    pub fn from_parts(plus: FxHashSet<Tuple>, minus: FxHashSet<Tuple>) -> Self {
         assert!(
             plus.is_disjoint(&minus),
             "Δ-set invariant violated: Δ₊ ∩ Δ₋ ≠ ∅"
@@ -72,17 +71,17 @@ impl DeltaSet {
     }
 
     /// The set of inserted tuples `Δ₊S`.
-    pub fn plus(&self) -> &HashSet<Tuple> {
+    pub fn plus(&self) -> &FxHashSet<Tuple> {
         &self.plus
     }
 
     /// The set of deleted tuples `Δ₋S`.
-    pub fn minus(&self) -> &HashSet<Tuple> {
+    pub fn minus(&self) -> &FxHashSet<Tuple> {
         &self.minus
     }
 
     /// The side selected by `polarity`.
-    pub fn side(&self, polarity: Polarity) -> &HashSet<Tuple> {
+    pub fn side(&self, polarity: Polarity) -> &FxHashSet<Tuple> {
         match polarity {
             Polarity::Plus => &self.plus,
             Polarity::Minus => &self.minus,
@@ -146,13 +145,13 @@ impl DeltaSet {
     /// assert!(d1.delta_union(&d2).is_empty());
     /// ```
     pub fn delta_union(&self, other: &DeltaSet) -> DeltaSet {
-        let plus: HashSet<Tuple> = self
+        let plus: FxHashSet<Tuple> = self
             .plus
             .difference(&other.minus)
             .chain(other.plus.difference(&self.minus))
             .cloned()
             .collect();
-        let minus: HashSet<Tuple> = self
+        let minus: FxHashSet<Tuple> = self
             .minus
             .difference(&other.plus)
             .chain(other.minus.difference(&self.plus))

@@ -12,15 +12,13 @@
 //! which is what makes incremental monitoring O(1)-ish in database size
 //! (fig. 6).
 
-use std::collections::{HashMap, HashSet};
-
-use amos_types::{Tuple, Value};
+use amos_types::{FxHashMap, FxHashSet, Tuple, Value};
 
 /// A hash index: projection of the indexed columns → the matching tuples.
 #[derive(Debug, Clone, Default)]
 struct HashIndex {
     cols: Vec<usize>,
-    map: HashMap<Tuple, HashSet<Tuple>>,
+    map: FxHashMap<Tuple, FxHashSet<Tuple>>,
 }
 
 impl HashIndex {
@@ -51,9 +49,9 @@ impl HashIndex {
 pub struct BaseRelation {
     name: String,
     arity: usize,
-    tuples: HashSet<Tuple>,
+    tuples: FxHashSet<Tuple>,
     indexes: Vec<HashIndex>,
-    index_by_cols: HashMap<Vec<usize>, usize>,
+    index_by_cols: FxHashMap<Vec<usize>, usize>,
 }
 
 impl BaseRelation {
@@ -62,9 +60,9 @@ impl BaseRelation {
         BaseRelation {
             name: name.into(),
             arity,
-            tuples: HashSet::new(),
+            tuples: FxHashSet::default(),
             indexes: Vec::new(),
-            index_by_cols: HashMap::new(),
+            index_by_cols: FxHashMap::default(),
         }
     }
 
@@ -143,7 +141,7 @@ impl BaseRelation {
         }
         let mut idx = HashIndex {
             cols: cols.to_vec(),
-            map: HashMap::new(),
+            map: FxHashMap::default(),
         };
         for t in &self.tuples {
             idx.insert(t);

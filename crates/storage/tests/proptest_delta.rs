@@ -10,7 +10,7 @@
 //! * Δ-sets stay disjoint (`Δ₊ ∩ Δ₋ = ∅`).
 //! * `∪Δ` accumulation by folding equals the paper's set formula.
 
-use std::collections::HashSet;
+use amos_types::FxHashSet as HashSet;
 
 use amos_storage::{BaseRelation, DeltaSet, OldStateView, Storage};
 use amos_types::{tuple, Tuple, Value};

@@ -1,0 +1,132 @@
+//! A fast, deterministic, non-cryptographic hasher (Fx-style).
+//!
+//! The propagation hot path is dominated by hash-set operations over
+//! [`Tuple`](crate::Tuple)s: Δ-set folds, old-state overlay membership,
+//! index probes, and the evaluator's plan/memo caches. The default
+//! `SipHash` is DoS-resistant but an order of magnitude slower than
+//! needed for trusted in-process keys, and its per-process random seed
+//! makes iteration orders differ across runs. This module provides the
+//! multiply-rotate hasher popularized by the Rust compiler (`FxHasher`):
+//! ~1 ns per word, fully deterministic, quality adequate for power-of-two
+//! hash tables over already-mixed input (tuples carry a precomputed
+//! fingerprint; see [`Tuple::fingerprint`](crate::Tuple::fingerprint)).
+//!
+//! Determinism matters beyond speed: benchmark runs become reproducible
+//! and cache hit/miss counters comparable across processes.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Golden-ratio-derived odd multiplier (same constant as rustc's
+/// `FxHasher`); spreads each mixed-in word across all 64 bits.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The multiply-rotate hasher. Create through
+/// [`FxBuildHasher`]/`Default`, not directly.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            // Mix in the tail length so "ab" ∥ "" ≠ "a" ∥ "b".
+            self.add_to_hash(u64::from_le_bytes(word) ^ (rest.len() as u64));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_to_hash(i as u64);
+        self.add_to_hash((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// Zero-sized, deterministic `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with [`FxHasher`] — drop-in for internal tables
+/// whose keys are trusted (no hash-flooding concern).
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` hashed with [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_builders() {
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+        assert_eq!(hash_of(&"abc"), hash_of(&"abc"));
+    }
+
+    #[test]
+    fn distinguishes_nearby_values() {
+        assert_ne!(hash_of(&1u64), hash_of(&2u64));
+        assert_ne!(hash_of(&"ab"), hash_of(&"ba"));
+        // Tail handling keeps split points distinct.
+        assert_ne!(hash_of(&[1u8, 2, 3]), hash_of(&[1u8, 2, 3, 0]));
+    }
+
+    #[test]
+    fn usable_in_collections() {
+        let mut set: FxHashSet<u64> = FxHashSet::default();
+        set.insert(7);
+        assert!(set.contains(&7));
+        let mut map: FxHashMap<&str, i32> = FxHashMap::default();
+        map.insert("k", 1);
+        assert_eq!(map["k"], 1);
+    }
+}

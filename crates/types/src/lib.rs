@@ -21,6 +21,7 @@
 //! * [`ValueError`] — arithmetic/type errors raised by built-in operators.
 
 pub mod error;
+pub mod hash;
 pub mod oid;
 pub mod ops;
 pub mod tuple;
@@ -28,6 +29,7 @@ pub mod typesys;
 pub mod value;
 
 pub use error::ValueError;
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use oid::{Oid, OidGenerator};
 pub use ops::{ArithOp, CmpOp};
 pub use tuple::Tuple;
