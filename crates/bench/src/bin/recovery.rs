@@ -1,0 +1,156 @@
+//! Recovery-time benchmark: how long does it take to rebuild the
+//! database from a WAL, and how much does a checkpoint (snapshot +
+//! truncated log) buy?
+//!
+//! For each transaction count the benchmark writes a WAL, then measures
+//!
+//! * **replay_ms** — recovering a fresh `Storage` by replaying every
+//!   WAL batch;
+//! * **snapshot_ms** — recovering after a checkpoint, i.e. loading the
+//!   snapshot plus the (short) post-checkpoint tail.
+//!
+//! Run with: `cargo run -p amos-bench --release --bin recovery`
+//!
+//! Flags (shared with the CI fault-matrix job):
+//!   --json PATH         write a BENCH_recovery.json report
+//!   --sizes A,B,C       override the transaction counts to sweep
+
+use std::path::PathBuf;
+
+use amos_bench::report::BenchArgs;
+use amos_bench::time_secs;
+use amos_metrics::JsonValue;
+use amos_storage::{Storage, WalConfig};
+use amos_types::tuple;
+
+const DEFAULT_SIZES: &[usize] = &[100, 1_000, 5_000];
+/// Post-checkpoint tail, as a fraction of the main workload.
+const TAIL_FRACTION: usize = 10;
+
+struct Row {
+    transactions: usize,
+    wal_bytes: u64,
+    replay_ms: f64,
+    snapshot_ms: f64,
+    tail_batches: usize,
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("amos-bench-recovery-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Write `n` committed transactions (two updates each) into a WAL.
+fn write_workload(dir: &PathBuf, n: usize) {
+    let mut db = Storage::new();
+    let q = db.create_relation("q", 2).unwrap();
+    db.attach_wal(dir, WalConfig::default()).unwrap();
+    for i in 0..n as i64 {
+        db.begin().unwrap();
+        db.insert(q, tuple![i, i * 7]).unwrap();
+        if i > 0 {
+            db.delete(q, &tuple![i - 1, (i - 1) * 7]).unwrap();
+        }
+        db.commit().unwrap();
+    }
+}
+
+fn recover_ms(dir: &PathBuf) -> (f64, usize) {
+    let mut db = Storage::new();
+    let mut info = None;
+    let secs = time_secs(|| {
+        info = Some(db.attach_wal(dir, WalConfig::default()).unwrap());
+    });
+    (secs * 1e3, info.unwrap().batches_replayed)
+}
+
+fn measure(n: usize) -> Row {
+    // Pure replay.
+    let replay_dir = tmpdir(&format!("replay-{n}"));
+    write_workload(&replay_dir, n);
+    let wal_bytes = std::fs::metadata(replay_dir.join(amos_storage::WAL_FILE))
+        .unwrap()
+        .len();
+    let (replay_ms, replayed) = recover_ms(&replay_dir);
+    assert_eq!(replayed, n);
+
+    // Snapshot + tail: checkpoint the same state, then append a tail.
+    let snap_dir = tmpdir(&format!("snap-{n}"));
+    write_workload(&snap_dir, n);
+    let mut db = Storage::new();
+    db.attach_wal(&snap_dir, WalConfig::default()).unwrap();
+    db.checkpoint().unwrap();
+    let q = db.relation_id("q").unwrap();
+    let tail = (n / TAIL_FRACTION).max(1);
+    for i in 0..tail as i64 {
+        db.begin().unwrap();
+        db.insert(q, tuple![-i - 1, i]).unwrap();
+        db.commit().unwrap();
+    }
+    drop(db);
+    let (snapshot_ms, tail_batches) = recover_ms(&snap_dir);
+    assert_eq!(tail_batches, tail);
+
+    let _ = std::fs::remove_dir_all(&replay_dir);
+    let _ = std::fs::remove_dir_all(&snap_dir);
+    Row {
+        transactions: n,
+        wal_bytes,
+        replay_ms,
+        snapshot_ms,
+        tail_batches,
+    }
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let sizes: Vec<usize> = args.sizes.clone().unwrap_or_else(|| DEFAULT_SIZES.to_vec());
+
+    println!("# Recovery time: full WAL replay vs snapshot + tail");
+    println!(
+        "{:>12} {:>12} {:>12} {:>14} {:>12}",
+        "transactions", "wal_bytes", "replay_ms", "snapshot_ms", "tail_batches"
+    );
+    let mut rows = Vec::with_capacity(sizes.len());
+    for &n in &sizes {
+        let row = measure(n);
+        println!(
+            "{:>12} {:>12} {:>12.2} {:>14.2} {:>12}",
+            row.transactions, row.wal_bytes, row.replay_ms, row.snapshot_ms, row.tail_batches
+        );
+        rows.push(row);
+    }
+    println!();
+    println!("# Expected shape: replay grows linearly with the log; snapshot stays ~flat.");
+
+    if let Some(path) = &args.json {
+        let doc = JsonValue::object()
+            .with("bench", "recovery")
+            .with(
+                "description",
+                "WAL replay vs snapshot+tail recovery time by transaction count",
+            )
+            .with(
+                "results",
+                JsonValue::Array(
+                    rows.iter()
+                        .map(|r| {
+                            JsonValue::object()
+                                .with("transactions", r.transactions)
+                                .with("wal_bytes", r.wal_bytes)
+                                .with("replay_ms", r.replay_ms)
+                                .with("snapshot_ms", r.snapshot_ms)
+                                .with("tail_batches", r.tail_batches)
+                        })
+                        .collect(),
+                ),
+            );
+        let mut file = std::fs::File::create(path).expect("create JSON report");
+        use std::io::Write as _;
+        writeln!(file, "{}", doc.to_pretty()).expect("write JSON report");
+        println!("# wrote {}", path.display());
+    }
+}

@@ -29,6 +29,10 @@ pub enum CoreError {
         /// Failure description.
         reason: String,
     },
+    /// A deterministic test fault fired (only ever constructed under the
+    /// `fault-injection` feature; defined unconditionally so the enum's
+    /// shape does not depend on feature flags).
+    FaultInjected(String),
     /// Activation arguments did not match the rule's parameter count.
     ParameterArityMismatch {
         /// Rule name.
@@ -56,6 +60,7 @@ impl fmt::Display for CoreError {
             CoreError::ActionFailed { rule, reason } => {
                 write!(f, "action of rule `{rule}` failed: {reason}")
             }
+            CoreError::FaultInjected(what) => write!(f, "injected fault: {what}"),
             CoreError::ParameterArityMismatch {
                 rule,
                 expected,

@@ -350,6 +350,31 @@ pub fn propagate_shared(
     Ok(result)
 }
 
+/// [`propagate_shared`] consulting a deterministic
+/// [`FaultPlan`](amos_storage::fault::FaultPlan) first: if the plan
+/// schedules a failure for this pass, the pass errors out *before*
+/// touching any wave-front state — modelling an evaluator crash at pass
+/// start, the worst point for the surrounding transaction. Test-only
+/// (the `fault-injection` feature).
+#[cfg(feature = "fault-injection")]
+pub fn propagate_shared_faulted(
+    network: &PropagationNetwork,
+    catalog: &Catalog,
+    storage: &Storage,
+    check: CheckLevel,
+    strategy: ExecStrategy,
+    shared: &Arc<EvalShared>,
+    plan: &amos_storage::fault::FaultPlan,
+) -> Result<PropagationResult, CoreError> {
+    if plan.take_propagation_fault() {
+        return Err(CoreError::FaultInjected(format!(
+            "propagation pass (seed {})",
+            plan.seed()
+        )));
+    }
+    propagate_shared(network, catalog, storage, check, strategy, shared)
+}
+
 /// Execute one differential against the frozen wave: run its plan, then
 /// apply the §7.2 checks. Read-only with respect to `wave` and
 /// `storage`, so any number of these can run concurrently.

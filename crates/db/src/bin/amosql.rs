@@ -11,7 +11,7 @@
 
 use std::io::{self, BufRead, Write};
 
-use amos_db::{Amos, ExecResult};
+use amos_db::{Amos, ExecResult, WalConfig};
 
 const BANNER: &str = "\
 amos-pdiff interactive shell — AMOSQL subset
@@ -22,7 +22,10 @@ Shell commands:
   .help                 this text
   .stats                monitoring statistics for this session
   .mode <inc|naive|hybrid>   switch condition monitoring mode
+  .checkpoint           snapshot base relations + truncate the WAL
   .quit                 exit
+Flags: --wal-dir <dir> makes commits durable (replays any existing
+snapshot + WAL from <dir> on startup).
 Everything else is AMOSQL, e.g.:
   create type item;
   create function quantity(item i) -> integer;
@@ -42,6 +45,47 @@ fn main() -> io::Result<()> {
         println!("  print: {}", rendered.join(", "));
         Ok(())
     });
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--wal-dir" => {
+                let Some(dir) = args.next() else {
+                    eprintln!("--wal-dir requires a directory argument");
+                    std::process::exit(2);
+                };
+                match db.attach_wal(&dir, WalConfig::default()) {
+                    Ok(info) => {
+                        if info.snapshot_loaded || info.batches_replayed > 0 {
+                            println!(
+                                "recovered from {dir}: snapshot seq {} + {} batch(es) \
+                                 ({} record(s)), last seq {}{}",
+                                info.snapshot_seq,
+                                info.batches_replayed,
+                                info.records_replayed,
+                                info.last_seq,
+                                if info.torn_tail_bytes > 0 {
+                                    format!(", {} torn byte(s) truncated", info.torn_tail_bytes)
+                                } else {
+                                    String::new()
+                                }
+                            );
+                        } else {
+                            println!("WAL attached at {dir} (empty — fresh database)");
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("cannot attach WAL at {dir}: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            other => {
+                eprintln!("unknown flag `{other}` (supported: --wal-dir <dir>)");
+                std::process::exit(2);
+            }
+        }
+    }
 
     println!("{BANNER}");
     let stdin = io::stdin();
@@ -100,15 +144,19 @@ fn shell_command(db: &mut Amos, cmd: &str) -> ShellOutcome {
             let s = db.rules().stats();
             println!(
                 "check phases {} | passes {} | differentials {} | candidates {} | \
-                 rejected {} | naive recomputations {} | actions {}",
+                 rejected {} | naive recomputations {} | actions {} | failed {}",
                 s.check_phases,
                 s.passes,
                 s.differentials_executed,
                 s.tuples_produced,
                 s.tuples_rejected,
                 s.naive_recomputations,
-                s.actions_executed
+                s.actions_executed,
+                s.actions_failed
             );
+            for (id, reason) in db.rules().quarantined() {
+                println!("  quarantined: {} — {reason}", db.rules().rule(*id).name);
+            }
         }
         ".mode inc" | ".mode incremental" => {
             db.set_monitor_mode(amos_core::MonitorMode::Incremental);
@@ -121,6 +169,16 @@ fn shell_command(db: &mut Amos, cmd: &str) -> ShellOutcome {
         ".mode hybrid" => {
             db.set_monitor_mode(amos_core::MonitorMode::Hybrid);
             println!("monitoring: hybrid (cost-based)");
+        }
+        ".checkpoint" => {
+            if !db.wal_attached() {
+                println!("no WAL attached — start with --wal-dir <dir>");
+            } else {
+                match db.checkpoint() {
+                    Ok(()) => println!("checkpoint written; WAL truncated"),
+                    Err(e) => println!("checkpoint failed: {e}"),
+                }
+            }
         }
         other => println!("unknown shell command `{other}` — try .help"),
     }

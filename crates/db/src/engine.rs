@@ -16,7 +16,7 @@ use amos_objectlog::catalog::{Catalog, ForeignFn, PredId};
 use amos_objectlog::eval::{DeltaMap, EvalConfig, EvalContext};
 use amos_objectlog::expand::{expand_clause, ExpandOptions};
 use amos_objectlog::plan::compile_clause;
-use amos_storage::{RelId, StateEpoch, Storage};
+use amos_storage::{RecoveryInfo, RelId, Savepoint, StateEpoch, Storage, WalConfig};
 use amos_types::{Tuple, TypeRegistry, Value};
 
 use crate::error::DbError;
@@ -309,6 +309,13 @@ impl Amos {
         self.rules.exec = strategy;
     }
 
+    /// Switch the §7.2 correction-check level used by propagation passes
+    /// (raw / nervous / strict — ablation knob). Takes effect from the
+    /// next pass.
+    pub fn set_check_level(&mut self, level: amos_core::CheckLevel) {
+        self.rules.check = level;
+    }
+
     /// Enable/disable per-pass tabling of derived-call results (the
     /// `--no-tabling` ablation). Takes effect from the next pass.
     pub fn set_tabling(&mut self, on: bool) {
@@ -549,13 +556,15 @@ impl Amos {
             Ok(ExecResult::Ok)
         } else {
             self.storage.begin()?;
-            match f(self) {
-                Ok(()) => {
-                    let summary = self.commit()?;
-                    Ok(ExecResult::Committed(summary))
-                }
+            match f(self).and_then(|()| self.commit()) {
+                Ok(summary) => Ok(ExecResult::Committed(summary)),
                 Err(e) => {
-                    self.storage.rollback()?;
+                    // A failed statement — or a failed commit (check
+                    // phase or WAL error) — leaves the implicit
+                    // transaction open; undo it so autocommit is atomic.
+                    if self.storage.in_transaction() {
+                        self.storage.rollback()?;
+                    }
                     Err(e)
                 }
             }
@@ -591,6 +600,69 @@ impl Amos {
     pub fn rollback(&mut self) -> Result<(), DbError> {
         self.storage.rollback()?;
         Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Durability
+    // ------------------------------------------------------------------
+
+    /// Attach a write-ahead log directory: replay any snapshot + WAL
+    /// found there (crash recovery), then log every later commit to it.
+    /// Call before or after running the schema script — recovered
+    /// relations are adopted by matching `create …` statements. Naive /
+    /// hybrid condition materializations are recomputed from the
+    /// recovered state.
+    pub fn attach_wal(
+        &mut self,
+        dir: impl AsRef<std::path::Path>,
+        config: WalConfig,
+    ) -> Result<RecoveryInfo, DbError> {
+        let info = self.storage.attach_wal(dir, config)?;
+        self.rules.rematerialize(&self.catalog, &self.storage)?;
+        Ok(info)
+    }
+
+    /// Whether a WAL is attached.
+    pub fn wal_attached(&self) -> bool {
+        self.storage.wal_attached()
+    }
+
+    /// Write a snapshot of all base relations and truncate the WAL
+    /// (bounds recovery time). No transaction may be open.
+    pub fn checkpoint(&mut self) -> Result<(), DbError> {
+        self.storage.checkpoint()?;
+        Ok(())
+    }
+
+    /// Mark a savepoint inside the open transaction. Updates made after
+    /// it can be undone with [`Amos::rollback_to`] without aborting the
+    /// whole transaction — the mechanism rule quarantine uses to contain
+    /// failed actions.
+    pub fn savepoint(&self) -> Savepoint {
+        self.storage.savepoint()
+    }
+
+    /// Undo every update made since the savepoint (relations **and**
+    /// Δ-sets); the transaction stays open. Returns how many update
+    /// events were undone.
+    pub fn rollback_to(&mut self, sp: Savepoint) -> Result<usize, DbError> {
+        Ok(self.storage.rollback_to(sp)?)
+    }
+
+    /// Lift a rule's quarantine (by name) so it can trigger again.
+    pub fn clear_quarantine(&mut self, rule: &str) -> Result<bool, DbError> {
+        let id = self.rules.rule_id(rule)?;
+        Ok(self.rules.clear_quarantine(id))
+    }
+
+    /// Install a deterministic fault plan across the engine: storage WAL
+    /// faults, rule-action failures, and propagation faults (test-only).
+    #[cfg(feature = "fault-injection")]
+    pub fn set_fault_plan(&mut self, plan: Arc<amos_storage::fault::FaultPlan>) {
+        self.rules.set_fault_plan(Arc::clone(&plan));
+        if let Some(w) = self.storage.wal_mut() {
+            w.set_fault_plan(plan);
+        }
     }
 
     fn maintain_views(&mut self) -> Result<(), DbError> {
@@ -794,6 +866,12 @@ impl Amos {
             rule.semantics,
             rule.priority,
         ));
+        if let Some(reason) = self.rules.quarantine_reason(id) {
+            out.push_str(&format!(
+                "  QUARANTINED: {reason}\n  (the action failed; updates were rolled back to the \
+                 pre-action savepoint — fix the cause and lift the quarantine to resume)\n"
+            ));
+        }
         if !rule.is_active() {
             out.push_str("  (inactive — activate it to build the network)\n");
             return Ok(out);

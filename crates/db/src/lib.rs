@@ -31,6 +31,7 @@ pub mod engine;
 pub mod error;
 
 pub use amos_core::{CheckLevel, MonitorMode, RuleSemantics};
+pub use amos_storage::{RecoveryInfo, Savepoint, WalConfig};
 pub use amos_types::{Oid, Tuple, Value};
 pub use engine::{Amos, EngineOptions, ExecResult, NetworkPrep, ProcCtx, ProcedureFn};
 pub use error::DbError;

@@ -128,6 +128,10 @@ pub struct PassMetrics {
     pub levels: Vec<LevelStats>,
     /// Per-differential-execution records, in merge (= serial) order.
     pub differentials: Vec<DiffTiming>,
+    /// Rule actions that failed during the check phase this pass fed
+    /// (`"rule: reason"`); the rule was quarantined and its updates
+    /// rolled back to the pre-action savepoint.
+    pub failed_actions: Vec<String>,
 }
 
 impl PassMetrics {
@@ -149,6 +153,15 @@ impl PassMetrics {
             .with(
                 "differentials",
                 JsonValue::Array(self.differentials.iter().map(DiffTiming::to_json).collect()),
+            )
+            .with(
+                "failed_actions",
+                JsonValue::Array(
+                    self.failed_actions
+                        .iter()
+                        .map(|s| JsonValue::from(s.as_str()))
+                        .collect(),
+                ),
             )
     }
 
@@ -190,6 +203,9 @@ impl PassMetrics {
                 d.rejected()
             );
         }
+        for fa in &self.failed_actions {
+            let _ = writeln!(out, "  FAILED action {fa} (rule quarantined)");
+        }
         out
     }
 }
@@ -224,6 +240,7 @@ mod tests {
                 candidates: 5,
                 accepted: 4,
             }],
+            failed_actions: vec!["order_rule: order service down".into()],
         }
     }
 
@@ -235,6 +252,7 @@ mod tests {
         assert!(doc.contains(r#""rejected":1,"#));
         assert!(doc.contains(r#""tabling_hits":4,"tabling_misses":2,"#));
         assert!(doc.contains(r#""differential":"Δcnd/Δ₊quantity""#));
+        assert!(doc.contains(r#""failed_actions":["order_rule: order service down"]"#));
     }
 
     #[test]
@@ -244,6 +262,7 @@ mod tests {
         assert!(text.contains("tabling_hits=4"));
         assert!(text.contains("level 0: active_nodes=2"));
         assert!(text.contains("accepted=4 rejected=1"));
+        assert!(text.contains("FAILED action order_rule"));
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! accumulated Δ-sets at the deferred check phase and clears them.
 
 use std::collections::{HashMap, HashSet};
+use std::path::Path;
 
 use amos_types::{Oid, OidGenerator, Tuple, Value};
 
@@ -23,10 +24,38 @@ use crate::error::StorageError;
 use crate::log::{LogOp, UpdateLog};
 use crate::oldstate::OldStateView;
 use crate::relation::BaseRelation;
+use crate::snapshot::{self, Snapshot, SnapshotRelation, SNAPSHOT_FILE};
+use crate::wal::{WalConfig, WalRecord, WalWriter};
 
 /// Identifier of a base relation within a [`Storage`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RelId(pub u32);
+
+/// An opaque position in the undo log, for partial rollback
+/// ([`Storage::rollback_to`]). Savepoints are only valid within the
+/// transaction (and log epoch) they were taken in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Savepoint {
+    log_len: usize,
+}
+
+/// What [`Storage::attach_wal`] found and replayed from disk.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryInfo {
+    /// Whether a snapshot was loaded.
+    pub snapshot_loaded: bool,
+    /// Sequence number the snapshot covered (0 without one).
+    pub snapshot_seq: u64,
+    /// WAL batches replayed on top of the snapshot.
+    pub batches_replayed: usize,
+    /// WAL records replayed on top of the snapshot.
+    pub records_replayed: usize,
+    /// Bytes of torn tail discarded (crash debris past the last valid
+    /// batch).
+    pub torn_tail_bytes: u64,
+    /// Highest committed sequence number recovered.
+    pub last_seq: u64,
+}
 
 /// The database of base relations.
 #[derive(Debug, Default)]
@@ -41,6 +70,13 @@ pub struct Storage {
     log: UpdateLog,
     txn_open: bool,
     oids: OidGenerator,
+    /// Durable log of committed batches, when attached.
+    wal: Option<WalWriter>,
+    /// Names of relations materialized by recovery that no DDL has
+    /// claimed yet: the next `create_relation` with a matching name and
+    /// arity *adopts* the recovered data instead of erroring, so
+    /// re-running the schema script after a restart just works.
+    recovered: HashSet<String>,
 }
 
 impl Storage {
@@ -63,7 +99,20 @@ impl Storage {
         arity: usize,
     ) -> Result<RelId, StorageError> {
         let name = name.into();
-        if self.by_name.contains_key(&name) {
+        if let Some(&id) = self.by_name.get(&name) {
+            // Recovery may have materialized this relation from the WAL
+            // before the schema script re-ran; adopt it.
+            if self.recovered.remove(&name) {
+                let existing = self.relation(id).arity();
+                if existing == arity {
+                    return Ok(id);
+                }
+                return Err(StorageError::ArityMismatch {
+                    relation: name,
+                    expected: existing,
+                    found: arity,
+                });
+            }
             return Err(StorageError::DuplicateRelation(name));
         }
         let id = RelId(self.relations.len() as u32);
@@ -168,7 +217,20 @@ impl Storage {
     // Updates
     // ------------------------------------------------------------------
 
-    fn record(&mut self, id: RelId, op: LogOp, tuple: Tuple) {
+    fn record(&mut self, id: RelId, op: LogOp, tuple: Tuple) -> Result<(), StorageError> {
+        // Outside a transaction each event autocommits: it is durable (its
+        // own WAL batch) before the update returns. A WAL failure here
+        // aborts the whole event — the caller un-applies the relation
+        // change, so memory and disk stay in step.
+        if !self.txn_open {
+            if let Some(wal) = &mut self.wal {
+                wal.append(&[WalRecord {
+                    rel: self.relations[id.0 as usize].name().to_string(),
+                    op,
+                    tuple: tuple.clone(),
+                }])?;
+            }
+        }
         if self.monitored.contains(&id) {
             let d = self.deltas.entry(id).or_default();
             match op {
@@ -177,6 +239,7 @@ impl Storage {
             }
         }
         self.log.push(id, op, tuple);
+        Ok(())
     }
 
     /// Insert a tuple; returns `true` iff the database changed.
@@ -190,7 +253,10 @@ impl Storage {
             });
         }
         if rel.insert(tuple.clone()) {
-            self.record(id, LogOp::Insert, tuple);
+            if let Err(e) = self.record(id, LogOp::Insert, tuple.clone()) {
+                self.relations[id.0 as usize].delete(&tuple);
+                return Err(e);
+            }
             Ok(true)
         } else {
             Ok(false)
@@ -201,7 +267,10 @@ impl Storage {
     pub fn delete(&mut self, id: RelId, tuple: &Tuple) -> Result<bool, StorageError> {
         let rel = &mut self.relations[id.0 as usize];
         if rel.delete(tuple) {
-            self.record(id, LogOp::Delete, tuple.clone());
+            if let Err(e) = self.record(id, LogOp::Delete, tuple.clone()) {
+                self.relations[id.0 as usize].insert(tuple.clone());
+                return Err(e);
+            }
             Ok(true)
         } else {
             Ok(false)
@@ -281,11 +350,31 @@ impl Storage {
         self.txn_open
     }
 
-    /// Commit: discard the undo log and Δ-sets. The *rule check phase*
-    /// must run before this (the engine layer orchestrates it).
+    /// Commit: make the transaction's surviving events durable (one WAL
+    /// batch, if a WAL is attached), then discard the undo log and
+    /// Δ-sets. The *rule check phase* must run before this (the engine
+    /// layer orchestrates it).
+    ///
+    /// On a WAL write failure the transaction stays open and nothing is
+    /// discarded — the caller may retry the commit or roll back.
     pub fn commit(&mut self) -> Result<(), StorageError> {
         if !self.txn_open {
             return Err(StorageError::NoOpenTransaction);
+        }
+        if let Some(wal) = &mut self.wal {
+            if !self.log.is_empty() {
+                let records: Vec<WalRecord> = self
+                    .log
+                    .records()
+                    .iter()
+                    .map(|r| WalRecord {
+                        rel: self.relations[r.rel.0 as usize].name().to_string(),
+                        op: r.op,
+                        tuple: r.tuple.clone(),
+                    })
+                    .collect();
+                wal.append(&records)?;
+            }
         }
         self.log.clear();
         self.clear_deltas();
@@ -299,8 +388,7 @@ impl Storage {
         if !self.txn_open {
             return Err(StorageError::NoOpenTransaction);
         }
-        let records: Vec<_> = self.log.drain_for_undo().collect();
-        for rec in records {
+        while let Some(rec) = self.log.pop_for_undo() {
             let rel = &mut self.relations[rec.rel.0 as usize];
             match rec.op {
                 LogOp::Insert => {
@@ -316,9 +404,218 @@ impl Storage {
         Ok(())
     }
 
+    /// Take a savepoint: a position in the undo log that
+    /// [`Storage::rollback_to`] can rewind to without aborting the
+    /// transaction.
+    pub fn savepoint(&self) -> Savepoint {
+        Savepoint {
+            log_len: self.log.len(),
+        }
+    }
+
+    /// Partial rollback: undo, in reverse order, every event recorded
+    /// after `sp`, rewinding both the relations *and* the Δ-sets (each
+    /// undone insert re-applies as a delete to the Δ-set and vice versa,
+    /// so the Δ-sets stay net-of-surviving-events — the property the
+    /// savepoint-algebra proptests pin down). Returns the number of
+    /// events undone.
+    ///
+    /// Undone events never reach the WAL: durability is decided at
+    /// commit, which writes only the records still in the log.
+    pub fn rollback_to(&mut self, sp: Savepoint) -> Result<usize, StorageError> {
+        if sp.log_len > self.log.len() {
+            return Err(StorageError::InvalidSavepoint {
+                savepoint: sp.log_len,
+                log_len: self.log.len(),
+            });
+        }
+        let mut undone = 0;
+        while self.log.len() > sp.log_len {
+            let rec = self.log.pop_for_undo().expect("length checked");
+            let rel = &mut self.relations[rec.rel.0 as usize];
+            match rec.op {
+                LogOp::Insert => {
+                    rel.delete(&rec.tuple);
+                    if self.monitored.contains(&rec.rel) {
+                        self.deltas
+                            .entry(rec.rel)
+                            .or_default()
+                            .apply_delete(rec.tuple);
+                    }
+                }
+                LogOp::Delete => {
+                    rel.insert(rec.tuple.clone());
+                    if self.monitored.contains(&rec.rel) {
+                        self.deltas
+                            .entry(rec.rel)
+                            .or_default()
+                            .apply_insert(rec.tuple);
+                    }
+                }
+            }
+            undone += 1;
+        }
+        Ok(undone)
+    }
+
     /// The current undo log (introspection / tests).
     pub fn log(&self) -> &UpdateLog {
         &self.log
+    }
+
+    // ------------------------------------------------------------------
+    // Durability (WAL + snapshots)
+    // ------------------------------------------------------------------
+
+    /// Attach a durable WAL at `dir`, first recovering whatever committed
+    /// state the directory holds: the snapshot (if any) is loaded, then
+    /// every WAL batch past the snapshot is replayed, a torn tail is
+    /// truncated, and the oid allocator is advanced past every recovered
+    /// oid. From here on every committed transaction (and every
+    /// autocommitted update) is appended to the WAL.
+    ///
+    /// Replay bypasses the undo log and Δ-sets — recovered state is
+    /// *committed* state; there is nothing to undo and, at commit
+    /// boundaries, all Δ-sets are empty by construction. Relations not
+    /// yet declared are materialized and later *adopted* by
+    /// [`Storage::create_relation`] when the schema script re-runs.
+    pub fn attach_wal(
+        &mut self,
+        dir: impl AsRef<Path>,
+        config: WalConfig,
+    ) -> Result<RecoveryInfo, StorageError> {
+        if self.wal.is_some() {
+            return Err(StorageError::Io("a WAL is already attached".into()));
+        }
+        if self.txn_open {
+            return Err(StorageError::TransactionAlreadyOpen);
+        }
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+
+        let mut info = RecoveryInfo::default();
+        if let Some(snap) = snapshot::read_snapshot(&dir.join(SNAPSHOT_FILE))? {
+            info.snapshot_loaded = true;
+            info.snapshot_seq = snap.last_seq;
+            self.oids
+                .ensure_above(Oid::from_raw(snap.next_oid.saturating_sub(1)));
+            for rel in snap.relations {
+                let id = self.recovered_relation(&rel.name, rel.arity)?;
+                for t in rel.tuples {
+                    self.note_recovered_oids(&t);
+                    self.relations[id.0 as usize].insert(t);
+                }
+            }
+        }
+
+        let (writer, read) = WalWriter::open(dir, config)?;
+        info.torn_tail_bytes = read.total_bytes.saturating_sub(read.valid_bytes);
+        for batch in &read.batches {
+            if batch.seq <= info.snapshot_seq {
+                continue; // already captured by the snapshot
+            }
+            info.batches_replayed += 1;
+            for rec in &batch.records {
+                info.records_replayed += 1;
+                let id = self.recovered_relation(&rec.rel, rec.tuple.arity())?;
+                self.note_recovered_oids(&rec.tuple);
+                let rel = &mut self.relations[id.0 as usize];
+                match rec.op {
+                    LogOp::Insert => {
+                        rel.insert(rec.tuple.clone());
+                    }
+                    LogOp::Delete => {
+                        rel.delete(&rec.tuple);
+                    }
+                }
+            }
+        }
+        info.last_seq = read.last_seq().max(info.snapshot_seq);
+        self.wal = Some(writer);
+        Ok(info)
+    }
+
+    /// Whether a WAL is attached.
+    pub fn wal_attached(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// Mutable access to the attached WAL writer (tests, fault plans).
+    pub fn wal_mut(&mut self) -> Option<&mut WalWriter> {
+        self.wal.as_mut()
+    }
+
+    /// Flush any group-commit buffer to disk.
+    pub fn wal_flush(&mut self) -> Result<(), StorageError> {
+        match &mut self.wal {
+            Some(w) => w.flush(),
+            None => Ok(()),
+        }
+    }
+
+    /// Checkpoint: atomically write a snapshot of every relation plus
+    /// the oid allocator, then truncate the WAL — bounding recovery time
+    /// by the work since this call. Requires an attached WAL and no open
+    /// transaction.
+    pub fn checkpoint(&mut self) -> Result<(), StorageError> {
+        if self.txn_open {
+            return Err(StorageError::TransactionAlreadyOpen);
+        }
+        let next_oid = self.oids.allocated() + 1;
+        let relations: Vec<SnapshotRelation> = self
+            .relations
+            .iter()
+            .map(|r| SnapshotRelation {
+                name: r.name().to_string(),
+                arity: r.arity(),
+                tuples: r.scan().cloned().collect(),
+            })
+            .collect();
+        let wal = self
+            .wal
+            .as_mut()
+            .ok_or_else(|| StorageError::Io("no WAL attached".into()))?;
+        wal.flush()?;
+        let snap = Snapshot {
+            last_seq: wal.next_seq() - 1,
+            next_oid,
+            relations,
+        };
+        let path = wal
+            .path()
+            .parent()
+            .expect("WAL file lives in a directory")
+            .join(SNAPSHOT_FILE);
+        snapshot::write_snapshot(&path, &snap)?;
+        wal.truncate_after_checkpoint()?;
+        Ok(())
+    }
+
+    /// Get-or-create a relation during recovery, validating arity.
+    fn recovered_relation(&mut self, name: &str, arity: usize) -> Result<RelId, StorageError> {
+        if let Some(&id) = self.by_name.get(name) {
+            let existing = self.relation(id).arity();
+            if existing != arity {
+                return Err(StorageError::Corrupt(format!(
+                    "recovered tuple of arity {arity} for relation `{name}` of arity {existing}"
+                )));
+            }
+            return Ok(id);
+        }
+        let id = RelId(self.relations.len() as u32);
+        self.relations.push(BaseRelation::new(name, arity));
+        self.by_name.insert(name.to_string(), id);
+        self.recovered.insert(name.to_string());
+        Ok(id)
+    }
+
+    /// Advance the oid allocator past every oid in a recovered tuple.
+    fn note_recovered_oids(&mut self, t: &Tuple) {
+        for v in t.iter() {
+            if let Value::Oid(o) = v {
+                self.oids.ensure_above(*o);
+            }
+        }
     }
 }
 

@@ -22,6 +22,27 @@ pub enum StorageError {
     TransactionAlreadyOpen,
     /// `commit`/`rollback` without an open transaction.
     NoOpenTransaction,
+    /// `rollback_to` with a savepoint that does not lie within the
+    /// current undo log (stale, or taken in another transaction).
+    InvalidSavepoint {
+        /// Log position recorded in the savepoint.
+        savepoint: usize,
+        /// Current log length.
+        log_len: usize,
+    },
+    /// An operating-system I/O failure while reading or writing the WAL
+    /// or a snapshot. Carries the rendered `io::Error` (kept as a string
+    /// so `StorageError` stays `Clone + Eq`).
+    Io(String),
+    /// The WAL or snapshot file failed structural validation (bad magic,
+    /// CRC mismatch past the torn tail, non-monotonic sequence numbers).
+    Corrupt(String),
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e.to_string())
+    }
 }
 
 impl fmt::Display for StorageError {
@@ -39,6 +60,12 @@ impl fmt::Display for StorageError {
             ),
             StorageError::TransactionAlreadyOpen => write!(f, "a transaction is already open"),
             StorageError::NoOpenTransaction => write!(f, "no open transaction"),
+            StorageError::InvalidSavepoint { savepoint, log_len } => write!(
+                f,
+                "invalid savepoint {savepoint} (log has {log_len} records)"
+            ),
+            StorageError::Io(e) => write!(f, "I/O error: {e}"),
+            StorageError::Corrupt(what) => write!(f, "corrupt durable state: {what}"),
         }
     }
 }

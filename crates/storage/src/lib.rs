@@ -24,16 +24,36 @@
 //!   relations (only influents of some activated rule pay any overhead,
 //!   exactly as the paper requires).
 
+//!
+//! Durability (this layer's §4.1 "written to the log", made literal):
+//!
+//! * [`wal`] — an append-only on-disk WAL of committed batches with CRC
+//!   framing, group commit, and torn-tail-tolerant recovery scanning.
+//! * [`snapshot`] — atomic checkpoint images that bound replay time.
+//! * [`Storage::attach_wal`] / [`Storage::checkpoint`] — snapshot +
+//!   replay recovery and the ongoing commit → WAL pipeline.
+//! * [`Savepoint`] / [`Storage::rollback_to`] — partial rollback by
+//!   reverse-undoing a log suffix, rewinding Δ-sets in step.
+//! * [`fault`] *(feature `fault-injection`)* — deterministic, seeded
+//!   fault plans (crashes, torn writes, I/O errors, failing rule
+//!   actions) threaded through the WAL writer and the rule layer.
+
 pub mod database;
 pub mod delta;
 pub mod error;
+#[cfg(feature = "fault-injection")]
+pub mod fault;
 pub mod log;
 pub mod oldstate;
 pub mod relation;
+pub mod snapshot;
+pub mod wal;
 
-pub use database::{RelId, Storage};
+pub use database::{RecoveryInfo, RelId, Savepoint, Storage};
 pub use delta::{DeltaSet, Polarity};
 pub use error::StorageError;
-pub use log::{LogOp, LogRecord, UpdateLog};
+pub use log::{LogOp, LogRecord, UndoDrain, UpdateLog};
 pub use oldstate::{OldStateView, StateEpoch};
 pub use relation::BaseRelation;
+pub use snapshot::{Snapshot, SnapshotRelation, SNAPSHOT_FILE};
+pub use wal::{read_wal, read_wal_bytes, WalBatch, WalConfig, WalRecord, WalWriter, WAL_FILE};

@@ -156,3 +156,118 @@ proptest! {
         prop_assert_eq!(probed, scanned);
     }
 }
+
+/// One step of a savepoint-algebra interleaving.
+#[derive(Debug, Clone)]
+enum SpOp {
+    Insert(Tuple),
+    Delete(Tuple),
+    Save,
+    /// Rewind to the i-th (mod live count) outstanding savepoint.
+    RollbackTo(usize),
+    /// Abort the whole transaction and open a fresh one.
+    Rollback,
+}
+
+fn sp_ops() -> impl Strategy<Value = Vec<SpOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            small_tuple().prop_map(SpOp::Insert),
+            small_tuple().prop_map(SpOp::Insert),
+            small_tuple().prop_map(SpOp::Delete),
+            small_tuple().prop_map(SpOp::Delete),
+            Just(SpOp::Save),
+            (0usize..4).prop_map(SpOp::RollbackTo),
+            Just(SpOp::Rollback),
+        ],
+        0..48,
+    )
+}
+
+proptest! {
+    /// Savepoint algebra (§4.1 partial rollback): any interleaving of
+    /// updates, `savepoint`, `rollback_to`, and full `rollback` leaves
+    /// the relation, the undo log, the Δ-set, and the old-state overlay
+    /// exactly equivalent to replaying only the *surviving* updates —
+    /// the events recorded since transaction start and never undone.
+    #[test]
+    fn savepoint_algebra_equals_surviving_replay(init in initial_tuples(), ops in sp_ops()) {
+        let mut db = Storage::new();
+        let r = db.create_relation("r", 2).unwrap();
+        for t in &init {
+            db.insert(r, t.clone()).unwrap();
+        }
+        let before: HashSet<Tuple> = db.relation(r).scan().cloned().collect();
+        db.monitor(r);
+        db.begin().unwrap();
+
+        // The model: effective events not undone by any rollback, and
+        // the live savepoint stack with the model length at save time.
+        let mut surviving: Vec<(bool, Tuple)> = Vec::new();
+        let mut stack: Vec<(amos_storage::Savepoint, usize)> = Vec::new();
+
+        for op in &ops {
+            match op {
+                SpOp::Insert(t) => {
+                    if db.insert(r, t.clone()).unwrap() {
+                        surviving.push((true, t.clone()));
+                    }
+                }
+                SpOp::Delete(t) => {
+                    if db.delete(r, t).unwrap() {
+                        surviving.push((false, t.clone()));
+                    }
+                }
+                SpOp::Save => stack.push((db.savepoint(), surviving.len())),
+                SpOp::RollbackTo(i) => {
+                    if stack.is_empty() {
+                        continue;
+                    }
+                    let idx = i % stack.len();
+                    let (sp, keep) = stack[idx];
+                    let undone = db.rollback_to(sp).unwrap();
+                    prop_assert_eq!(undone, surviving.len() - keep);
+                    surviving.truncate(keep);
+                    // Savepoints taken after the rewound point are gone;
+                    // the rewound-to savepoint itself stays valid.
+                    stack.truncate(idx + 1);
+                }
+                SpOp::Rollback => {
+                    db.rollback().unwrap();
+                    surviving.clear();
+                    stack.clear();
+                    db.begin().unwrap();
+                }
+            }
+        }
+
+        // Relation state ≡ initial state + surviving events, in order.
+        let mut model = before.clone();
+        for (ins, t) in &surviving {
+            if *ins {
+                model.insert(t.clone());
+            } else {
+                model.remove(t);
+            }
+        }
+        let after: HashSet<Tuple> = db.relation(r).scan().cloned().collect();
+        prop_assert_eq!(&after, &model);
+
+        // Undo log holds exactly the surviving events.
+        prop_assert_eq!(db.log().len(), surviving.len());
+
+        // Δ-set is the net of the surviving events.
+        let expected_plus: HashSet<Tuple> = after.difference(&before).cloned().collect();
+        let expected_minus: HashSet<Tuple> = before.difference(&after).cloned().collect();
+        let empty = DeltaSet::new();
+        let delta = db.delta(r).unwrap_or(&empty);
+        prop_assert_eq!(delta.plus(), &expected_plus);
+        prop_assert_eq!(delta.minus(), &expected_minus);
+        prop_assert!(delta.invariant_holds());
+
+        // Old-state overlay still reconstructs transaction-start state.
+        let view = db.old_view(r);
+        let reconstructed: HashSet<Tuple> = view.scan().cloned().collect();
+        prop_assert_eq!(&reconstructed, &before);
+    }
+}

@@ -1,0 +1,245 @@
+//! Crash-recovery tests for the WAL (storage level).
+//!
+//! The invariants pinned down here:
+//!
+//! * **Prefix durability** — whatever byte prefix of the WAL survives a
+//!   crash, recovery rebuilds exactly the state as of the last batch
+//!   whose frame is complete (CRC-valid); the torn tail is discarded.
+//! * **Atomic commit** — a transaction's records are replayed all or
+//!   not at all, never partially.
+//! * **Open transactions are not durable** — a crash before commit
+//!   loses the in-flight updates, by design.
+//! * **Checkpointing** — a snapshot + truncated WAL recovers to the
+//!   same state as replaying the full log.
+//! * **Adoption** — re-running the schema script after recovery adopts
+//!   the recovered relations instead of failing.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+use amos_storage::{read_wal_bytes, Storage, StorageError, WalConfig, WAL_FILE};
+use amos_types::{tuple, Oid, Tuple, Value};
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("amos-walrec-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// All tuples of a relation, by name (order-free comparison).
+fn state_of(db: &Storage, name: &str) -> BTreeSet<Tuple> {
+    match db.relation_id(name) {
+        Ok(id) => db.relation(id).scan().cloned().collect(),
+        Err(_) => BTreeSet::new(),
+    }
+}
+
+fn full_state(db: &Storage) -> (BTreeSet<Tuple>, BTreeSet<Tuple>) {
+    (state_of(db, "q"), state_of(db, "s"))
+}
+
+/// Run the reference workload against a WAL at `dir`. Returns the state
+/// after each durable batch (index 0 = empty initial state, index i =
+/// state once WAL seq i is applied) and the final committed state.
+fn run_workload(dir: &PathBuf) -> Vec<(BTreeSet<Tuple>, BTreeSet<Tuple>)> {
+    let mut db = Storage::new();
+    let q = db.create_relation("q", 2).unwrap();
+    let s = db.create_relation("s", 1).unwrap();
+    db.monitor(q);
+    db.attach_wal(dir, WalConfig::default()).unwrap();
+
+    let mut states = vec![full_state(&db)];
+
+    // Batch 1: plain inserts plus an oid-carrying tuple.
+    db.begin().unwrap();
+    db.insert(q, tuple![1, 10]).unwrap();
+    db.insert(q, tuple![2, 20]).unwrap();
+    let o = db.fresh_oid();
+    db.insert(s, Tuple::new(vec![Value::Oid(o)])).unwrap();
+    db.commit().unwrap();
+    states.push(full_state(&db));
+
+    // Batch 2: delete + overwrite + new key.
+    db.begin().unwrap();
+    db.delete(q, &tuple![1, 10]).unwrap();
+    db.insert(q, tuple![1, 11]).unwrap();
+    db.insert(q, tuple![3, 30]).unwrap();
+    db.commit().unwrap();
+    states.push(full_state(&db));
+
+    // Batch 3: physically inserted and deleted again inside one
+    // transaction — both events are logged; replay must cancel them.
+    db.begin().unwrap();
+    db.insert(q, tuple![4, 40]).unwrap();
+    db.delete(q, &tuple![4, 40]).unwrap();
+    db.insert(q, tuple![6, 60]).unwrap();
+    db.commit().unwrap();
+    states.push(full_state(&db));
+
+    // Batch 4: an autocommitted update (its own single-record batch).
+    db.insert(q, tuple![5, 50]).unwrap();
+    states.push(full_state(&db));
+
+    // A transaction left open at "crash" time: must NOT be durable.
+    db.begin().unwrap();
+    db.insert(q, tuple![9, 99]).unwrap();
+    // Dropped without commit.
+    states
+}
+
+fn recover(dir: &PathBuf) -> (Storage, amos_storage::RecoveryInfo) {
+    let mut db = Storage::new();
+    let info = db.attach_wal(dir, WalConfig::default()).unwrap();
+    (db, info)
+}
+
+#[test]
+fn recovery_rebuilds_last_committed_state() {
+    let dir = tmpdir("rebuild");
+    let states = run_workload(&dir);
+    let committed = states.last().unwrap().clone();
+
+    let (db, info) = recover(&dir);
+    assert_eq!(full_state(&db), committed);
+    assert_eq!(info.batches_replayed, 4);
+    assert_eq!(info.last_seq, 4);
+    assert!(!info.snapshot_loaded);
+    // The open transaction's insert is gone.
+    assert!(!state_of(&db, "q").contains(&tuple![9, 99]));
+}
+
+#[test]
+fn crash_at_every_wal_offset_recovers_a_committed_prefix() {
+    let dir = tmpdir("sweep");
+    let states = run_workload(&dir);
+    let bytes = std::fs::read(dir.join(WAL_FILE)).unwrap();
+
+    let crash_dir = tmpdir("sweep-crash");
+    for cut in 0..=bytes.len() {
+        std::fs::write(crash_dir.join(WAL_FILE), &bytes[..cut]).unwrap();
+        let _ = std::fs::remove_file(crash_dir.join(amos_storage::SNAPSHOT_FILE));
+
+        // The oracle: whichever batches have a complete frame within
+        // the surviving prefix define the expected state.
+        let surviving = read_wal_bytes(&bytes[..cut]).unwrap();
+        let expect = &states[surviving.last_seq() as usize];
+
+        let (db, info) = recover(&crash_dir);
+        assert_eq!(
+            &full_state(&db),
+            expect,
+            "cut at byte {cut}: recovered state must match the committed prefix"
+        );
+        assert_eq!(info.last_seq, surviving.last_seq(), "cut at byte {cut}");
+    }
+}
+
+#[test]
+fn recovery_after_reopen_continues_the_log() {
+    let dir = tmpdir("continue");
+    run_workload(&dir);
+
+    // First recovery; commit one more transaction on top.
+    let (mut db, _) = recover(&dir);
+    let q = db.relation_id("q").unwrap();
+    db.begin().unwrap();
+    db.insert(q, tuple![7, 70]).unwrap();
+    db.commit().unwrap();
+    let state = full_state(&db);
+    drop(db);
+
+    // Second recovery sees both the original batches and the new one.
+    let (db2, info) = recover(&dir);
+    assert_eq!(full_state(&db2), state);
+    assert_eq!(info.last_seq, 5);
+}
+
+#[test]
+fn checkpoint_truncates_wal_and_recovers_identically() {
+    let dir = tmpdir("checkpoint");
+    let states = run_workload(&dir);
+    let committed = states.last().unwrap().clone();
+
+    let (mut db, _) = recover(&dir);
+    db.checkpoint().unwrap();
+    // The WAL now holds only the magic; the snapshot carries the state.
+    let wal_len = std::fs::metadata(dir.join(WAL_FILE)).unwrap().len();
+    assert_eq!(wal_len, 8, "WAL truncated to its magic after checkpoint");
+
+    // New commits land in the (short) WAL after the snapshot.
+    let q = db.relation_id("q").unwrap();
+    db.begin().unwrap();
+    db.insert(q, tuple![8, 80]).unwrap();
+    db.commit().unwrap();
+    let mut expect = committed;
+    expect.0.insert(tuple![8, 80]);
+    drop(db);
+
+    let (db2, info) = recover(&dir);
+    assert!(info.snapshot_loaded);
+    assert_eq!(info.snapshot_seq, 4);
+    assert_eq!(info.batches_replayed, 1, "only the post-checkpoint batch");
+    assert_eq!(full_state(&db2), expect);
+}
+
+#[test]
+fn recovered_relations_are_adopted_by_create() {
+    let dir = tmpdir("adopt");
+    run_workload(&dir);
+
+    let (mut db, _) = recover(&dir);
+    // Re-running the schema script adopts the recovered relation.
+    let q = db.create_relation("q", 2).unwrap();
+    assert!(db.relation(q).contains(&tuple![5, 50]));
+    // Adoption is once; a second create is a genuine duplicate.
+    assert!(matches!(
+        db.create_relation("q", 2),
+        Err(StorageError::DuplicateRelation(_))
+    ));
+    // An arity mismatch against recovered data is rejected.
+    assert!(matches!(
+        db.create_relation("s", 3),
+        Err(StorageError::ArityMismatch { .. })
+    ));
+}
+
+#[test]
+fn oid_allocation_resumes_past_recovered_oids() {
+    let dir = tmpdir("oids");
+    run_workload(&dir);
+
+    let (mut db, _) = recover(&dir);
+    let recovered: Vec<Oid> = state_of(&db, "s")
+        .iter()
+        .filter_map(|t| match &t[0] {
+            Value::Oid(o) => Some(*o),
+            _ => None,
+        })
+        .collect();
+    assert!(!recovered.is_empty());
+    let fresh = db.fresh_oid();
+    assert!(
+        recovered.iter().all(|o| fresh > *o),
+        "fresh oid {fresh:?} must not collide with recovered {recovered:?}"
+    );
+}
+
+#[test]
+fn group_commit_batches_survive_flush() {
+    let dir = tmpdir("group");
+    {
+        let mut db = Storage::new();
+        let q = db.create_relation("q", 2).unwrap();
+        db.attach_wal(&dir, WalConfig { group_commit: 3 }).unwrap();
+        for i in 0..5 {
+            db.begin().unwrap();
+            db.insert(q, tuple![i, i * 10]).unwrap();
+            db.commit().unwrap();
+        }
+        // Two batches are still buffered; Drop flushes them.
+    }
+    let (db, info) = recover(&dir);
+    assert_eq!(info.batches_replayed, 5);
+    assert_eq!(state_of(&db, "q").len(), 5);
+}

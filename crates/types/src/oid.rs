@@ -60,6 +60,13 @@ impl OidGenerator {
     pub fn allocated(&self) -> u64 {
         self.next.saturating_sub(1)
     }
+
+    /// Advance the generator so that `fresh()` will never re-issue `oid`
+    /// or anything below it. Used by recovery, which learns the highest
+    /// persisted oid only after replaying the log.
+    pub fn ensure_above(&mut self, oid: Oid) {
+        self.next = self.next.max(oid.raw() + 1);
+    }
 }
 
 #[cfg(test)]
@@ -79,5 +86,15 @@ mod tests {
     #[test]
     fn display() {
         assert_eq!(Oid::from_raw(7).to_string(), "#[oid 7]");
+    }
+
+    #[test]
+    fn ensure_above_prevents_reissue() {
+        let mut g = OidGenerator::new();
+        g.ensure_above(Oid::from_raw(41));
+        assert_eq!(g.fresh(), Oid::from_raw(42));
+        // Never moves backwards.
+        g.ensure_above(Oid::from_raw(5));
+        assert_eq!(g.fresh(), Oid::from_raw(43));
     }
 }
