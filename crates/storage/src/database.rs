@@ -32,11 +32,16 @@ use crate::wal::{WalConfig, WalRecord, WalWriter};
 pub struct RelId(pub u32);
 
 /// An opaque position in the undo log, for partial rollback
-/// ([`Storage::rollback_to`]). Savepoints are only valid within the
-/// transaction (and log epoch) they were taken in.
+/// ([`Storage::rollback_to`]). A savepoint is only valid within the
+/// transaction epoch it was taken in: any `begin`, `commit`, or
+/// `rollback` invalidates it (the undo log it indexed into is gone),
+/// and [`Storage::rollback_to`] rejects it with
+/// [`StorageError::StaleSavepoint`] instead of undoing an unrelated
+/// log suffix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Savepoint {
     log_len: usize,
+    epoch: u64,
 }
 
 /// What [`Storage::attach_wal`] found and replayed from disk.
@@ -69,6 +74,10 @@ pub struct Storage {
     deltas: HashMap<RelId, DeltaSet>,
     log: UpdateLog,
     txn_open: bool,
+    /// Bumped whenever the undo log's identity changes (`begin`,
+    /// `commit`, `rollback`); savepoints record it so stale ones are
+    /// rejected rather than silently undoing an unrelated log suffix.
+    epoch: u64,
     oids: OidGenerator,
     /// Durable log of committed batches, when attached.
     wal: Option<WalWriter>,
@@ -99,6 +108,12 @@ impl Storage {
         arity: usize,
     ) -> Result<RelId, StorageError> {
         let name = name.into();
+        // The WAL and snapshot codecs frame names with a u16 length;
+        // a longer name would encode a wrong length and decode as
+        // corruption at recovery.
+        if name.len() > u16::MAX as usize {
+            return Err(StorageError::RelationNameTooLong { len: name.len() });
+        }
         if let Some(&id) = self.by_name.get(&name) {
             // Recovery may have materialized this relation from the WAL
             // before the schema script re-ran; adopt it.
@@ -342,6 +357,7 @@ impl Storage {
         self.log.clear();
         self.clear_deltas();
         self.txn_open = true;
+        self.epoch += 1;
         Ok(())
     }
 
@@ -379,6 +395,7 @@ impl Storage {
         self.log.clear();
         self.clear_deltas();
         self.txn_open = false;
+        self.epoch += 1;
         Ok(())
     }
 
@@ -401,6 +418,7 @@ impl Storage {
         }
         self.clear_deltas();
         self.txn_open = false;
+        self.epoch += 1;
         Ok(())
     }
 
@@ -410,6 +428,7 @@ impl Storage {
     pub fn savepoint(&self) -> Savepoint {
         Savepoint {
             log_len: self.log.len(),
+            epoch: self.epoch,
         }
     }
 
@@ -423,6 +442,12 @@ impl Storage {
     /// Undone events never reach the WAL: durability is decided at
     /// commit, which writes only the records still in the log.
     pub fn rollback_to(&mut self, sp: Savepoint) -> Result<usize, StorageError> {
+        if sp.epoch != self.epoch {
+            return Err(StorageError::StaleSavepoint {
+                savepoint_epoch: sp.epoch,
+                current_epoch: self.epoch,
+            });
+        }
         if sp.log_len > self.log.len() {
             return Err(StorageError::InvalidSavepoint {
                 savepoint: sp.log_len,
@@ -508,7 +533,12 @@ impl Storage {
             }
         }
 
-        let (writer, read) = WalWriter::open(dir, config)?;
+        let (mut writer, read) = WalWriter::open(dir, config)?;
+        // The log was truncated at the last checkpoint, so the writer's
+        // scan-derived sequence may restart below the snapshot's: raise
+        // it, or this session's commits would be skipped (as already
+        // snapshotted) by the next recovery.
+        writer.ensure_seq_above(info.snapshot_seq);
         info.torn_tail_bytes = read.total_bytes.saturating_sub(read.valid_bytes);
         for batch in &read.batches {
             if batch.seq <= info.snapshot_seq {
@@ -735,6 +765,63 @@ mod tests {
             db.insert(q, tuple![1]),
             Err(StorageError::ArityMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn stale_savepoint_from_earlier_transaction_is_rejected() {
+        let (mut db, q) = db_with_rel();
+        db.begin().unwrap();
+        db.insert(q, tuple![1, 2]).unwrap();
+        let sp = db.savepoint();
+        db.insert(q, tuple![3, 4]).unwrap();
+        db.commit().unwrap();
+
+        // The next transaction can reach the same log length, so the
+        // position check alone would undo an unrelated suffix.
+        db.begin().unwrap();
+        db.insert(q, tuple![5, 6]).unwrap();
+        db.insert(q, tuple![7, 8]).unwrap();
+        assert!(matches!(
+            db.rollback_to(sp),
+            Err(StorageError::StaleSavepoint { .. })
+        ));
+        assert!(db.relation(q).contains(&tuple![5, 6]), "nothing undone");
+        assert!(db.relation(q).contains(&tuple![7, 8]));
+
+        // A savepoint from the live transaction still works.
+        let sp2 = db.savepoint();
+        db.insert(q, tuple![9, 9]).unwrap();
+        assert_eq!(db.rollback_to(sp2).unwrap(), 1);
+        assert!(!db.relation(q).contains(&tuple![9, 9]));
+    }
+
+    #[test]
+    fn savepoint_does_not_survive_rollback() {
+        let (mut db, q) = db_with_rel();
+        db.begin().unwrap();
+        let sp = db.savepoint();
+        db.insert(q, tuple![1, 2]).unwrap();
+        db.rollback().unwrap();
+
+        db.begin().unwrap();
+        assert!(matches!(
+            db.rollback_to(sp),
+            Err(StorageError::StaleSavepoint { .. })
+        ));
+    }
+
+    #[test]
+    fn overlong_relation_name_rejected() {
+        let mut db = Storage::new();
+        // The WAL codec frames names with a u16 length; anything longer
+        // would encode a wrong length and fail decode at recovery.
+        assert!(matches!(
+            db.create_relation("x".repeat(u16::MAX as usize + 1), 1),
+            Err(StorageError::RelationNameTooLong { len }) if len == u16::MAX as usize + 1
+        ));
+        // Exactly at the limit is fine.
+        db.create_relation("y".repeat(u16::MAX as usize), 1)
+            .unwrap();
     }
 
     #[test]

@@ -30,6 +30,22 @@ pub enum StorageError {
         /// Current log length.
         log_len: usize,
     },
+    /// `rollback_to` with a savepoint from a different transaction
+    /// epoch: a `begin`, `commit`, or `rollback` has reset the undo log
+    /// since the savepoint was taken, so its log position no longer
+    /// addresses the events it was taken over.
+    StaleSavepoint {
+        /// Epoch recorded in the savepoint.
+        savepoint_epoch: u64,
+        /// The storage's current epoch.
+        current_epoch: u64,
+    },
+    /// A relation name too long for the WAL / snapshot codec, which
+    /// frames names with a u16 byte length.
+    RelationNameTooLong {
+        /// Byte length of the offending name.
+        len: usize,
+    },
     /// An operating-system I/O failure while reading or writing the WAL
     /// or a snapshot. Carries the rendered `io::Error` (kept as a string
     /// so `StorageError` stays `Clone + Eq`).
@@ -63,6 +79,19 @@ impl fmt::Display for StorageError {
             StorageError::InvalidSavepoint { savepoint, log_len } => write!(
                 f,
                 "invalid savepoint {savepoint} (log has {log_len} records)"
+            ),
+            StorageError::StaleSavepoint {
+                savepoint_epoch,
+                current_epoch,
+            } => write!(
+                f,
+                "stale savepoint from transaction epoch {savepoint_epoch} \
+                 (current epoch is {current_epoch})"
+            ),
+            StorageError::RelationNameTooLong { len } => write!(
+                f,
+                "relation name of {len} bytes exceeds the {}-byte limit",
+                u16::MAX
             ),
             StorageError::Io(e) => write!(f, "I/O error: {e}"),
             StorageError::Corrupt(what) => write!(f, "corrupt durable state: {what}"),

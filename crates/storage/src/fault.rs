@@ -42,6 +42,17 @@ pub enum WalFault {
     /// touching the file (a transient `EIO`; the engine sees a failed
     /// commit and may roll back and retry).
     IoErrorAtBatch(u64),
+    /// Partially write batch `batch` — only `keep` of its frame bytes
+    /// land — then fail with an I/O error (a torn `write_all`, e.g.
+    /// ENOSPC). Unlike [`WalFault::ShortWrite`] the process lives on:
+    /// the writer must truncate the torn bytes so a retried append
+    /// yields a readable log.
+    TornWriteError {
+        /// Sequence number of the batch whose write tears.
+        batch: u64,
+        /// Frame bytes that reach the disk before the failure.
+        keep: usize,
+    },
 }
 
 /// How an injected rule-action failure manifests.
@@ -78,6 +89,7 @@ pub struct FaultPlan {
     action_fired: AtomicBool,
     propagation_fired: AtomicBool,
     io_error_fired: AtomicBool,
+    torn_write_fired: AtomicBool,
 }
 
 impl FaultPlan {
@@ -170,6 +182,22 @@ impl FaultPlan {
     pub fn take_io_error(&self, seq: u64) -> bool {
         matches!(self.wal, Some(WalFault::IoErrorAtBatch(b)) if b == seq)
             && !self.io_error_fired.swap(true, Ordering::SeqCst)
+    }
+
+    /// One-shot: should the batch with sequence `seq` suffer a torn
+    /// `write_all`? Returns how many frame bytes land before the error.
+    /// (Transient — firing once lets a retry succeed.)
+    pub fn take_torn_write(&self, seq: u64) -> Option<usize> {
+        match self.wal {
+            Some(WalFault::TornWriteError { batch, keep }) if batch == seq => {
+                if self.torn_write_fired.swap(true, Ordering::SeqCst) {
+                    None
+                } else {
+                    Some(keep)
+                }
+            }
+            _ => None,
+        }
     }
 
     /// One-shot: how should the action of rule `rule` fail right now, if

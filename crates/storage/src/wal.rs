@@ -402,6 +402,17 @@ pub struct WalWriter {
     config: WalConfig,
     /// Framed batches awaiting the group write: `(seq, frame, rec_ends)`.
     pending: Vec<(u64, Vec<u8>, Vec<usize>)>,
+    /// File length up to the last fully-written frame. A failed
+    /// `write_all` (ENOSPC, EIO) can leave torn bytes past this point;
+    /// [`WalWriter::repair_torn_tail`] truncates back to it so a retried
+    /// append lands on a clean boundary instead of after unreadable
+    /// debris.
+    good_len: u64,
+    /// Set when a failed write may have left torn bytes past `good_len`.
+    needs_repair: bool,
+    /// Set when frames were written but not yet `sync_data`ed (a failed
+    /// group flush); the next flush syncs even with nothing pending.
+    dirty: bool,
     #[cfg(feature = "fault-injection")]
     faults: Option<Arc<FaultPlan>>,
 }
@@ -434,17 +445,32 @@ impl WalWriter {
                 file.sync_all()?;
             }
         }
-        file.seek(SeekFrom::End(0))?;
+        let good_len = file.seek(SeekFrom::End(0))?;
         let writer = WalWriter {
             file,
             path,
             next_seq: read.last_seq() + 1,
             config,
             pending: Vec::new(),
+            good_len,
+            needs_repair: false,
+            dirty: false,
             #[cfg(feature = "fault-injection")]
             faults: None,
         };
         Ok((writer, read))
+    }
+
+    /// Raise the next sequence number above `seq`. Recovery calls this
+    /// with the snapshot's `last_seq`: after a checkpoint the truncated
+    /// log no longer shows the sequence numbers the snapshot covers, so
+    /// a freshly opened writer would otherwise restart at 1 and its
+    /// batches would be skipped (as `<= snapshot_seq`) at the *next*
+    /// recovery.
+    pub fn ensure_seq_above(&mut self, seq: u64) {
+        if self.next_seq <= seq {
+            self.next_seq = seq + 1;
+        }
     }
 
     /// Attach a fault plan; subsequent writes consult it.
@@ -466,32 +492,76 @@ impl WalWriter {
     /// Append one committed batch. With `group_commit` = 1 the batch is
     /// on disk (synced) when this returns; otherwise it may sit in the
     /// group buffer until the group fills or [`WalWriter::flush`] runs.
+    ///
+    /// On error *this* batch is withdrawn — its commit is failing, and
+    /// the caller decides whether to retry (re-append) or roll back, in
+    /// which case its records must never surface in the log. Earlier
+    /// group-buffered batches already returned `Ok` to their commits and
+    /// stay queued for the next flush.
     pub fn append(&mut self, records: &[WalRecord]) -> Result<u64, StorageError> {
         let seq = self.next_seq;
         let (frame, rec_ends) = frame_batch(seq, records);
         self.next_seq += 1;
         self.pending.push((seq, frame, rec_ends));
         if self.pending.len() >= self.config.group_commit {
-            self.flush()?;
+            if let Err(e) = self.flush() {
+                self.pending.retain(|(s, _, _)| *s != seq);
+                return Err(e);
+            }
         }
         Ok(seq)
     }
 
     /// Write and sync every buffered batch.
+    ///
+    /// On error the unwritten batches stay in the group buffer and any
+    /// torn bytes from a partial write are marked for repair, so a
+    /// retried flush (or the next append) first restores a clean file
+    /// tail and then re-attempts the writes — a retried commit is
+    /// recoverable, not silently lost behind an unreadable frame.
     pub fn flush(&mut self) -> Result<(), StorageError> {
         if self.pending.is_empty() {
+            if self.dirty {
+                self.file.sync_data()?;
+                self.dirty = false;
+            }
             return Ok(());
         }
-        let pending = std::mem::take(&mut self.pending);
-        let mut wrote = false;
-        for (seq, frame, rec_ends) in pending {
-            if self.write_batch(seq, &frame, &rec_ends)? {
-                wrote = true;
+        self.repair_torn_tail()?;
+        let mut pending = std::mem::take(&mut self.pending);
+        let mut done = 0;
+        while done < pending.len() {
+            let (seq, frame, rec_ends) = &pending[done];
+            match self.write_batch(*seq, frame, rec_ends) {
+                Ok(wrote) => {
+                    self.dirty |= wrote;
+                    done += 1;
+                }
+                Err(e) => {
+                    // Keep the failed batch and everything after it for
+                    // the retry.
+                    pending.drain(..done);
+                    self.pending = pending;
+                    return Err(e);
+                }
             }
         }
-        if wrote {
+        if self.dirty {
             self.file.sync_data()?;
+            self.dirty = false;
         }
+        Ok(())
+    }
+
+    /// Truncate torn bytes a failed write left past the last complete
+    /// frame, repositioning for append. No-op unless a write failed.
+    fn repair_torn_tail(&mut self) -> Result<(), StorageError> {
+        if !self.needs_repair {
+            return Ok(());
+        }
+        self.file.set_len(self.good_len)?;
+        self.file.seek(SeekFrom::Start(self.good_len))?;
+        self.needs_repair = false;
         Ok(())
     }
 
@@ -511,6 +581,15 @@ impl WalWriter {
             }
             if plan.take_io_error(seq) {
                 return Err(StorageError::Io("injected I/O error".into()));
+            }
+            if let Some(keep) = plan.take_torn_write(seq) {
+                // A partial `write_all` (e.g. ENOSPC): some frame bytes
+                // land, then the write fails — exactly the debris
+                // `repair_torn_tail` exists to clean up.
+                let keep = keep.min(frame.len());
+                let _ = self.file.write_all(&frame[..keep]);
+                self.needs_repair = true;
+                return Err(StorageError::Io("injected torn write".into()));
             }
             match plan.wal_fault() {
                 Some(&WalFault::CrashAfterRecords(n)) => {
@@ -543,7 +622,13 @@ impl WalWriter {
                 _ => {}
             }
         }
-        self.file.write_all(frame)?;
+        if let Err(e) = self.file.write_all(frame) {
+            // Torn bytes may now sit past `good_len` at an arbitrary
+            // offset; repair before the next append.
+            self.needs_repair = true;
+            return Err(e.into());
+        }
+        self.good_len += frame.len() as u64;
         Ok(true)
     }
 
@@ -555,6 +640,9 @@ impl WalWriter {
         self.file.set_len(WAL_MAGIC.len() as u64)?;
         self.file.sync_all()?;
         self.file.seek(SeekFrom::End(0))?;
+        self.good_len = WAL_MAGIC.len() as u64;
+        self.needs_repair = false;
+        self.dirty = false;
         Ok(())
     }
 }

@@ -123,6 +123,72 @@ fn crash_after_records_never_leaks_a_partial_transaction() {
 }
 
 #[test]
+fn torn_write_is_repaired_so_the_retried_commit_is_recoverable() {
+    let dir = tmpdir("tornretry");
+    // Batch 2's write_all tears after 7 bytes (think ENOSPC) and fails.
+    let plan = Arc::new(FaultPlan::wal(WalFault::TornWriteError {
+        batch: 2,
+        keep: 7,
+    }));
+    let (mut db, q) = faulty_storage(&dir, &plan);
+
+    commit_one(&mut db, q, 1).unwrap();
+    let err = commit_one(&mut db, q, 2).unwrap_err();
+    assert!(matches!(err, StorageError::Io(_)), "{err}");
+    assert!(db.in_transaction());
+    // Retry the commit: the writer must truncate the torn bytes first,
+    // or the retried frame lands behind CRC debris and every later
+    // commit is unreadable at recovery.
+    db.commit().unwrap();
+    commit_one(&mut db, q, 3).unwrap();
+    drop(db);
+
+    let mut db2 = Storage::new();
+    let info = db2.attach_wal(&dir, WalConfig::default()).unwrap();
+    assert_eq!(info.batches_replayed, 3, "retried commit is durable");
+    assert_eq!(info.torn_tail_bytes, 0, "no torn debris left behind");
+    assert_eq!(
+        state(&db2, "q"),
+        BTreeSet::from([
+            tuple![1, 10],
+            tuple![1, 11],
+            tuple![2, 20],
+            tuple![2, 21],
+            tuple![3, 30],
+            tuple![3, 31],
+        ])
+    );
+}
+
+#[test]
+fn torn_write_rolled_back_transaction_is_not_resurrected() {
+    let dir = tmpdir("tornroll");
+    let plan = Arc::new(FaultPlan::wal(WalFault::TornWriteError {
+        batch: 2,
+        keep: 7,
+    }));
+    let (mut db, q) = faulty_storage(&dir, &plan);
+
+    commit_one(&mut db, q, 1).unwrap();
+    commit_one(&mut db, q, 2).unwrap_err();
+    // Roll back instead of retrying: the failed batch's frame must not
+    // linger in the group buffer and surface in a later flush.
+    db.rollback().unwrap();
+    commit_one(&mut db, q, 3).unwrap();
+    drop(db);
+
+    let mut db2 = Storage::new();
+    let info = db2.attach_wal(&dir, WalConfig::default()).unwrap();
+    assert_eq!(info.batches_replayed, 2);
+    assert_eq!(info.torn_tail_bytes, 0);
+    assert_eq!(
+        state(&db2, "q"),
+        BTreeSet::from([tuple![1, 10], tuple![1, 11], tuple![3, 30], tuple![3, 31]]),
+        "the rolled-back transaction's tuples never reach the log"
+    );
+}
+
+#[test]
 fn seeded_plans_reproduce_identical_wal_bytes() {
     for seed in [1u64, 7, 42] {
         let mut files = Vec::new();

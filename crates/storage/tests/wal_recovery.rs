@@ -183,6 +183,43 @@ fn checkpoint_truncates_wal_and_recovers_identically() {
     assert_eq!(full_state(&db2), expect);
 }
 
+/// Regression: a writer opened over a checkpoint-truncated (empty) WAL
+/// derived its sequence from the empty log alone and restarted at 1;
+/// replay then skipped its batches as `<= snapshot_seq`, silently
+/// dropping every commit of the post-checkpoint session at the *next*
+/// recovery.
+#[test]
+fn commits_after_checkpoint_restart_survive_the_next_recovery() {
+    let dir = tmpdir("ckpt-restart");
+    // Session 1: commit, then checkpoint (snapshot at seq 1, WAL empty).
+    {
+        let mut db = Storage::new();
+        let q = db.create_relation("q", 2).unwrap();
+        db.attach_wal(&dir, WalConfig::default()).unwrap();
+        db.begin().unwrap();
+        db.insert(q, tuple![1, 10]).unwrap();
+        db.commit().unwrap();
+        db.checkpoint().unwrap();
+    }
+    // Session 2: recover from snapshot + empty WAL, then make a durable
+    // autocommitted insert. Its batch must be numbered past the
+    // snapshot, not restart at 1.
+    {
+        let (mut db, info) = recover(&dir);
+        assert!(info.snapshot_loaded);
+        assert_eq!(info.snapshot_seq, 1);
+        let q = db.relation_id("q").unwrap();
+        db.insert(q, tuple![2, 20]).unwrap();
+    }
+    // Session 3: the post-restart insert is still there.
+    let (db, info) = recover(&dir);
+    assert_eq!(info.batches_replayed, 1, "the post-restart commit replays");
+    assert_eq!(
+        state_of(&db, "q"),
+        BTreeSet::from([tuple![1, 10], tuple![2, 20]])
+    );
+}
+
 #[test]
 fn recovered_relations_are_adopted_by_create() {
     let dir = tmpdir("adopt");
