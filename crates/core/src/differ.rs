@@ -32,7 +32,7 @@ use std::fmt;
 
 use amos_objectlog::catalog::{Catalog, PredId};
 use amos_objectlog::clause::{Clause, Literal};
-use amos_objectlog::plan::{compile_clause, ensure_plan_indexes, Plan};
+use amos_objectlog::plan::{compile_clause, ensure_join_indexes, ensure_plan_indexes, Plan};
 use amos_storage::{Polarity, StateEpoch, Storage};
 
 use crate::error::CoreError;
@@ -181,7 +181,11 @@ pub fn generate_differentials(
                     body,
                 };
                 let plan = compile_clause(catalog, &dclause, &HashSet::new())?;
-                ensure_plan_indexes(&plan, storage);
+                ensure_plan_indexes(catalog, &plan, storage);
+                // Index every probe pattern adaptive re-optimization
+                // could pick at wave-front time (storage is immutable
+                // there, so the indexes must exist up front).
+                ensure_join_indexes(catalog, &dclause, storage);
                 out.push(Differential {
                     affected,
                     influent: *pred,

@@ -42,6 +42,7 @@
 //! * [`aggregate`] — incremental aggregate nodes (count/sum/avg/min/max),
 //!   another §8 extension.
 
+pub mod adaptive;
 pub mod aggregate;
 pub mod differ;
 pub mod error;
@@ -53,6 +54,7 @@ pub mod network;
 pub mod propagate;
 pub mod rules;
 
+pub use adaptive::{AdaptivePlanner, LiveStats, StatsFingerprint};
 pub use aggregate::{AggFn, AggregateView};
 pub use differ::{generate_differentials, DiffId, DiffScope, Differential};
 pub use error::CoreError;
@@ -62,7 +64,8 @@ pub use maintained::{ClosureView, MaintainedAggregate, SourceDeltas, UserView};
 pub use naive::NaiveMonitor;
 pub use network::{NetworkStyle, NodeId, PropagationNetwork};
 pub use propagate::{
-    propagate, propagate_with, recompute_delta, CheckLevel, ExecStrategy, PropagationResult,
+    propagate, propagate_adaptive, propagate_with, recompute_delta, CheckLevel, ExecStrategy,
+    PropagationResult,
 };
 pub use rules::{
     ActionCtx, ActionFn, MonitorMode, MonitorStats, Rule, RuleId, RuleManager, RuleSemantics,

@@ -143,10 +143,10 @@ impl PropagationNetwork {
                 #[allow(clippy::unnecessary_to_owned)]
                 for clause in clauses.to_vec() {
                     let unbound = compile_clause(catalog, &clause, &HashSet::new())?;
-                    ensure_plan_indexes(&unbound, storage);
+                    ensure_plan_indexes(catalog, &unbound, storage);
                     let all_head: HashSet<_> = clause.head_vars().into_iter().collect();
                     let bound = compile_clause(catalog, &clause, &all_head)?;
-                    ensure_plan_indexes(&bound, storage);
+                    ensure_plan_indexes(catalog, &bound, storage);
                 }
             }
             let diffs = generate_differentials(catalog, storage, pred, &node_preds, scope)?;

@@ -37,9 +37,11 @@ use std::sync::{Arc, Mutex};
 use amos_metrics::{DiffTiming, LevelStats, PassMetrics, Stopwatch};
 use amos_objectlog::catalog::{Catalog, PredId};
 use amos_objectlog::eval::{DeltaMap, EvalContext, EvalShared};
+use amos_objectlog::plan::Plan;
 use amos_storage::{DeltaSet, Polarity, StateEpoch, Storage};
 use amos_types::{Tuple, Value};
 
+use crate::adaptive::AdaptivePlanner;
 use crate::differ::DiffId;
 use crate::error::CoreError;
 use crate::explain::FiredDifferential;
@@ -128,11 +130,13 @@ struct TaskOutput {
 }
 
 /// One unit of wave-front work: execute differential `diff` seeded by
-/// the Δ-set of the node at `level`.
-#[derive(Clone, Copy)]
+/// the Δ-set of the node at `level`, optionally under an adaptively
+/// re-optimized plan resolved before the batch was launched.
+#[derive(Clone)]
 struct Task {
     diff: DiffId,
     level: usize,
+    plan: Option<Arc<Plan>>,
 }
 
 /// Run one breadth-first bottom-up propagation pass over the network,
@@ -192,9 +196,40 @@ pub fn propagate_shared(
     strategy: ExecStrategy,
     shared: &Arc<EvalShared>,
 ) -> Result<PropagationResult, CoreError> {
+    propagate_adaptive(network, catalog, storage, check, strategy, shared, None)
+}
+
+/// [`propagate_shared`] with wave-front re-optimization: when `planner`
+/// is given, each level's differential plans are resolved against the
+/// *live* statistics (base cardinalities, column NDVs, current Δ-set
+/// sizes) before the batch launches — cached plans are reused until
+/// their statistics fingerprint drifts, at which point the differential
+/// is recompiled under the cardinality-aware cost model.
+///
+/// Plan resolution is sequential and happens in serial task order, so
+/// the plans each task executes — and therefore every Δ-set and counter
+/// — are identical under [`ExecStrategy::Serial`] and
+/// [`ExecStrategy::Parallel`]. With `planner == None` this is exactly
+/// the static path: each differential runs its activation-time plan.
+pub fn propagate_adaptive(
+    network: &PropagationNetwork,
+    catalog: &Catalog,
+    storage: &Storage,
+    check: CheckLevel,
+    strategy: ExecStrategy,
+    shared: &Arc<EvalShared>,
+    planner: Option<&AdaptivePlanner>,
+) -> Result<PropagationResult, CoreError> {
     let pass_timer = Stopwatch::start();
     let hits_before = shared.tabling_hits();
     let misses_before = shared.tabling_misses();
+    let probes_before = shared.probe_count();
+    let scans_before = shared.scan_count();
+    let delta_probes_before = shared.delta_probe_count();
+    let delta_scans_before = shared.delta_scan_count();
+    let fallback_before = storage.fallback_scans_total();
+    let replans_before = planner.map_or(0, AdaptivePlanner::replan_count);
+    let hits_cache_before = planner.map_or(0, AdaptivePlanner::hit_count);
     let mut result = PropagationResult::default();
     result.metrics.strategy = strategy.name().to_owned();
     result.metrics.check = check.name().to_owned();
@@ -252,18 +287,27 @@ pub fn propagate_shared(
 
         // Gather the level's tasks in serial execution order; self-
         // differentials were consumed by the fixpoint closure above.
-        let tasks: Vec<Task> = changed
-            .iter()
-            .flat_map(|node| {
-                node.out_diffs
-                    .iter()
-                    .filter(|diff_id| network.differential(**diff_id).affected != node.pred)
-                    .map(|diff_id| Task {
-                        diff: *diff_id,
-                        level,
-                    })
-            })
-            .collect();
+        // Adaptive plans are resolved here, sequentially against the
+        // level-start wave, so parallel execution sees the same plans
+        // (and fills the same caches) as serial execution would.
+        let mut tasks: Vec<Task> = Vec::new();
+        for node in &changed {
+            for diff_id in &node.out_diffs {
+                let diff = network.differential(*diff_id);
+                if diff.affected == node.pred {
+                    continue;
+                }
+                let plan = match planner {
+                    Some(p) => Some(p.plan_for(*diff_id, diff, catalog, storage, &wave)?),
+                    None => None,
+                };
+                tasks.push(Task {
+                    diff: *diff_id,
+                    level,
+                    plan,
+                });
+            }
+        }
 
         // Execute: threads when the strategy and the task count warrant
         // it, inline otherwise. Either way `wave` is frozen (shared
@@ -278,7 +322,16 @@ pub fn propagate_shared(
             } else {
                 tasks
                     .iter()
-                    .map(|task| run_differential(network, catalog, &ctx, task.diff, check))
+                    .map(|task| {
+                        run_differential(
+                            network,
+                            catalog,
+                            &ctx,
+                            task.diff,
+                            task.plan.as_deref(),
+                            check,
+                        )
+                    })
                     .collect()
             }
         };
@@ -306,6 +359,7 @@ pub fn propagate_shared(
                 nanos: output.nanos,
                 candidates: output.candidates,
                 accepted: output.accepted.len(),
+                est_rows: task.plan.as_deref().unwrap_or(&diff.plan).est_rows,
             });
             if !output.accepted.is_empty() || !matches!(check, CheckLevel::Raw) {
                 result.fired.push(FiredDifferential {
@@ -346,6 +400,24 @@ pub fn propagate_shared(
     result.metrics.rejected = result.rejected;
     result.metrics.tabling_hits = shared.tabling_hits() - hits_before;
     result.metrics.tabling_misses = shared.tabling_misses() - misses_before;
+    result.metrics.probes = shared.probe_count() - probes_before;
+    result.metrics.scans = shared.scan_count() - scans_before;
+    result.metrics.delta_probes = shared.delta_probe_count() - delta_probes_before;
+    result.metrics.delta_scans = shared.delta_scan_count() - delta_scans_before;
+    result.metrics.replans = planner.map_or(0, AdaptivePlanner::replan_count) - replans_before;
+    result.metrics.plan_cache_hits =
+        planner.map_or(0, AdaptivePlanner::hit_count) - hits_cache_before;
+    result.metrics.fallback_scans = storage.fallback_scans_total() - fallback_before;
+    if result.metrics.fallback_scans > 0 {
+        result.metrics.fallback_sites = storage
+            .take_fallback_sites()
+            .into_iter()
+            .map(|(name, cols)| {
+                let cols: Vec<String> = cols.iter().map(usize::to_string).collect();
+                format!("{}[{}]", name, cols.join(","))
+            })
+            .collect();
+    }
     result.metrics.nanos = pass_timer.elapsed_nanos();
     Ok(result)
 }
@@ -365,6 +437,7 @@ pub fn propagate_shared_faulted(
     strategy: ExecStrategy,
     shared: &Arc<EvalShared>,
     plan: &amos_storage::fault::FaultPlan,
+    planner: Option<&AdaptivePlanner>,
 ) -> Result<PropagationResult, CoreError> {
     if plan.take_propagation_fault() {
         return Err(CoreError::FaultInjected(format!(
@@ -372,7 +445,7 @@ pub fn propagate_shared_faulted(
             plan.seed()
         )));
     }
-    propagate_shared(network, catalog, storage, check, strategy, shared)
+    propagate_adaptive(network, catalog, storage, check, strategy, shared, planner)
 }
 
 /// Execute one differential against the frozen wave: run its plan, then
@@ -383,13 +456,15 @@ fn run_differential(
     catalog: &Catalog,
     ctx: &EvalContext<'_>,
     diff_id: DiffId,
+    plan_override: Option<&Plan>,
     check: CheckLevel,
 ) -> Result<TaskOutput, CoreError> {
     let timer = Stopwatch::start();
     let diff = network.differential(diff_id);
+    let plan = plan_override.unwrap_or(&diff.plan);
     let mut produced: Vec<Tuple> = Vec::new();
-    let bindings = vec![None; diff.plan.n_vars as usize];
-    ctx.run_plan(&diff.plan, bindings, StateEpoch::New, 0, &mut |b, head| {
+    let bindings = vec![None; plan.n_vars as usize];
+    ctx.run_plan(plan, bindings, StateEpoch::New, 0, &mut |b, head| {
         let vals: Option<Vec<Value>> = head
             .iter()
             .map(|t| match t {
@@ -454,7 +529,14 @@ fn run_tasks_threaded(
                 let Some(task) = tasks.get(i) else {
                     break;
                 };
-                let out = run_differential(network, catalog, ctx, task.diff, check);
+                let out = run_differential(
+                    network,
+                    catalog,
+                    ctx,
+                    task.diff,
+                    task.plan.as_deref(),
+                    check,
+                );
                 *slots[i].lock().unwrap() = Some(out);
             });
         }

@@ -25,7 +25,8 @@ Shell commands:
   .checkpoint           snapshot base relations + truncate the WAL
   .quit                 exit
 Flags: --wal-dir <dir> makes commits durable (replays any existing
-snapshot + WAL from <dir> on startup).
+snapshot + WAL from <dir> on startup); --static-plans disables
+statistics-driven adaptive differential planning.
 Everything else is AMOSQL, e.g.:
   create type item;
   create function quantity(item i) -> integer;
@@ -80,8 +81,9 @@ fn main() -> io::Result<()> {
                     }
                 }
             }
+            "--static-plans" => db.set_adaptive_planning(false),
             other => {
-                eprintln!("unknown flag `{other}` (supported: --wal-dir <dir>)");
+                eprintln!("unknown flag `{other}` (supported: --wal-dir <dir>, --static-plans)");
                 std::process::exit(2);
             }
         }

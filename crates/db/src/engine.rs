@@ -51,6 +51,9 @@ pub struct EngineOptions {
     /// Per-pass tabling of derived-call results (on by default; the
     /// `--no-tabling` bench flag disables it for ablation runs).
     pub tabling: bool,
+    /// Statistics-driven adaptive differential planning (on by default;
+    /// the `--static-plans` bench flag pins activation-time plans).
+    pub adaptive: bool,
 }
 
 impl Default for EngineOptions {
@@ -61,6 +64,7 @@ impl Default for EngineOptions {
             immediate: false,
             propagation: ExecStrategy::default(),
             tabling: true,
+            adaptive: true,
         }
     }
 }
@@ -133,6 +137,9 @@ impl Amos {
                 tabling: false,
                 ..EvalConfig::default()
             });
+        }
+        if !options.adaptive {
+            rules.set_adaptive(false);
         }
         Amos {
             storage: Storage::new(),
@@ -324,6 +331,14 @@ impl Amos {
             tabling: on,
             ..self.rules.eval_config()
         });
+    }
+
+    /// Enable/disable statistics-driven adaptive differential planning
+    /// (the `--static-plans` ablation). Takes effect from the next pass;
+    /// disabling drops the plan cache.
+    pub fn set_adaptive_planning(&mut self, on: bool) {
+        self.options.adaptive = on;
+        self.rules.set_adaptive(on);
     }
 
     /// Instrumentation of the most recent propagation pass, if any.

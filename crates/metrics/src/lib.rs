@@ -56,6 +56,10 @@ pub struct DiffTiming {
     pub candidates: usize,
     /// Tuples surviving the checks (merged with `∪Δ`).
     pub accepted: usize,
+    /// Planner's estimated output rows for the executed plan, when the
+    /// statistics-backed estimator produced one (`None` under the static
+    /// cost model).
+    pub est_rows: Option<f64>,
 }
 
 impl DiffTiming {
@@ -74,6 +78,10 @@ impl DiffTiming {
             .with("candidates", self.candidates)
             .with("accepted", self.accepted)
             .with("rejected", self.rejected())
+            .with(
+                "est_rows",
+                self.est_rows.map_or(JsonValue::Null, JsonValue::from),
+            )
     }
 }
 
@@ -132,6 +140,26 @@ pub struct PassMetrics {
     /// (`"rule: reason"`); the rule was quarantined and its updates
     /// rolled back to the pre-action savepoint.
     pub failed_actions: Vec<String>,
+    /// Differential plans recompiled this pass because their statistics
+    /// fingerprint drifted (adaptive planner only).
+    pub replans: u64,
+    /// Differential plans served from the adaptive plan cache.
+    pub plan_cache_hits: u64,
+    /// Stored-relation index probes during differential evaluation.
+    pub probes: u64,
+    /// Stored-relation full scans during differential evaluation.
+    pub scans: u64,
+    /// Δ-set probes through per-column hash indexes (or the small-set
+    /// linear path).
+    pub delta_probes: u64,
+    /// Unbound Δ-set scans (the seed literal of each differential).
+    pub delta_scans: u64,
+    /// Probes that silently fell back to an O(n) relation scan because
+    /// no index covered the bound columns.
+    pub fallback_scans: u64,
+    /// The distinct `relation[cols]` sites behind `fallback_scans`,
+    /// drained once per pass.
+    pub fallback_sites: Vec<String>,
 }
 
 impl PassMetrics {
@@ -163,6 +191,22 @@ impl PassMetrics {
                         .collect(),
                 ),
             )
+            .with("replans", self.replans)
+            .with("plan_cache_hits", self.plan_cache_hits)
+            .with("probes", self.probes)
+            .with("scans", self.scans)
+            .with("delta_probes", self.delta_probes)
+            .with("delta_scans", self.delta_scans)
+            .with("fallback_scans", self.fallback_scans)
+            .with(
+                "fallback_sites",
+                JsonValue::Array(
+                    self.fallback_sites
+                        .iter()
+                        .map(|s| JsonValue::from(s.as_str()))
+                        .collect(),
+                ),
+            )
     }
 
     /// Human-readable rendering for `explain` output.
@@ -180,6 +224,20 @@ impl PassMetrics {
             self.tabling_hits,
             self.tabling_misses
         );
+        let _ = writeln!(
+            out,
+            "  planning: replans={} plan_cache_hits={} probes={} scans={} delta_probes={} delta_scans={} fallback_scans={}",
+            self.replans,
+            self.plan_cache_hits,
+            self.probes,
+            self.scans,
+            self.delta_probes,
+            self.delta_scans,
+            self.fallback_scans
+        );
+        for site in &self.fallback_sites {
+            let _ = writeln!(out, "  FALLBACK scan at {site} (no covering index)");
+        }
         for lvl in &self.levels {
             let _ = writeln!(
                 out,
@@ -202,6 +260,9 @@ impl PassMetrics {
                 d.accepted,
                 d.rejected()
             );
+            if let Some(est) = d.est_rows {
+                let _ = writeln!(out, "    est-rows={est:.2} actual={}", d.candidates);
+            }
         }
         for fa in &self.failed_actions {
             let _ = writeln!(out, "  FAILED action {fa} (rule quarantined)");
@@ -239,8 +300,17 @@ mod tests {
                 nanos: 900_000,
                 candidates: 5,
                 accepted: 4,
+                est_rows: Some(4.5),
             }],
             failed_actions: vec!["order_rule: order service down".into()],
+            replans: 1,
+            plan_cache_hits: 3,
+            probes: 10,
+            scans: 2,
+            delta_probes: 6,
+            delta_scans: 1,
+            fallback_scans: 1,
+            fallback_sites: vec!["stock[1]".into()],
         }
     }
 
@@ -253,6 +323,9 @@ mod tests {
         assert!(doc.contains(r#""tabling_hits":4,"tabling_misses":2,"#));
         assert!(doc.contains(r#""differential":"Δcnd/Δ₊quantity""#));
         assert!(doc.contains(r#""failed_actions":["order_rule: order service down"]"#));
+        assert!(doc.contains(r#""est_rows":4.5"#));
+        assert!(doc.contains(r#""replans":1,"plan_cache_hits":3,"#));
+        assert!(doc.contains(r#""fallback_scans":1,"fallback_sites":["stock[1]"]"#));
     }
 
     #[test]
@@ -263,6 +336,9 @@ mod tests {
         assert!(text.contains("level 0: active_nodes=2"));
         assert!(text.contains("accepted=4 rejected=1"));
         assert!(text.contains("FAILED action order_rule"));
+        assert!(text.contains("replans=1 plan_cache_hits=3"));
+        assert!(text.contains("est-rows=4.50 actual=5"));
+        assert!(text.contains("FALLBACK scan at stock[1]"));
     }
 
     #[test]

@@ -79,6 +79,10 @@ pub struct EvalShared {
     memo: RwLock<MemoTable>,
     hits: AtomicU64,
     misses: AtomicU64,
+    probes: AtomicU64,
+    scans: AtomicU64,
+    delta_probes: AtomicU64,
+    delta_scans: AtomicU64,
 }
 
 impl Default for EvalShared {
@@ -97,6 +101,10 @@ impl EvalShared {
             memo: RwLock::new(MemoTable::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            probes: AtomicU64::new(0),
+            scans: AtomicU64::new(0),
+            delta_probes: AtomicU64::new(0),
+            delta_scans: AtomicU64::new(0),
         }
     }
 
@@ -130,6 +138,28 @@ impl EvalShared {
     /// Cumulative derived-call memo misses since construction.
     pub fn tabling_misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative stored accesses served by an index probe or a full
+    /// membership lookup.
+    pub fn probe_count(&self) -> u64 {
+        self.probes.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative stored accesses that scanned the whole relation.
+    pub fn scan_count(&self) -> u64 {
+        self.scans.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative Δ-set accesses served by the lazy Δ-index (or a
+    /// membership test).
+    pub fn delta_probe_count(&self) -> u64 {
+        self.delta_probes.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative Δ-set accesses that iterated a whole Δ-side.
+    pub fn delta_scan_count(&self) -> u64 {
+        self.delta_scans.load(Ordering::Relaxed)
     }
 }
 
@@ -587,6 +617,11 @@ impl<'a> EvalContext<'a> {
             .map(|(i, _)| i)
             .collect();
         let key: Vec<Value> = pattern.iter().flatten().cloned().collect();
+        if bound_cols.is_empty() {
+            self.shared.scans.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.shared.probes.fetch_add(1, Ordering::Relaxed);
+        }
         // Fully bound: a hash membership check, never an index probe
         // (index probes degrade to scans on unindexed column sets).
         if bound_cols.len() == pattern.len() {
@@ -701,18 +736,52 @@ impl<'a> EvalContext<'a> {
                 pred,
                 polarity,
                 args,
+                ..
             } => {
                 static EMPTY: std::sync::OnceLock<DeltaSet> = std::sync::OnceLock::new();
                 let delta = self
                     .deltas
                     .get(pred)
                     .unwrap_or_else(|| EMPTY.get_or_init(DeltaSet::new));
-                // Deterministic order is unnecessary here (results are
-                // accumulated into sets), so iterate the hash set directly.
-                for tuple in delta.side(*polarity) {
-                    if let Some(trail) = unify_tuple(args, tuple, b) {
+                // Runtime boundness can exceed the planner's static
+                // `bound_cols` (constants, repeated variables), so derive
+                // the probe pattern from the live bindings.
+                let pattern: Vec<Option<Value>> = args.iter().map(|t| resolve(t, b)).collect();
+                let bound_cols: Vec<usize> = pattern
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, v)| v.is_some())
+                    .map(|(i, _)| i)
+                    .collect();
+                if bound_cols.len() == pattern.len() {
+                    // Fully bound: one membership test against the side.
+                    self.shared.delta_probes.fetch_add(1, Ordering::Relaxed);
+                    let key: Vec<Value> = pattern.into_iter().flatten().collect();
+                    let t = Tuple::new(key);
+                    if delta.side(*polarity).contains(&t) {
                         self.exec_step(plan, idx + 1, b, outer_epoch, depth, emit)?;
-                        undo(&trail, b);
+                    }
+                } else if !bound_cols.is_empty() {
+                    // Partially bound: probe the Δ-set's lazy hash index
+                    // instead of scanning the side per binding.
+                    self.shared.delta_probes.fetch_add(1, Ordering::Relaxed);
+                    let key: Vec<Value> = pattern.into_iter().flatten().collect();
+                    for tuple in delta.probe(*polarity, &bound_cols, &key) {
+                        if let Some(trail) = unify_tuple(args, &tuple, b) {
+                            self.exec_step(plan, idx + 1, b, outer_epoch, depth, emit)?;
+                            undo(&trail, b);
+                        }
+                    }
+                } else {
+                    self.shared.delta_scans.fetch_add(1, Ordering::Relaxed);
+                    // Deterministic order is unnecessary here (results are
+                    // accumulated into sets), so iterate the hash set
+                    // directly.
+                    for tuple in delta.side(*polarity) {
+                        if let Some(trail) = unify_tuple(args, tuple, b) {
+                            self.exec_step(plan, idx + 1, b, outer_epoch, depth, emit)?;
+                            undo(&trail, b);
+                        }
                     }
                 }
                 Ok(())

@@ -40,7 +40,9 @@ pub enum PlanStep {
         /// State epoch the literal must be evaluated in.
         epoch: StateEpoch,
     },
-    /// Scan one side of an influent's Δ-set.
+    /// Access one side of an influent's Δ-set: scan when `bound_cols` is
+    /// empty, probe the Δ-set's lazy hash index when partially bound,
+    /// membership-test when fully bound.
     Delta {
         /// The influent predicate.
         pred: PredId,
@@ -48,6 +50,8 @@ pub enum PlanStep {
         polarity: Polarity,
         /// Argument terms.
         args: Vec<Term>,
+        /// Columns bound at this point in the plan.
+        bound_cols: Vec<usize>,
     },
     /// Goal-directed call of a derived (or foreign) predicate with the
     /// currently bound argument positions as the pattern.
@@ -109,6 +113,9 @@ pub struct Plan {
     pub head: Vec<Term>,
     /// Total variable count of the clause.
     pub n_vars: u32,
+    /// Estimated result rows under the statistics the plan was compiled
+    /// with; `None` for plans compiled with the static cost table.
+    pub est_rows: Option<f64>,
 }
 
 /// Cost model constants — relative magnitudes are what matters.
@@ -119,10 +126,12 @@ mod cost {
     pub const BUILTIN: f64 = 0.1;
     /// Fully-bound negation check: one lookup.
     pub const NEG_CHECK: f64 = 0.5;
-    /// Fully-bound positive literal: one membership lookup.
+    /// Fully-bound positive stored literal: one membership lookup.
     pub const LOOKUP: f64 = 1.0;
     /// Partially-bound stored literal: one index probe.
     pub const PROBE: f64 = 10.0;
+    /// Fully-bound derived call: still a rule evaluation, not a lookup.
+    pub const DERIVED_LOOKUP: f64 = 25.0;
     /// Partially-bound derived call.
     pub const DERIVED_PROBE: f64 = 50.0;
     /// Unbound stored scan.
@@ -131,6 +140,51 @@ mod cost {
     pub const DERIVED_SCAN: f64 = 20_000.0;
     /// Not executable yet.
     pub const INF: f64 = f64::INFINITY;
+
+    // Stats-backed variants: fixed per-operation overheads added to the
+    // estimated row count, so that equal row estimates still prefer the
+    // structurally cheaper access.
+    /// Per-probe overhead (hash lookup).
+    pub const PROBE_BASE: f64 = 2.0;
+    /// Per-scan overhead (iterator setup; scans also pay per row).
+    pub const SCAN_BASE: f64 = 8.0;
+    /// Per-Δ-access overhead — slightly under a lookup so an empty or
+    /// tiny Δ-set still seeds the join first.
+    pub const DELTA_BASE: f64 = 0.5;
+    /// Selectivity credited to each bound column of a Δ-literal probe
+    /// (Δ-sets keep no per-column NDV, so a fixed factor stands in).
+    pub const DELTA_BOUND_SELECTIVITY: f64 = 0.1;
+}
+
+/// Runtime statistics the cardinality-aware cost estimator draws on.
+///
+/// Every method may answer `None`, in which case the estimator falls
+/// back to the paper's fixed cost table for that literal — a source
+/// that always answers `None` (see [`NoStats`]) reproduces the static
+/// planner exactly.
+pub trait PlanStats {
+    /// Current cardinality of the relation backing a stored predicate.
+    fn cardinality(&self, rel: RelId) -> Option<f64>;
+    /// Number of distinct values in one column of a stored relation.
+    fn ndv(&self, rel: RelId, col: usize) -> Option<f64>;
+    /// Live size of one side of an influent's Δ-set.
+    fn delta_len(&self, pred: PredId, polarity: Polarity) -> Option<f64>;
+}
+
+/// The "no statistics" source: compilation uses the static cost table.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoStats;
+
+impl PlanStats for NoStats {
+    fn cardinality(&self, _rel: RelId) -> Option<f64> {
+        None
+    }
+    fn ndv(&self, _rel: RelId, _col: usize) -> Option<f64> {
+        None
+    }
+    fn delta_len(&self, _pred: PredId, _polarity: Polarity) -> Option<f64> {
+        None
+    }
 }
 
 fn term_bound(t: &Term, bound: &HashSet<Var>) -> bool {
@@ -140,14 +194,51 @@ fn term_bound(t: &Term, bound: &HashSet<Var>) -> bool {
     }
 }
 
-fn literal_cost(catalog: &Catalog, lit: &Literal, bound: &HashSet<Var>) -> f64 {
+/// Cost and estimated output rows of scheduling one literal next.
+struct LitEstimate {
+    /// Greedy ranking key.
+    cost: f64,
+    /// Estimated rows the literal contributes to the running result
+    /// (multiplied into the plan's `est_rows`); `None` when the static
+    /// table was used and no row estimate is meaningful.
+    rows: Option<f64>,
+}
+
+impl LitEstimate {
+    fn fixed(cost: f64) -> Self {
+        LitEstimate { cost, rows: None }
+    }
+}
+
+fn literal_cost(
+    catalog: &Catalog,
+    lit: &Literal,
+    bound: &HashSet<Var>,
+    stats: &dyn PlanStats,
+) -> LitEstimate {
     match lit {
-        Literal::Delta { .. } => cost::DELTA,
+        Literal::Delta {
+            pred,
+            polarity,
+            args,
+        } => match stats.delta_len(*pred, *polarity) {
+            Some(d) => {
+                // Bound columns shrink the Δ access (index probe or, when
+                // fully bound, a membership test).
+                let n_bound = args.iter().filter(|t| term_bound(t, bound)).count();
+                let rows = d * cost::DELTA_BOUND_SELECTIVITY.powi(n_bound as i32);
+                LitEstimate {
+                    cost: cost::DELTA_BASE + rows,
+                    rows: Some(rows),
+                }
+            }
+            None => LitEstimate::fixed(cost::DELTA),
+        },
         Literal::Cmp { lhs, rhs, .. } => {
             if term_bound(lhs, bound) && term_bound(rhs, bound) {
-                cost::BUILTIN
+                LitEstimate::fixed(cost::BUILTIN)
             } else {
-                cost::INF
+                LitEstimate::fixed(cost::INF)
             }
         }
         Literal::Arith {
@@ -156,16 +247,16 @@ fn literal_cost(catalog: &Catalog, lit: &Literal, bound: &HashSet<Var>) -> f64 {
             if term_bound(lhs, bound) && term_bound(rhs, bound) {
                 // result may bind or test; both are fine
                 let _ = result;
-                cost::BUILTIN
+                LitEstimate::fixed(cost::BUILTIN)
             } else {
-                cost::INF
+                LitEstimate::fixed(cost::INF)
             }
         }
         Literal::Unify { lhs, rhs } => {
             if term_bound(lhs, bound) || term_bound(rhs, bound) {
-                cost::BUILTIN
+                LitEstimate::fixed(cost::BUILTIN)
             } else {
-                cost::INF
+                LitEstimate::fixed(cost::INF)
             }
         }
         Literal::Pred {
@@ -178,46 +269,123 @@ fn literal_cost(catalog: &Catalog, lit: &Literal, bound: &HashSet<Var>) -> f64 {
             let all_bound = n_bound == args.len();
             if *negated {
                 return if all_bound {
-                    cost::NEG_CHECK
+                    LitEstimate::fixed(cost::NEG_CHECK)
                 } else {
-                    cost::INF
+                    LitEstimate::fixed(cost::INF)
                 };
             }
-            let derived = !matches!(catalog.def(*pred).kind, PredKind::Stored { .. });
-            match (all_bound, n_bound > 0, derived) {
-                (true, _, _) => cost::LOOKUP,
+            let def = catalog.def(*pred);
+            let stored_rel = match def.kind {
+                PredKind::Stored { rel, .. } => Some(rel),
+                _ => None,
+            };
+            if let Some(rel) = stored_rel {
+                if let Some(card) = stats.cardinality(rel) {
+                    return stored_estimate(card, rel, args, bound, all_bound, stats);
+                }
+            }
+            let derived = stored_rel.is_none();
+            LitEstimate::fixed(match (all_bound, n_bound > 0, derived) {
+                (true, _, false) => cost::LOOKUP,
+                (true, _, true) => cost::DERIVED_LOOKUP,
                 (false, true, false) => cost::PROBE,
                 (false, true, true) => cost::DERIVED_PROBE,
                 (false, false, false) => cost::SCAN,
                 (false, false, true) => cost::DERIVED_SCAN,
-            }
+            })
         }
     }
 }
 
+/// Statistics-backed estimate for a positive stored literal: `|R|` for
+/// scans, `|R| / Π ndv(c)` over the bound columns for probes, one row
+/// for full membership lookups.
+fn stored_estimate(
+    card: f64,
+    rel: RelId,
+    args: &[Term],
+    bound: &HashSet<Var>,
+    all_bound: bool,
+    stats: &dyn PlanStats,
+) -> LitEstimate {
+    if all_bound {
+        return LitEstimate {
+            cost: cost::LOOKUP,
+            rows: Some(1.0_f64.min(card)),
+        };
+    }
+    let bound_cols: Vec<usize> = args
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| term_bound(t, bound))
+        .map(|(i, _)| i)
+        .collect();
+    if bound_cols.is_empty() {
+        return LitEstimate {
+            cost: cost::SCAN_BASE + card,
+            rows: Some(card),
+        };
+    }
+    let mut selectivity = 1.0;
+    for &c in &bound_cols {
+        let ndv = stats.ndv(rel, c).filter(|&n| n >= 1.0).unwrap_or(1.0);
+        selectivity /= ndv;
+    }
+    let rows = (card * selectivity).min(card);
+    LitEstimate {
+        cost: cost::PROBE_BASE + rows,
+        rows: Some(rows),
+    }
+}
+
 /// Compile a clause into a [`Plan`], given the set of head variables the
-/// caller binds. Greedy: repeatedly schedule the cheapest executable
-/// literal; ties break toward textual order.
+/// caller binds, using the static cost table. Greedy: repeatedly
+/// schedule the cheapest executable literal; ties break toward textual
+/// order.
 pub fn compile_clause(
     catalog: &Catalog,
     clause: &Clause,
     bound_at_entry: &HashSet<Var>,
 ) -> Result<Plan, ObjectLogError> {
+    compile_clause_with(catalog, clause, bound_at_entry, &NoStats)
+}
+
+/// Compile a clause with a [`PlanStats`] source feeding the estimator:
+/// literals are ranked by estimated output rows instead of the fixed
+/// cost table wherever the source has an answer. Join semantics are
+/// order-independent, so any ordering this produces computes the same
+/// result set as [`compile_clause`] — only the cost differs.
+pub fn compile_clause_with(
+    catalog: &Catalog,
+    clause: &Clause,
+    bound_at_entry: &HashSet<Var>,
+    stats: &dyn PlanStats,
+) -> Result<Plan, ObjectLogError> {
     let mut bound = bound_at_entry.clone();
     let mut remaining: Vec<&Literal> = clause.body.iter().collect();
     let mut steps = Vec::with_capacity(remaining.len());
+    let mut est_rows = 1.0;
+    let mut any_stats = false;
 
     while !remaining.is_empty() {
-        let (best_idx, best_cost) = remaining
+        let (best_idx, best) = remaining
             .iter()
             .enumerate()
-            .map(|(i, lit)| (i, literal_cost(catalog, lit, &bound)))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("costs are never NaN"))
+            .map(|(i, lit)| (i, literal_cost(catalog, lit, &bound, stats)))
+            .min_by(|a, b| {
+                a.1.cost
+                    .partial_cmp(&b.1.cost)
+                    .expect("costs are never NaN")
+            })
             .expect("remaining is non-empty");
-        if best_cost.is_infinite() {
+        if best.cost.is_infinite() {
             return Err(ObjectLogError::NotSchedulable {
                 literal: format!("{:?}", remaining[best_idx]),
             });
+        }
+        if let Some(rows) = best.rows {
+            est_rows *= rows;
+            any_stats = true;
         }
         let lit = remaining.remove(best_idx);
         let step = lower(catalog, lit, &bound)?;
@@ -250,6 +418,7 @@ pub fn compile_clause(
         steps,
         head: clause.head.clone(),
         n_vars: clause.n_vars,
+        est_rows: any_stats.then_some(est_rows),
     })
 }
 
@@ -266,6 +435,12 @@ fn lower(
         } => PlanStep::Delta {
             pred: *pred,
             polarity: *polarity,
+            bound_cols: args
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| term_bound(t, bound))
+                .map(|(i, _)| i)
+                .collect(),
             args: args.clone(),
         },
         Literal::Cmp { op, lhs, rhs } => PlanStep::Cmp {
@@ -335,19 +510,102 @@ fn lower(
 }
 
 /// Create the hash indexes a plan's stored probes need. Called once per
-/// plan at rule-activation time.
-pub fn ensure_plan_indexes(plan: &Plan, storage: &mut Storage) {
+/// plan at rule-activation (and adaptive re-plan) time.
+///
+/// Δ-probes are covered too: the Δ-set itself builds its hash index
+/// lazily at execution time, but the influent's *base* relation gets an
+/// index over the same columns so the §7.2 checks and old-state views
+/// that probe it on the Δ-join key never hit the scan fallback.
+pub fn ensure_plan_indexes(catalog: &Catalog, plan: &Plan, storage: &mut Storage) {
     for step in &plan.steps {
-        if let PlanStep::Stored {
-            rel,
-            bound_cols,
-            args,
-            ..
-        } = step
-        {
+        match step {
             // Probe (not scan, not full membership check) → index needed.
-            if !bound_cols.is_empty() && bound_cols.len() < args.len() {
+            PlanStep::Stored {
+                rel,
+                bound_cols,
+                args,
+                ..
+            } if !bound_cols.is_empty() && bound_cols.len() < args.len() => {
                 storage.ensure_index(*rel, bound_cols);
+            }
+            PlanStep::Delta {
+                pred,
+                bound_cols,
+                args,
+                ..
+            } if !bound_cols.is_empty() && bound_cols.len() < args.len() => {
+                if let PredKind::Stored { rel, .. } = catalog.def(*pred).kind {
+                    storage.ensure_index(rel, bound_cols);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Create the hash indexes for *every* probe pattern the greedy
+/// optimizer could choose for this clause, not just the ones the current
+/// plan uses. Called at rule-activation time so that adaptive wave-front
+/// re-optimization — which runs against an immutable storage snapshot
+/// and cannot create indexes — never degrades a reordered probe into the
+/// O(n) scan fallback.
+///
+/// A stored literal can only ever be probed on argument positions whose
+/// terms are constants or variables bindable by some *other* body
+/// literal, so the enumeration is over subsets of those "joinable"
+/// columns (capped to keep index count bounded on wide literals).
+pub fn ensure_join_indexes(catalog: &Catalog, clause: &Clause, storage: &mut Storage) {
+    /// Whether scheduling `lit` binds variable `v` (mirrors the
+    /// boundness update in [`compile_clause_with`]).
+    fn binds(lit: &Literal, v: Var) -> bool {
+        match lit {
+            Literal::Pred { negated: false, .. } | Literal::Delta { .. } => lit.vars().contains(&v),
+            Literal::Arith { result, .. } => result.as_var() == Some(v),
+            Literal::Unify { lhs, rhs } => lhs.as_var() == Some(v) || rhs.as_var() == Some(v),
+            _ => false,
+        }
+    }
+
+    const MAX_JOINABLE: usize = 4;
+    for (li, lit) in clause.body.iter().enumerate() {
+        let Literal::Pred {
+            pred,
+            args,
+            negated: false,
+            ..
+        } = lit
+        else {
+            continue;
+        };
+        let PredKind::Stored { rel, .. } = catalog.def(*pred).kind else {
+            continue;
+        };
+        let joinable: Vec<usize> = args
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| match t {
+                Term::Const(_) => true,
+                Term::Var(v) => clause
+                    .body
+                    .iter()
+                    .enumerate()
+                    .any(|(lj, other)| lj != li && binds(other, *v)),
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if joinable.is_empty() || joinable.len() > MAX_JOINABLE {
+            continue;
+        }
+        for mask in 1u32..(1 << joinable.len()) {
+            let cols: Vec<usize> = joinable
+                .iter()
+                .enumerate()
+                .filter(|(b, _)| mask & (1 << b) != 0)
+                .map(|(_, &c)| c)
+                .collect();
+            // A fully-bound access is a membership check, not a probe.
+            if cols.len() < args.len() {
+                storage.ensure_index(rel, &cols);
             }
         }
     }
@@ -384,8 +642,24 @@ impl Plan {
                         bound_cols
                     )
                 }
-                PlanStep::Delta { pred, polarity, .. } => {
-                    format!("delta-scan {polarity}{}", catalog.name(*pred))
+                PlanStep::Delta {
+                    pred,
+                    polarity,
+                    bound_cols,
+                    args,
+                } => {
+                    let access = if bound_cols.is_empty() {
+                        "delta-scan"
+                    } else if bound_cols.len() == args.len() {
+                        "delta-lookup"
+                    } else {
+                        "delta-probe"
+                    };
+                    if bound_cols.is_empty() {
+                        format!("{access} {polarity}{}", catalog.name(*pred))
+                    } else {
+                        format!("{access} {polarity}{}{bound_cols:?}", catalog.name(*pred))
+                    }
                 }
                 PlanStep::Call {
                     pred,
@@ -421,6 +695,9 @@ impl Plan {
                 PlanStep::Unify { lhs, rhs } => format!("unify {lhs} = {rhs}"),
             };
             out.push_str(&format!("{i}: {line}\n"));
+        }
+        if let Some(est) = self.est_rows {
+            out.push_str(&format!("est-rows: {est:.2}\n"));
         }
         out
     }
@@ -539,6 +816,169 @@ mod tests {
         }
     }
 
+    /// Statistics source for estimator tests: fixed per-relation
+    /// cardinalities/NDVs and per-predicate Δ sizes.
+    struct MockStats {
+        cards: Vec<(RelId, f64)>,
+        ndvs: Vec<(RelId, usize, f64)>,
+        deltas: Vec<(PredId, Polarity, f64)>,
+    }
+
+    impl PlanStats for MockStats {
+        fn cardinality(&self, rel: RelId) -> Option<f64> {
+            self.cards.iter().find(|(r, _)| *r == rel).map(|(_, c)| *c)
+        }
+        fn ndv(&self, rel: RelId, col: usize) -> Option<f64> {
+            self.ndvs
+                .iter()
+                .find(|(r, c, _)| *r == rel && *c == col)
+                .map(|(_, _, n)| *n)
+        }
+        fn delta_len(&self, pred: PredId, polarity: Polarity) -> Option<f64> {
+            self.deltas
+                .iter()
+                .find(|(p, pol, _)| *p == pred && *pol == polarity)
+                .map(|(_, _, d)| *d)
+        }
+    }
+
+    /// Satellite fix: a fully-bound derived call is a rule evaluation,
+    /// not a hash lookup — stored probes must be scheduled before it.
+    #[test]
+    fn fully_bound_derived_call_costs_as_derived_evaluation() {
+        let mut cat = Catalog::new();
+        let q = cat.define_stored("q", sig(2), RelId(0), 1).unwrap();
+        let r = cat.define_stored("r", sig(2), RelId(1), 1).unwrap();
+        let d = cat
+            .define_derived(
+                "d",
+                sig(1),
+                vec![ClauseBuilder::new(2)
+                    .head([Term::var(0)])
+                    .pred(r, [Term::var(0), Term::var(1)])
+                    .build()],
+            )
+            .unwrap();
+        // Δ₊q(X,Y) ∧ d(X) ∧ r(X,Z): after the seed binds X and Y, d(X) is
+        // fully bound (old cost: LOOKUP) while r(X,_) is a probe. The
+        // probe must win now that d costs as a derived evaluation.
+        let clause = ClauseBuilder::new(3)
+            .head([Term::var(0)])
+            .delta(q, Polarity::Plus, [Term::var(0), Term::var(1)])
+            .pred(d, [Term::var(0)])
+            .pred(r, [Term::var(0), Term::var(2)])
+            .build();
+        let plan = compile_clause(&cat, &clause, &HashSet::new()).unwrap();
+        assert!(matches!(plan.steps[0], PlanStep::Delta { .. }));
+        assert!(
+            matches!(plan.steps[1], PlanStep::Stored { .. }),
+            "stored probe must precede the fully-bound derived call: {:?}",
+            plan.steps
+        );
+        assert!(matches!(plan.steps[2], PlanStep::Call { .. }));
+        assert!(
+            plan.est_rows.is_none(),
+            "static compile carries no estimate"
+        );
+    }
+
+    /// With statistics, probe ordering follows `|R| / ndv(col)`: the
+    /// selective (functional) probe runs before the high-fanout one even
+    /// though the static table ties them and textual order favors the
+    /// fanout literal.
+    #[test]
+    fn estimator_orders_probes_by_selectivity() {
+        let mut cat = Catalog::new();
+        let s = cat.define_stored("s", sig(2), RelId(0), 1).unwrap();
+        let big = cat.define_stored("big", sig(2), RelId(1), 1).unwrap();
+        let pick = cat.define_stored("pick", sig(2), RelId(2), 1).unwrap();
+        // Δ₊s(X,G) ∧ big(G,Y) ∧ pick(X,Y)
+        let clause = ClauseBuilder::new(3)
+            .head([Term::var(0)])
+            .delta(s, Polarity::Plus, [Term::var(0), Term::var(1)])
+            .pred(big, [Term::var(1), Term::var(2)])
+            .pred(pick, [Term::var(0), Term::var(2)])
+            .build();
+
+        // Static: tie at PROBE → textual order → big first.
+        let static_plan = compile_clause(&cat, &clause, &HashSet::new()).unwrap();
+        match &static_plan.steps[1] {
+            PlanStep::Stored { rel, .. } => assert_eq!(*rel, RelId(1), "textual order picks big"),
+            other => panic!("{other:?}"),
+        }
+
+        // Stats: big probes at 100k/10 = 10k rows, pick at 100k/100k = 1.
+        let stats = MockStats {
+            cards: vec![(RelId(1), 100_000.0), (RelId(2), 100_000.0)],
+            ndvs: vec![(RelId(1), 0, 10.0), (RelId(2), 0, 100_000.0)],
+            deltas: vec![(s, Polarity::Plus, 2.0)],
+        };
+        let adaptive = compile_clause_with(&cat, &clause, &HashSet::new(), &stats).unwrap();
+        assert!(matches!(adaptive.steps[0], PlanStep::Delta { .. }));
+        match &adaptive.steps[1] {
+            PlanStep::Stored { rel, .. } => {
+                assert_eq!(*rel, RelId(2), "selective pick probe goes first")
+            }
+            other => panic!("{other:?}"),
+        }
+        match &adaptive.steps[2] {
+            PlanStep::Stored {
+                rel, bound_cols, ..
+            } => {
+                assert_eq!(*rel, RelId(1));
+                assert_eq!(bound_cols.len(), 2, "big is fully bound by then");
+            }
+            other => panic!("{other:?}"),
+        }
+        let est = adaptive.est_rows.expect("stats compile estimates rows");
+        assert!(
+            est > 0.0 && est < 100.0,
+            "tiny Δ → tiny estimate, got {est}"
+        );
+    }
+
+    /// Δ-seed costing: a bulk-load Δ against a tiny base relation flips
+    /// to scan-then-Δ-probe order, and the Δ step records its bound
+    /// columns so execution probes the lazy Δ-index.
+    #[test]
+    fn bulk_delta_flips_to_scan_then_delta_probe() {
+        let mut cat = Catalog::new();
+        let s = cat.define_stored("s", sig(2), RelId(0), 1).unwrap();
+        let small = cat.define_stored("small", sig(1), RelId(1), 1).unwrap();
+        // Δ₊s(X,G) ∧ small(G)
+        let clause = ClauseBuilder::new(2)
+            .head([Term::var(0)])
+            .delta(s, Polarity::Plus, [Term::var(0), Term::var(1)])
+            .pred(small, [Term::var(1)])
+            .build();
+        let stats = MockStats {
+            cards: vec![(RelId(1), 4.0)],
+            ndvs: vec![(RelId(1), 0, 4.0)],
+            deltas: vec![(s, Polarity::Plus, 100_000.0)],
+        };
+        let plan = compile_clause_with(&cat, &clause, &HashSet::new(), &stats).unwrap();
+        match &plan.steps[0] {
+            PlanStep::Stored { rel, .. } => assert_eq!(*rel, RelId(1), "scan tiny base first"),
+            other => panic!("bulk load must not Δ-seed: {other:?}"),
+        }
+        match &plan.steps[1] {
+            PlanStep::Delta { bound_cols, .. } => {
+                assert_eq!(bound_cols, &vec![1], "Δ access is an indexed probe")
+            }
+            other => panic!("{other:?}"),
+        }
+        let rendered = plan.render(&cat);
+        assert!(rendered.contains("delta-probe Δ+s[1]"), "{rendered}");
+        // The same clause with a tiny Δ keeps the Δ-seeded order.
+        let tiny = MockStats {
+            cards: vec![(RelId(1), 4.0)],
+            ndvs: vec![(RelId(1), 0, 4.0)],
+            deltas: vec![(s, Polarity::Plus, 2.0)],
+        };
+        let seeded = compile_clause_with(&cat, &clause, &HashSet::new(), &tiny).unwrap();
+        assert!(matches!(seeded.steps[0], PlanStep::Delta { .. }));
+    }
+
     #[test]
     fn ensure_indexes_creates_probe_indexes() {
         let mut storage = Storage::new();
@@ -551,7 +991,7 @@ mod tests {
             .pred(q, [Term::var(0), Term::var(2)])
             .build();
         let plan = compile_clause(&cat, &clause, &HashSet::new()).unwrap();
-        ensure_plan_indexes(&plan, &mut storage);
+        ensure_plan_indexes(&cat, &plan, &mut storage);
         assert!(storage.relation(rel).has_index(&[0]));
     }
 }

@@ -165,6 +165,26 @@ impl Storage {
         (0..self.relations.len() as u32).map(RelId)
     }
 
+    /// Total index-less probes across all relations that silently
+    /// degraded to full scans (see [`BaseRelation::fallback_scans`]).
+    /// Monotonically increasing; callers diff across a pass.
+    pub fn fallback_scans_total(&self) -> u64 {
+        self.relations.iter().map(|r| r.fallback_scans()).sum()
+    }
+
+    /// Drain the `(relation name, column set)` pairs that triggered a
+    /// fallback scan since the previous drain — the once-per-pass log of
+    /// missing indexes.
+    pub fn take_fallback_sites(&self) -> Vec<(String, Vec<usize>)> {
+        let mut out = Vec::new();
+        for r in &self.relations {
+            for cols in r.take_fallback_sites() {
+                out.push((r.name().to_string(), cols));
+            }
+        }
+        out
+    }
+
     // ------------------------------------------------------------------
     // Monitoring
     // ------------------------------------------------------------------

@@ -12,8 +12,9 @@
 //! see the `min_stock_example_has_no_net_effect` unit test.
 
 use std::fmt;
+use std::sync::{Arc, RwLock};
 
-use amos_types::{FxHashSet, Tuple};
+use amos_types::{FxHashMap, FxHashSet, Tuple, Value};
 
 /// Whether a change, Δ-set side, or differential concerns insertions
 /// (`Δ₊`) or deletions (`Δ₋`).
@@ -44,17 +45,69 @@ impl fmt::Display for Polarity {
     }
 }
 
+/// Below this side size a Δ-probe just scan-filters: building a hash
+/// index over a handful of tuples costs more than the scan it saves.
+const DELTA_INDEX_THRESHOLD: usize = 16;
+
+/// One lazily built Δ-side hash index: projection of the indexed columns
+/// → matching tuples, mirroring [`HashIndex`](crate::BaseRelation) on
+/// base relations.
+type DeltaIndex = Arc<FxHashMap<Tuple, Vec<Tuple>>>;
+
 /// A disjoint pair of inserted (`Δ₊`) and deleted (`Δ₋`) tuples.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// Carries a cache of lazy per-column-set hash indexes so that a
+/// Δ-literal scheduled *after* binding literals (the adaptive planner's
+/// scan-then-probe order for bulk loads) probes the Δ-set in O(1)
+/// instead of scanning it. The cache is execution state, not value
+/// state: it is invalidated by every mutation and excluded from
+/// `Clone`/`PartialEq`.
+#[derive(Debug, Default)]
 pub struct DeltaSet {
     plus: FxHashSet<Tuple>,
     minus: FxHashSet<Tuple>,
+    indexes: RwLock<FxHashMap<(Polarity, Vec<usize>), DeltaIndex>>,
 }
+
+impl Clone for DeltaSet {
+    fn clone(&self) -> Self {
+        DeltaSet {
+            plus: self.plus.clone(),
+            minus: self.minus.clone(),
+            indexes: RwLock::new(FxHashMap::default()),
+        }
+    }
+}
+
+impl PartialEq for DeltaSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.plus == other.plus && self.minus == other.minus
+    }
+}
+
+impl Eq for DeltaSet {}
 
 impl DeltaSet {
     /// The empty Δ-set.
     pub fn new() -> Self {
         DeltaSet::default()
+    }
+
+    fn from_sets(plus: FxHashSet<Tuple>, minus: FxHashSet<Tuple>) -> Self {
+        DeltaSet {
+            plus,
+            minus,
+            indexes: RwLock::new(FxHashMap::default()),
+        }
+    }
+
+    /// Drop all cached Δ-side indexes; must be called by every mutator.
+    fn invalidate_indexes(&mut self) {
+        if let Ok(map) = self.indexes.get_mut() {
+            if !map.is_empty() {
+                map.clear();
+            }
+        }
     }
 
     /// Build from explicit plus/minus sets.
@@ -67,7 +120,7 @@ impl DeltaSet {
             plus.is_disjoint(&minus),
             "Δ-set invariant violated: Δ₊ ∩ Δ₋ ≠ ∅"
         );
-        DeltaSet { plus, minus }
+        DeltaSet::from_sets(plus, minus)
     }
 
     /// The set of inserted tuples `Δ₊S`.
@@ -103,6 +156,7 @@ impl DeltaSet {
     /// If the tuple is pending deletion the two events cancel (a logical
     /// no-op); otherwise it becomes a pending insertion.
     pub fn apply_insert(&mut self, t: Tuple) {
+        self.invalidate_indexes();
         if !self.minus.remove(&t) {
             self.plus.insert(t);
         }
@@ -110,6 +164,7 @@ impl DeltaSet {
 
     /// Fold a physical *delete* event into the Δ-set.
     pub fn apply_delete(&mut self, t: Tuple) {
+        self.invalidate_indexes();
         if !self.plus.remove(&t) {
             self.minus.insert(t);
         }
@@ -157,7 +212,7 @@ impl DeltaSet {
             .chain(other.minus.difference(&self.plus))
             .cloned()
             .collect();
-        DeltaSet { plus, minus }
+        DeltaSet::from_sets(plus, minus)
     }
 
     /// In-place `self = self ∪Δ other`, consuming `other`.
@@ -176,22 +231,68 @@ impl DeltaSet {
     /// Remove all changes (the paper clears wave-front Δ-sets after a
     /// node's out-edges have been processed, §5).
     pub fn clear(&mut self) {
+        self.invalidate_indexes();
         self.plus.clear();
         self.minus.clear();
     }
 
     /// Take the contents, leaving this Δ-set empty.
     pub fn take(&mut self) -> DeltaSet {
-        DeltaSet {
-            plus: std::mem::take(&mut self.plus),
-            minus: std::mem::take(&mut self.minus),
-        }
+        self.invalidate_indexes();
+        DeltaSet::from_sets(
+            std::mem::take(&mut self.plus),
+            std::mem::take(&mut self.minus),
+        )
     }
 
     /// Check the disjointness invariant (used by debug assertions and
     /// property tests).
     pub fn invariant_holds(&self) -> bool {
         self.plus.is_disjoint(&self.minus)
+    }
+
+    /// All tuples on `polarity`'s side whose projection onto `cols`
+    /// equals `key`.
+    ///
+    /// Small sides are scan-filtered directly; past
+    /// [`DELTA_INDEX_THRESHOLD`] a hash index over `cols` is built
+    /// lazily (and cached until the next mutation), making repeated
+    /// probes O(1) in the Δ-set size. Returns owned tuples — interning
+    /// makes the clones reference bumps.
+    pub fn probe(&self, polarity: Polarity, cols: &[usize], key: &[Value]) -> Vec<Tuple> {
+        let side = self.side(polarity);
+        if side.len() < DELTA_INDEX_THRESHOLD {
+            return side
+                .iter()
+                .filter(|t| cols.iter().zip(key).all(|(&c, v)| &t[c] == v))
+                .cloned()
+                .collect();
+        }
+        let index = self.index_for(polarity, cols);
+        let key_tuple = Tuple::new(key.to_vec());
+        index.get(&key_tuple).cloned().unwrap_or_default()
+    }
+
+    /// Number of cached Δ-side indexes (for tests / introspection).
+    pub fn index_count(&self) -> usize {
+        self.indexes.read().map(|m| m.len()).unwrap_or(0)
+    }
+
+    fn index_for(&self, polarity: Polarity, cols: &[usize]) -> DeltaIndex {
+        if let Ok(cache) = self.indexes.read() {
+            if let Some(idx) = cache.get(&(polarity, cols.to_vec())) {
+                return Arc::clone(idx);
+            }
+        }
+        let mut map: FxHashMap<Tuple, Vec<Tuple>> = FxHashMap::default();
+        for t in self.side(polarity) {
+            map.entry(t.project(cols)).or_default().push(t.clone());
+        }
+        let idx: DeltaIndex = Arc::new(map);
+        if let Ok(mut cache) = self.indexes.write() {
+            cache.insert((polarity, cols.to_vec()), Arc::clone(&idx));
+        }
+        idx
     }
 }
 
@@ -295,6 +396,70 @@ mod tests {
         let taken = d.take();
         assert!(d.is_empty());
         assert_eq!(taken.len(), 2);
+    }
+
+    #[test]
+    fn probe_matches_scan_filter_on_both_sides_of_threshold() {
+        let mut d = DeltaSet::new();
+        // Small side: below DELTA_INDEX_THRESHOLD, no index is built.
+        for i in 0..4 {
+            d.apply_insert(tuple![i % 2, i]);
+        }
+        let mut got = d.probe(Polarity::Plus, &[0], &[Value::Int(1)]);
+        got.sort();
+        assert_eq!(got, vec![tuple![1, 1], tuple![1, 3]]);
+        assert_eq!(d.index_count(), 0, "small side stays index-free");
+
+        // Large side: the lazy index kicks in and agrees with the scan.
+        for i in 4..40 {
+            d.apply_insert(tuple![i % 2, i]);
+        }
+        let mut indexed = d.probe(Polarity::Plus, &[0], &[Value::Int(0)]);
+        indexed.sort();
+        let mut scanned: Vec<Tuple> = d
+            .plus()
+            .iter()
+            .filter(|t| t[0] == Value::Int(0))
+            .cloned()
+            .collect();
+        scanned.sort();
+        assert_eq!(indexed, scanned);
+        assert_eq!(d.index_count(), 1);
+        // Cache hit path returns the same answer.
+        assert_eq!(d.probe(Polarity::Plus, &[0], &[Value::Int(0)]).len(), 20);
+        // Missing key probes return nothing.
+        assert!(d.probe(Polarity::Plus, &[0], &[Value::Int(9)]).is_empty());
+        assert!(d.probe(Polarity::Minus, &[0], &[Value::Int(0)]).is_empty());
+    }
+
+    #[test]
+    fn mutation_invalidates_cached_indexes() {
+        let mut d = DeltaSet::new();
+        for i in 0..40 {
+            d.apply_insert(tuple![7, i]);
+        }
+        assert_eq!(d.probe(Polarity::Plus, &[0], &[Value::Int(7)]).len(), 40);
+        assert_eq!(d.index_count(), 1);
+        d.apply_insert(tuple![7, 100]);
+        assert_eq!(d.index_count(), 0, "insert dropped the stale index");
+        assert_eq!(d.probe(Polarity::Plus, &[0], &[Value::Int(7)]).len(), 41);
+        d.apply_delete(tuple![7, 100]);
+        assert_eq!(d.probe(Polarity::Plus, &[0], &[Value::Int(7)]).len(), 40);
+        d.clear();
+        assert!(d.probe(Polarity::Plus, &[0], &[Value::Int(7)]).is_empty());
+    }
+
+    #[test]
+    fn clone_and_eq_ignore_index_cache() {
+        let mut d = DeltaSet::new();
+        for i in 0..40 {
+            d.apply_insert(tuple![i, i]);
+        }
+        d.probe(Polarity::Plus, &[0], &[Value::Int(1)]);
+        assert_eq!(d.index_count(), 1);
+        let c = d.clone();
+        assert_eq!(c.index_count(), 0, "clone starts with a cold cache");
+        assert_eq!(c, d, "equality is on Δ contents only");
     }
 
     #[test]

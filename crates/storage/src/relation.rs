@@ -12,6 +12,9 @@
 //! which is what makes incremental monitoring O(1)-ish in database size
 //! (fig. 6).
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
 use amos_types::{FxHashMap, FxHashSet, Tuple, Value};
 
 /// A hash index: projection of the indexed columns → the matching tuples.
@@ -45,13 +48,46 @@ impl HashIndex {
 }
 
 /// An in-memory, set-oriented base relation.
-#[derive(Debug, Clone)]
+///
+/// Alongside the tuples and indexes it maintains the cheap statistics the
+/// adaptive planner feeds on: per-column distinct-value counts (exact,
+/// kept as value→multiplicity maps updated on insert/delete) and a
+/// counter of index-less `probe` calls that silently degraded to a full
+/// scan.
+#[derive(Debug)]
 pub struct BaseRelation {
     name: String,
     arity: usize,
     tuples: FxHashSet<Tuple>,
     indexes: Vec<HashIndex>,
     index_by_cols: FxHashMap<Vec<usize>, usize>,
+    /// Per-column value→multiplicity; `ndv(c)` is `col_counts[c].len()`.
+    col_counts: Vec<FxHashMap<Value, u32>>,
+    /// Probes that found no matching index and fell back to a scan.
+    fallback_scans: AtomicU64,
+    /// Distinct column sets that triggered a fallback since the last
+    /// [`take_fallback_sites`](Self::take_fallback_sites) drain.
+    fallback_sites: Mutex<FxHashSet<Vec<usize>>>,
+}
+
+impl Clone for BaseRelation {
+    fn clone(&self) -> Self {
+        BaseRelation {
+            name: self.name.clone(),
+            arity: self.arity,
+            tuples: self.tuples.clone(),
+            indexes: self.indexes.clone(),
+            index_by_cols: self.index_by_cols.clone(),
+            col_counts: self.col_counts.clone(),
+            fallback_scans: AtomicU64::new(self.fallback_scans.load(Ordering::Relaxed)),
+            fallback_sites: Mutex::new(
+                self.fallback_sites
+                    .lock()
+                    .map(|s| s.clone())
+                    .unwrap_or_default(),
+            ),
+        }
+    }
 }
 
 impl BaseRelation {
@@ -63,6 +99,9 @@ impl BaseRelation {
             tuples: FxHashSet::default(),
             indexes: Vec::new(),
             index_by_cols: FxHashMap::default(),
+            col_counts: vec![FxHashMap::default(); arity],
+            fallback_scans: AtomicU64::new(0),
+            fallback_sites: Mutex::new(FxHashSet::default()),
         }
     }
 
@@ -109,6 +148,9 @@ impl BaseRelation {
             for idx in &mut self.indexes {
                 idx.insert(&t);
             }
+            for (c, counts) in self.col_counts.iter_mut().enumerate() {
+                *counts.entry(t[c].clone()).or_insert(0) += 1;
+            }
             true
         } else {
             false
@@ -120,6 +162,14 @@ impl BaseRelation {
         if self.tuples.remove(t) {
             for idx in &mut self.indexes {
                 idx.remove(t);
+            }
+            for (c, counts) in self.col_counts.iter_mut().enumerate() {
+                if let Some(n) = counts.get_mut(&t[c]) {
+                    *n -= 1;
+                    if *n == 0 {
+                        counts.remove(&t[c]);
+                    }
+                }
             }
             true
         } else {
@@ -168,6 +218,10 @@ impl BaseRelation {
                 None => Vec::new(),
             }
         } else {
+            self.fallback_scans.fetch_add(1, Ordering::Relaxed);
+            if let Ok(mut sites) = self.fallback_sites.lock() {
+                sites.insert(cols.to_vec());
+            }
             self.tuples
                 .iter()
                 .filter(|t| cols.iter().zip(key).all(|(&c, v)| &t[c] == v))
@@ -178,6 +232,30 @@ impl BaseRelation {
     /// Number of maintained indexes (for tests / introspection).
     pub fn index_count(&self) -> usize {
         self.indexes.len()
+    }
+
+    /// Number of distinct values in column `col` (exact, maintained on
+    /// insert/delete). Out-of-range columns report 0.
+    pub fn ndv(&self, col: usize) -> usize {
+        self.col_counts.get(col).map_or(0, |m| m.len())
+    }
+
+    /// Total index-less probes that degraded to a full scan-filter.
+    pub fn fallback_scans(&self) -> u64 {
+        self.fallback_scans.load(Ordering::Relaxed)
+    }
+
+    /// Drain the distinct column sets that triggered a fallback scan
+    /// since the previous drain (used for once-per-pass logging).
+    pub fn take_fallback_sites(&self) -> Vec<Vec<usize>> {
+        match self.fallback_sites.lock() {
+            Ok(mut sites) => {
+                let mut out: Vec<Vec<usize>> = sites.drain().collect();
+                out.sort();
+                out
+            }
+            Err(_) => Vec::new(),
+        }
     }
 }
 
@@ -244,6 +322,39 @@ mod tests {
         r.ensure_index(&[0]);
         assert_eq!(r.index_count(), 1);
         assert_eq!(r.probe(&[0], &[Value::Int(5)]).len(), 1);
+    }
+
+    #[test]
+    fn ndv_maintained_on_insert_and_delete() {
+        let mut r = BaseRelation::new("q", 2);
+        assert_eq!(r.ndv(0), 0);
+        r.insert(tuple![1, 10]);
+        r.insert(tuple![1, 11]);
+        r.insert(tuple![2, 10]);
+        assert_eq!(r.ndv(0), 2, "two distinct values in col 0");
+        assert_eq!(r.ndv(1), 2, "two distinct values in col 1");
+        r.delete(&tuple![1, 10]);
+        assert_eq!(r.ndv(0), 2, "value 1 still present via (1,11)");
+        r.delete(&tuple![1, 11]);
+        assert_eq!(r.ndv(0), 1, "value 1 fully gone");
+        assert_eq!(r.ndv(7), 0, "out-of-range column");
+    }
+
+    #[test]
+    fn fallback_scans_counted_and_sites_drained() {
+        let mut r = BaseRelation::new("q", 2);
+        r.insert(tuple![1, 10]);
+        r.ensure_index(&[0]);
+        r.probe(&[0], &[Value::Int(1)]);
+        assert_eq!(r.fallback_scans(), 0, "indexed probe is not a fallback");
+        r.probe(&[1], &[Value::Int(10)]);
+        r.probe(&[1], &[Value::Int(11)]);
+        assert_eq!(r.fallback_scans(), 2);
+        assert_eq!(r.take_fallback_sites(), vec![vec![1]]);
+        assert!(r.take_fallback_sites().is_empty(), "drain empties the set");
+        let cloned = r.clone();
+        assert_eq!(cloned.fallback_scans(), 2);
+        assert_eq!(cloned.ndv(0), 1);
     }
 
     #[test]
