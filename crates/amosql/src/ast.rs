@@ -122,6 +122,19 @@ pub struct RuleCondition {
     pub predicate: Expr,
 }
 
+/// A node paired with the source position of its first token, so
+/// downstream diagnostics (compiler errors, lint findings) can print
+/// `file:line:col` even though the node itself carries no spans.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Located<T> {
+    /// The wrapped node.
+    pub node: T,
+    /// 1-based line of the node's first token.
+    pub line: usize,
+    /// 1-based column of the node's first token.
+    pub col: usize,
+}
+
 /// A top-level statement.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Statement {
@@ -132,7 +145,7 @@ pub enum Statement {
         /// Optional supertype.
         under: Option<String>,
     },
-    /// `create function name(T a, …) -> T [as select …];`
+    /// `create function name(T a, …) -> T [append only] [as select …];`
     CreateFunction {
         /// Function name.
         name: String,
@@ -140,6 +153,9 @@ pub enum Statement {
         params: Vec<TypedVar>,
         /// Result type names (usually one).
         results: Vec<String>,
+        /// `append only` — the stored function promises to never see
+        /// deletes, letting the engine prune Δ₋ differentials (L004).
+        append_only: bool,
         /// Body: `None` for stored functions, `Some` for derived.
         body: Option<Select>,
     },

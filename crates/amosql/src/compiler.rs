@@ -420,6 +420,38 @@ pub fn compile_predicate(
     compile_select(env, &select, params)
 }
 
+/// [`compile_select`] anchoring otherwise unpositioned semantic errors
+/// (unknown function, duplicate variable, constant-false condition, …)
+/// at `at` — the span of the enclosing statement's first token. Errors
+/// that already carry a position keep it.
+pub fn compile_select_at(
+    env: &QueryEnv<'_>,
+    select: &Select,
+    outer_params: &[TypedVar],
+    at: Option<(usize, usize)>,
+) -> Result<CompiledQuery, ParseError> {
+    compile_select(env, select, outer_params).map_err(|e| locate(e, at))
+}
+
+/// [`compile_predicate`] with statement-span anchoring; see
+/// [`compile_select_at`].
+pub fn compile_predicate_at(
+    env: &QueryEnv<'_>,
+    for_each: &[TypedVar],
+    predicate: &Expr,
+    params: &[TypedVar],
+    at: Option<(usize, usize)>,
+) -> Result<CompiledQuery, ParseError> {
+    compile_predicate(env, for_each, predicate, params).map_err(|e| locate(e, at))
+}
+
+fn locate(e: ParseError, at: Option<(usize, usize)>) -> ParseError {
+    match at {
+        Some((line, col)) if e.line == 0 => ParseError::new(line, col, e.message),
+        _ => e,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -27,7 +27,10 @@ pub mod lexer;
 pub mod parser;
 pub mod printer;
 
-pub use ast::{Expr, ProcStmt, Select, Statement};
-pub use compiler::{compile_predicate, compile_select, CompiledQuery, QueryEnv};
+pub use ast::{Expr, Located, ProcStmt, Select, Statement};
+pub use compiler::{
+    compile_predicate, compile_predicate_at, compile_select, compile_select_at, CompiledQuery,
+    QueryEnv,
+};
 pub use error::ParseError;
-pub use parser::parse;
+pub use parser::{parse, parse_spanned};

@@ -29,11 +29,27 @@ use crate::lexer::{tokenize, Spanned, Token};
 
 /// Parse an AMOSQL script into statements.
 pub fn parse(src: &str) -> Result<Vec<Statement>, ParseError> {
+    Ok(parse_spanned(src)?.into_iter().map(|l| l.node).collect())
+}
+
+/// Parse an AMOSQL script into statements, each tagged with the source
+/// position of its first token — the anchor for compiler and lint
+/// diagnostics about that statement.
+pub fn parse_spanned(src: &str) -> Result<Vec<Located<Statement>>, ParseError> {
     let tokens = tokenize(src)?;
     let mut p = Parser { tokens, pos: 0 };
     let mut out = Vec::new();
     while !p.at_end() {
-        out.push(p.statement()?);
+        let (line, col) = p
+            .tokens
+            .get(p.pos)
+            .map(|s| (s.line, s.col))
+            .unwrap_or((0, 0));
+        out.push(Located {
+            node: p.statement()?,
+            line,
+            col,
+        });
     }
     Ok(out)
 }
@@ -253,15 +269,27 @@ impl Parser {
         while self.eat_token(&Token::Comma) {
             results.push(self.ident()?);
         }
+        let append_only = if self.eat_keyword("append") {
+            self.keyword("only")?;
+            true
+        } else {
+            false
+        };
         let body = if self.eat_keyword("as") {
             Some(self.select()?)
         } else {
             None
         };
+        if append_only && body.is_some() {
+            return Err(self.err_here(format!(
+                "`append only` applies to stored functions; `{name}` is derived"
+            )));
+        }
         Ok(Statement::CreateFunction {
             name,
             params,
             results,
+            append_only,
             body,
         })
     }
@@ -652,6 +680,36 @@ mod tests {
         assert!(err.message.contains("identifier"));
         assert!(parse("select ;").is_err());
         assert!(parse("create rule r() as when do x();").is_err());
+    }
+
+    #[test]
+    fn spanned_statements_carry_positions() {
+        let src = "create type item;\n  create function quantity(item i) -> integer;\n";
+        let stmts = parse_spanned(src).unwrap();
+        assert_eq!(stmts.len(), 2);
+        assert_eq!((stmts[0].line, stmts[0].col), (1, 1));
+        assert_eq!((stmts[1].line, stmts[1].col), (2, 3));
+        assert!(matches!(stmts[1].node, Statement::CreateFunction { .. }));
+    }
+
+    #[test]
+    fn append_only_functions() {
+        let stmts = parse("create function restocks(item i) -> integer append only;").unwrap();
+        match &stmts[0] {
+            Statement::CreateFunction {
+                append_only, body, ..
+            } => {
+                assert!(*append_only);
+                assert!(body.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+        // Round-trips through the printer.
+        assert!(stmts[0].to_string().contains("append only"));
+        // `append only` on a derived function is rejected.
+        let err = parse("create function f(item i) -> integer append only as select quantity(i);")
+            .unwrap_err();
+        assert!(err.message.contains("append only"), "{}", err.message);
     }
 
     #[test]

@@ -136,6 +136,7 @@ impl fmt::Display for Statement {
                 name,
                 params,
                 results,
+                append_only,
                 body,
             } => {
                 write!(f, "create function {name}(")?;
@@ -146,6 +147,9 @@ impl fmt::Display for Statement {
                     write!(f, "{p}")?;
                 }
                 write!(f, ") -> {}", results.join(", "))?;
+                if *append_only {
+                    write!(f, " append only")?;
+                }
                 if let Some(sel) = body {
                     write!(f, " as {sel}")?;
                 }

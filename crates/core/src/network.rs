@@ -20,7 +20,7 @@
 use std::collections::{HashMap, HashSet};
 
 use amos_objectlog::catalog::{Catalog, PredId, PredKind};
-use amos_storage::Storage;
+use amos_storage::{Polarity, Storage};
 
 use amos_objectlog::plan::{compile_clause, ensure_plan_indexes};
 
@@ -69,6 +69,9 @@ pub struct PropagationNetwork {
     levels: Vec<Vec<NodeId>>,
     /// The condition predicates, in registration order.
     conditions: Vec<PredId>,
+    /// Display names of differentials pruned as statically dead (Δ₋ on
+    /// append-only relations, statically-false bodies) — lint pass L004.
+    pruned: Vec<String>,
 }
 
 impl PropagationNetwork {
@@ -151,6 +154,22 @@ impl PropagationNetwork {
             }
             let diffs = generate_differentials(catalog, storage, pred, &node_preds, scope)?;
             for d in diffs {
+                // L004 dead-differential pruning: a Δ₋-seeded edge from a
+                // stored append-only relation can never carry tuples (its
+                // minus Δ-set is empty by contract), and a differential
+                // whose body is statically false can never produce any.
+                // Dropping them here keeps the propagation loop from
+                // scheduling provably empty work. With no append-only
+                // declarations this is a strict no-op.
+                let dead_minus = d.seed == Polarity::Minus
+                    && catalog
+                        .def(d.influent)
+                        .stored_rel()
+                        .is_some_and(|rel| storage.is_append_only(rel));
+                if dead_minus || amos_lint::clause_statically_false(&d.clause) {
+                    net.pruned.push(d.display_name(catalog));
+                    continue;
+                }
                 let did = DiffId(net.differentials.len() as u32);
                 let influent_node = net.by_pred[&d.influent];
                 net.nodes[influent_node.0 as usize].out_diffs.push(did);
@@ -188,6 +207,16 @@ impl PropagationNetwork {
     /// The monitored condition predicates.
     pub fn conditions(&self) -> &[PredId] {
         &self.conditions
+    }
+
+    /// Display names of differentials pruned as statically dead (L004).
+    pub fn pruned(&self) -> &[String] {
+        &self.pruned
+    }
+
+    /// Number of differentials pruned as statically dead.
+    pub fn pruned_count(&self) -> usize {
+        self.pruned.len()
     }
 
     /// The stored predicates at the bottom of the network — the

@@ -418,6 +418,7 @@ pub fn propagate_adaptive(
             })
             .collect();
     }
+    result.metrics.pruned_differentials = network.pruned_count() as u64;
     result.metrics.nanos = pass_timer.elapsed_nanos();
     Ok(result)
 }

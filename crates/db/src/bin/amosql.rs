@@ -8,10 +8,16 @@
 //! against an in-memory [`Amos`] database, and prints results. A
 //! `print` procedure is pre-registered so rule actions can produce
 //! output. `.help` lists shell commands.
+//!
+//! `amosql lint [--deny-lints] <file.osql>…` statically analyzes
+//! scripts instead of opening the shell: findings print as
+//! `file:line:col: severity[code]: message`, and the exit status is 1
+//! when any deny-level finding is reported (`--deny-lints` escalates
+//! every warning).
 
 use std::io::{self, BufRead, Write};
 
-use amos_db::{Amos, ExecResult, WalConfig};
+use amos_db::{Amos, ExecResult, LintConfig, Severity, WalConfig};
 
 const BANNER: &str = "\
 amos-pdiff interactive shell — AMOSQL subset
@@ -27,6 +33,9 @@ Shell commands:
 Flags: --wal-dir <dir> makes commits durable (replays any existing
 snapshot + WAL from <dir> on startup); --static-plans disables
 statistics-driven adaptive differential planning.
+Subcommands: `amosql lint [--deny-lints] <file.osql>...` statically
+analyzes scripts (safety, stratification, termination, dead
+differentials, unsatisfiable conditions) without executing them.
 Everything else is AMOSQL, e.g.:
   create type item;
   create function quantity(item i) -> integer;
@@ -40,6 +49,9 @@ Everything else is AMOSQL, e.g.:
   select i, quantity(i) for each item i;";
 
 fn main() -> io::Result<()> {
+    if std::env::args().nth(1).as_deref() == Some("lint") {
+        run_lint();
+    }
     let mut db = Amos::new();
     db.register_procedure("print", |_ctx, args| {
         let rendered: Vec<String> = args.iter().map(|v| v.to_string()).collect();
@@ -121,6 +133,56 @@ fn main() -> io::Result<()> {
         prompt(&buffer)?;
     }
     Ok(())
+}
+
+/// `amosql lint [--deny-lints] <file.osql>…` — never returns.
+fn run_lint() -> ! {
+    let mut config = LintConfig::default();
+    let mut files: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(2) {
+        match arg.as_str() {
+            "--deny-lints" => {
+                config.deny_warnings();
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag `{flag}` (supported: --deny-lints)");
+                std::process::exit(2);
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("usage: amosql lint [--deny-lints] <file.osql>...");
+        std::process::exit(2);
+    }
+    let mut any_deny = false;
+    let mut findings = 0usize;
+    for file in &files {
+        let src = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{file}: cannot read: {e}");
+                std::process::exit(2);
+            }
+        };
+        match amos_db::lint_script(&src, &config) {
+            Ok(diags) => {
+                for d in &diags {
+                    println!("{}", d.render(file));
+                    any_deny |= d.severity == Severity::Deny;
+                }
+                findings += diags.len();
+            }
+            Err(e) => {
+                eprintln!("{file}: error: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if findings == 0 {
+        println!("no lint findings in {} file(s)", files.len());
+    }
+    std::process::exit(if any_deny { 1 } else { 0 });
 }
 
 fn prompt(buffer: &str) -> io::Result<()> {

@@ -5,13 +5,14 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use amos_amosql::ast::{Expr, ProcStmt, Select, Statement, TypedVar};
-use amos_amosql::compiler::{compile_predicate, compile_select, QueryEnv};
-use amos_amosql::parser::parse;
+use amos_amosql::compiler::{compile_predicate_at, compile_select, compile_select_at, QueryEnv};
+use amos_amosql::parser::parse_spanned;
 use amos_amosql::ParseError;
 use amos_core::aggregate::{AggFn, AggregateView};
 use amos_core::maintained::{MaintainedAggregate, SourceDeltas, UserView};
 use amos_core::propagate::ExecStrategy;
 use amos_core::rules::{ActionFn, CheckSummary, MonitorMode, RuleManager, RuleSemantics};
+use amos_lint::{Diagnostic, LintConfig, RuleFacts, RuleWrite, Span};
 use amos_objectlog::catalog::{Catalog, ForeignFn, PredId};
 use amos_objectlog::eval::{DeltaMap, EvalConfig, EvalContext};
 use amos_objectlog::expand::{expand_clause, ExpandOptions};
@@ -54,6 +55,11 @@ pub struct EngineOptions {
     /// Statistics-driven adaptive differential planning (on by default;
     /// the `--static-plans` bench flag pins activation-time plans).
     pub adaptive: bool,
+    /// Per-code lint severities. `activate` refuses a rule whose lint
+    /// findings include a deny-level diagnostic (L001/L002 by default);
+    /// warn-level findings surface in `explain rule` and the `lint`
+    /// CLI command.
+    pub lint_level: LintConfig,
 }
 
 impl Default for EngineOptions {
@@ -65,6 +71,7 @@ impl Default for EngineOptions {
             propagation: ExecStrategy::default(),
             tabling: true,
             adaptive: true,
+            lint_level: LintConfig::default(),
         }
     }
 }
@@ -102,6 +109,16 @@ struct ViewReg {
     sources: Vec<RelId>,
 }
 
+/// Lint-relevant facts about a defined rule, recorded at `create rule`
+/// time — the action AST is consumed by the action closure, so the
+/// stored-function writes it performs are extracted up front.
+struct RuleLintInfo {
+    name: String,
+    condition: PredId,
+    writes: Vec<RuleWrite>,
+    span: Option<Span>,
+}
+
 /// The embeddable active DBMS.
 pub struct Amos {
     storage: Storage,
@@ -112,6 +129,8 @@ pub struct Amos {
     iface: HashMap<String, Value>,
     procedures: Procedures,
     views: Vec<ViewReg>,
+    rule_lint: Vec<RuleLintInfo>,
+    fn_spans: HashMap<String, Span>,
     /// Options (network style, default semantics).
     pub options: EngineOptions,
 }
@@ -150,6 +169,8 @@ impl Amos {
             iface: HashMap::new(),
             procedures: Arc::new(Mutex::new(HashMap::new())),
             views: Vec::new(),
+            rule_lint: Vec::new(),
+            fn_spans: HashMap::new(),
             options,
         }
     }
@@ -160,10 +181,10 @@ impl Amos {
 
     /// Execute an AMOSQL script; returns one result per statement.
     pub fn execute(&mut self, src: &str) -> Result<Vec<ExecResult>, DbError> {
-        let stmts = parse(src)?;
+        let stmts = parse_spanned(src)?;
         let mut out = Vec::with_capacity(stmts.len());
         for stmt in stmts {
-            out.push(self.exec_statement(stmt)?);
+            out.push(self.exec_statement(stmt.node, Some((stmt.line, stmt.col)))?);
         }
         Ok(out)
     }
@@ -383,6 +404,148 @@ impl Amos {
         &mut self.rules
     }
 
+    /// Mutable access to the catalog (tests construct predicate graphs —
+    /// e.g. mutual recursion through negation — that AMOSQL cannot
+    /// express directly).
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    /// Declare a stored function append-only (or clear the mark): its
+    /// relation promises to never see deletes, so the engine prunes the
+    /// always-empty Δ₋ differentials from the propagation network at
+    /// the next activation. Advisory — deletes are not rejected, but a
+    /// workload that does delete voids the pruning's soundness.
+    pub fn set_append_only(&mut self, func: &str, on: bool) -> Result<(), DbError> {
+        let pred = self
+            .catalog
+            .lookup(func)
+            .map_err(|_| DbError::Other(format!("unknown function `{func}`")))?;
+        let rel = self
+            .catalog
+            .def(pred)
+            .stored_rel()
+            .ok_or_else(|| DbError::Other(format!("`{func}` is not a stored function")))?;
+        self.storage.set_append_only(rel, on);
+        Ok(())
+    }
+
+    /// Run every lint pass over the whole catalog and rule set.
+    ///
+    /// L001 findings do not appear here: unsafe clauses are rejected at
+    /// definition time, so nothing unsafe can reach the catalog — the
+    /// [`crate::lint_script`] driver reports them pre-definition.
+    pub fn lint_all(&self) -> Vec<Diagnostic> {
+        let config = &self.options.lint_level;
+        let mut out = Vec::new();
+        out.extend(amos_lint::check_stratification(
+            config,
+            &self.catalog,
+            None,
+            &|p| self.span_of_pred(p),
+        ));
+        out.extend(amos_lint::check_triggering(
+            config,
+            &self.catalog,
+            &self.rule_facts(),
+        ));
+        let conds = self.rule_conditions();
+        out.extend(amos_lint::check_dead_differentials(
+            config,
+            &self.catalog,
+            &conds,
+            &|rel| self.storage.is_append_only(rel),
+            &|r| self.span_of_rule(r),
+        ));
+        out.extend(amos_lint::check_conditions(
+            config,
+            &self.catalog,
+            &conds,
+            &|r| self.span_of_rule(r),
+        ));
+        out
+    }
+
+    /// Run the lint passes scoped to one rule: stratification restricted
+    /// to predicates reachable from its condition, triggering findings
+    /// that involve the rule, and its own dead-differential and
+    /// condition findings. This is the set `activate` gates on.
+    pub fn lint_rule(&self, name: &str) -> Result<Vec<Diagnostic>, DbError> {
+        let info = self
+            .rule_lint
+            .iter()
+            .find(|r| r.name == name)
+            .ok_or_else(|| DbError::Other(format!("unknown rule `{name}`")))?;
+        let config = &self.options.lint_level;
+        let mut out = Vec::new();
+        out.extend(amos_lint::check_stratification(
+            config,
+            &self.catalog,
+            Some(&[info.condition]),
+            &|p| self.span_of_pred(p),
+        ));
+        // Triggering cycles span rules: keep findings attributed to this
+        // rule or whose cycle rendering names it.
+        let mentions = |msg: &str| {
+            msg.split(|c: char| !(c.is_alphanumeric() || c == '_'))
+                .any(|tok| tok == name)
+        };
+        out.extend(
+            amos_lint::check_triggering(config, &self.catalog, &self.rule_facts())
+                .into_iter()
+                .filter(|d| d.rule.as_deref() == Some(name) || mentions(&d.message)),
+        );
+        let own = vec![(info.name.clone(), info.condition)];
+        out.extend(amos_lint::check_dead_differentials(
+            config,
+            &self.catalog,
+            &own,
+            &|rel| self.storage.is_append_only(rel),
+            &|_| info.span,
+        ));
+        out.extend(
+            amos_lint::check_conditions(config, &self.catalog, &self.rule_conditions(), &|r| {
+                self.span_of_rule(r)
+            })
+            .into_iter()
+            .filter(|d| d.rule.as_deref() == Some(name)),
+        );
+        Ok(out)
+    }
+
+    fn rule_facts(&self) -> Vec<RuleFacts> {
+        self.rule_lint
+            .iter()
+            .map(|r| RuleFacts {
+                name: r.name.clone(),
+                span: r.span,
+                influents: self.catalog.stored_influents(r.condition),
+                writes: r.writes.clone(),
+            })
+            .collect()
+    }
+
+    fn rule_conditions(&self) -> Vec<(String, PredId)> {
+        self.rule_lint
+            .iter()
+            .map(|r| (r.name.clone(), r.condition))
+            .collect()
+    }
+
+    fn span_of_rule(&self, name: &str) -> Option<Span> {
+        self.rule_lint
+            .iter()
+            .find(|r| r.name == name)
+            .and_then(|r| r.span)
+    }
+
+    fn span_of_pred(&self, p: PredId) -> Option<Span> {
+        if let Some(r) = self.rule_lint.iter().find(|r| r.condition == p) {
+            return r.span;
+        }
+        self.fn_spans.get(self.catalog.name(p)).copied()
+    }
+
     /// Evaluate `f(args…)` and return its (single, smallest if
     /// multi-valued) value.
     pub fn call_function(&self, name: &str, args: &[Value]) -> Result<Value, DbError> {
@@ -414,7 +577,7 @@ impl Amos {
     // Statement execution
     // ------------------------------------------------------------------
 
-    fn query_env(&self) -> QueryEnv<'_> {
+    pub(crate) fn query_env(&self) -> QueryEnv<'_> {
         QueryEnv {
             catalog: &self.catalog,
             types: &self.types,
@@ -423,7 +586,11 @@ impl Amos {
         }
     }
 
-    fn exec_statement(&mut self, stmt: Statement) -> Result<ExecResult, DbError> {
+    pub(crate) fn exec_statement(
+        &mut self,
+        stmt: Statement,
+        at: Option<(usize, usize)>,
+    ) -> Result<ExecResult, DbError> {
         match stmt {
             Statement::CreateType { name, under } => {
                 self.types.create(&name, under.as_deref())?;
@@ -439,9 +606,13 @@ impl Amos {
                 name,
                 params,
                 results,
+                append_only,
                 body,
             } => {
-                self.create_function(&name, &params, &results, body)?;
+                self.create_function(&name, &params, &results, append_only, body, at)?;
+                if let Some((line, col)) = at {
+                    self.fn_spans.insert(name, Span::new(line, col));
+                }
                 Ok(ExecResult::Ok)
             }
             Statement::CreateRule {
@@ -452,7 +623,7 @@ impl Amos {
                 action,
                 priority,
             } => {
-                self.create_rule(&name, &params, &events, condition, action, priority)?;
+                self.create_rule(&name, &params, &events, condition, action, priority, at)?;
                 Ok(ExecResult::Ok)
             }
             Statement::CreateInstances { type_name, names } => {
@@ -521,6 +692,12 @@ impl Amos {
             }
             Statement::Activate { rule, args } => {
                 let id = self.rules.rule_id(&rule)?;
+                // Static analysis gate: refuse to monitor a rule with
+                // deny-level lint findings (unsafe, non-stratifiable, …).
+                let diags = self.lint_rule(&rule)?;
+                if amos_lint::has_deny(&diags) {
+                    return Err(DbError::Lint(diags));
+                }
                 let params = self.eval_args(&args)?;
                 self.rules
                     .activate(id, Tuple::new(params), &self.catalog, &mut self.storage)?;
@@ -536,6 +713,7 @@ impl Amos {
             Statement::DropRule(name) => {
                 let id = self.rules.rule_id(&name)?;
                 self.rules.drop_rule(id, &self.catalog, &mut self.storage)?;
+                self.rule_lint.retain(|r| r.name != name);
                 Ok(ExecResult::Ok)
             }
             Statement::ExplainSelect(sel) => Ok(ExecResult::Text(self.explain_select(&sel)?)),
@@ -723,7 +901,9 @@ impl Amos {
         name: &str,
         params: &[TypedVar],
         results: &[String],
+        append_only: bool,
         body: Option<Select>,
+        at: Option<(usize, usize)>,
     ) -> Result<(), DbError> {
         let mut signature = Vec::with_capacity(params.len() + results.len());
         for p in params {
@@ -744,6 +924,9 @@ impl Amos {
                 }
                 self.catalog
                     .define_stored(name, signature, rel, key_arity)?;
+                if append_only {
+                    self.storage.set_append_only(rel, true);
+                }
             }
             Some(sel) => {
                 if sel.exprs.len() != results.len() {
@@ -760,13 +943,14 @@ impl Amos {
                 // that now contains it, and the clauses installed with
                 // linearity validation.
                 let pred = self.catalog.define_derived(name, signature, Vec::new())?;
-                let q = compile_select(&self.query_env(), &sel, params)?;
+                let q = compile_select_at(&self.query_env(), &sel, params, at)?;
                 self.catalog.replace_clauses(pred, q.clauses)?;
             }
         }
         Ok(())
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn create_rule(
         &mut self,
         name: &str,
@@ -775,12 +959,14 @@ impl Amos {
         condition: amos_amosql::ast::RuleCondition,
         action: Vec<ProcStmt>,
         priority: i32,
+        at: Option<(usize, usize)>,
     ) -> Result<(), DbError> {
-        let q = compile_predicate(
+        let q = compile_predicate_at(
             &self.query_env(),
             &condition.for_each,
             &condition.predicate,
             params,
+            at,
         )?;
         // Prepare the network shape: flat expands derived sub-functions
         // away; bushy keeps them as shared intermediate nodes.
@@ -799,6 +985,34 @@ impl Amos {
         let condition_pred =
             self.catalog
                 .define_derived(&cnd_name, vec![object; q.head_arity], clauses)?;
+
+        // Extract the stored-function writes for the L003 triggering-
+        // graph analysis before the action closure consumes the AST:
+        // `set` both deletes and inserts, `add` inserts, `remove`
+        // deletes. Calls to registered procedures are opaque.
+        let mut writes: Vec<RuleWrite> = Vec::new();
+        for stmt in &action {
+            let (func, inserts, deletes) = match stmt {
+                ProcStmt::Set { func, .. } => (func, true, true),
+                ProcStmt::Add { func, .. } => (func, true, false),
+                ProcStmt::Remove { func, .. } => (func, false, true),
+                ProcStmt::Call { .. } => continue,
+            };
+            if let Ok(pred) = self.catalog.lookup(func) {
+                if self.catalog.def(pred).stored_rel().is_some() {
+                    if let Some(w) = writes.iter_mut().find(|w| w.pred == pred) {
+                        w.inserts |= inserts;
+                        w.deletes |= deletes;
+                    } else {
+                        writes.push(RuleWrite {
+                            pred,
+                            inserts,
+                            deletes,
+                        });
+                    }
+                }
+            }
+        }
 
         // Compile the action into a closure over the shared-variable
         // environment (params then for-each vars — the order of the
@@ -849,6 +1063,12 @@ impl Amos {
             }
             self.rules.set_events(rule_id, rels);
         }
+        self.rule_lint.push(RuleLintInfo {
+            name: name.to_string(),
+            condition: condition_pred,
+            writes,
+            span: at.map(|(line, col)| Span::new(line, col)),
+        });
         Ok(())
     }
 
@@ -886,6 +1106,13 @@ impl Amos {
                 "  QUARANTINED: {reason}\n  (the action failed; updates were rolled back to the \
                  pre-action savepoint — fix the cause and lift the quarantine to resume)\n"
             ));
+        }
+        let diags = self.lint_rule(name)?;
+        if !diags.is_empty() {
+            out.push_str("lint:\n");
+            for d in &diags {
+                out.push_str(&format!("  {d}\n"));
+            }
         }
         if !rule.is_active() {
             out.push_str("  (inactive — activate it to build the network)\n");

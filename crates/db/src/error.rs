@@ -4,6 +4,7 @@ use std::fmt;
 
 use amos_amosql::ParseError;
 use amos_core::CoreError;
+use amos_lint::Diagnostic;
 use amos_objectlog::ObjectLogError;
 use amos_storage::StorageError;
 use amos_types::typesys::TypeError;
@@ -24,6 +25,8 @@ pub enum DbError {
     Type(TypeError),
     /// Value-level error (arithmetic in scalar evaluation).
     Value(ValueError),
+    /// Deny-level lint findings refused an `activate`.
+    Lint(Vec<Diagnostic>),
     /// Anything else, with a message.
     Other(String),
 }
@@ -37,6 +40,13 @@ impl fmt::Display for DbError {
             DbError::Storage(e) => write!(f, "storage error: {e}"),
             DbError::Type(e) => write!(f, "type error: {e}"),
             DbError::Value(e) => write!(f, "value error: {e}"),
+            DbError::Lint(diags) => {
+                write!(f, "lint: rule refused by static analysis")?;
+                for d in diags {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
+            }
             DbError::Other(m) => write!(f, "{m}"),
         }
     }

@@ -29,9 +29,12 @@
 
 pub mod engine;
 pub mod error;
+pub mod lint;
 
 pub use amos_core::{CheckLevel, MonitorMode, RuleSemantics};
+pub use amos_lint::{Diagnostic, LintCode, LintConfig, Severity, Span};
 pub use amos_storage::{RecoveryInfo, Savepoint, WalConfig};
 pub use amos_types::{Oid, Tuple, Value};
 pub use engine::{Amos, EngineOptions, ExecResult, NetworkPrep, ProcCtx, ProcedureFn};
 pub use error::DbError;
+pub use lint::lint_script;

@@ -1,0 +1,144 @@
+//! Script-level lint driver: statically analyze an AMOSQL script
+//! without executing its updates, queries, or activations.
+//!
+//! The driver loads only the schema-shaping statements (`create type`,
+//! `create function`, `create rule`) into a throwaway [`Amos`] built
+//! with an all-allow lint configuration (so nothing is refused while
+//! loading), reporting definition-time rejections — unsafe clauses,
+//! recursion violations — as L001/L002 diagnostics anchored to the
+//! statement's `line:col`. Rule conditions are additionally pre-checked
+//! with [`amos_lint::check_safety`] *before* definition, which reports
+//! **every** unsafe variable under its source name (the catalog's own
+//! range-restriction check stops at the first and rejects the clause).
+//! Once the catalog is loaded, the full catalog-level passes
+//! (L002–L005) run under the caller's configuration via
+//! [`Amos::lint_all`].
+//!
+//! This is what `amosql lint [--deny-lints] file…` runs per file.
+
+use amos_amosql::ast::Statement;
+use amos_amosql::compiler::compile_predicate_at;
+use amos_amosql::parser::parse_spanned;
+use amos_lint::{check_safety, Diagnostic, LintCode, LintConfig, Severity, Span};
+use amos_objectlog::clause::Var;
+use amos_objectlog::ObjectLogError;
+
+use crate::engine::{Amos, EngineOptions};
+use crate::error::DbError;
+
+/// Statically lint an AMOSQL script. Returns every finding at the
+/// severities in `config`, ordered by source position. Parse errors and
+/// non-lint definition failures (unknown types, arity mismatches, …)
+/// are hard errors.
+pub fn lint_script(src: &str, config: &LintConfig) -> Result<Vec<Diagnostic>, DbError> {
+    let stmts = parse_spanned(src)?;
+    let mut db = Amos::with_options(EngineOptions {
+        // Loading must never refuse: the point is to report, not stop
+        // at the first deny-level finding.
+        lint_level: LintConfig::uniform(Severity::Allow),
+        ..EngineOptions::default()
+    });
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    for s in stmts {
+        let at = Some((s.line, s.col));
+        let span = Some(Span::new(s.line, s.col));
+        match s.node {
+            Statement::CreateType { .. } | Statement::CreateFunction { .. } => {
+                if let Err(e) = db.exec_statement(s.node, at) {
+                    match as_lint(&e, config, span) {
+                        Some(d) => diags.extend(d),
+                        None => return Err(e),
+                    }
+                }
+            }
+            Statement::CreateRule {
+                ref name,
+                ref params,
+                ref condition,
+                ..
+            } => {
+                // Pre-check safety on the compiled condition so every
+                // offending variable is reported by its source name.
+                let q = compile_predicate_at(
+                    &db.query_env(),
+                    &condition.for_each,
+                    &condition.predicate,
+                    params,
+                    at,
+                )?;
+                let names: Vec<String> = params
+                    .iter()
+                    .map(|p| p.var.clone())
+                    .chain(condition.for_each.iter().map(|tv| tv.var.clone()))
+                    .collect();
+                let name_of = |v: Var| {
+                    names
+                        .get(v.0 as usize)
+                        .cloned()
+                        .unwrap_or_else(|| format!("_G{}", v.0))
+                };
+                let mut unsafe_found = false;
+                for c in &q.clauses {
+                    let found = check_safety(config, c, &name_of, span, Some(name));
+                    unsafe_found |= !found.is_empty();
+                    diags.extend(found);
+                }
+                if unsafe_found {
+                    // The catalog would reject the definition anyway;
+                    // skip it and keep linting the rest of the script.
+                    continue;
+                }
+                if let Err(e) = db.exec_statement(s.node, at) {
+                    match as_lint(&e, config, span) {
+                        Some(d) => diags.extend(d),
+                        None => return Err(e),
+                    }
+                }
+            }
+            Statement::DropRule(_) => {
+                // Keep the linted rule set in sync with the script.
+                let _ = db.exec_statement(s.node, at);
+            }
+            // Updates, queries, activations, transactions: not executed —
+            // lint is static.
+            _ => {}
+        }
+    }
+    db.options.lint_level = config.clone();
+    diags.extend(db.lint_all());
+    diags.sort_by_key(|d| (d.span.map(|s| (s.line, s.col)), d.code, d.message.clone()));
+    diags.dedup();
+    Ok(diags)
+}
+
+/// Map a definition-time rejection to the lint diagnostic it embodies:
+/// range restriction (L001) or recursion/stratification (L002). `None`
+/// for everything else (a hard script error).
+fn as_lint(e: &DbError, config: &LintConfig, span: Option<Span>) -> Option<Vec<Diagnostic>> {
+    let DbError::ObjectLog(ol) = e else {
+        return None;
+    };
+    let d = match ol {
+        ObjectLogError::UnsafeClause { pred, var } => config.diag(
+            LintCode::L001,
+            span,
+            Some(pred),
+            format!(
+                "clause is not range-restricted: variable _G{} is never bound",
+                var.0
+            ),
+        ),
+        ObjectLogError::RecursivePredicate(pred) => config.diag(
+            LintCode::L002,
+            span,
+            Some(pred),
+            "recursion violates the stratified level order \
+             (negated self-reference or non-linear recursion)"
+                .to_string(),
+        ),
+        _ => return None,
+    };
+    // `Allow` suppresses the diagnostic but the definition still failed;
+    // swallowing it silently is correct for a lint driver.
+    Some(d.into_iter().collect())
+}

@@ -160,6 +160,10 @@ pub struct PassMetrics {
     /// The distinct `relation[cols]` sites behind `fallback_scans`,
     /// drained once per pass.
     pub fallback_sites: Vec<String>,
+    /// Differentials statically pruned from the network at activation
+    /// (lint pass L004: Δ₋ on append-only relations, statically-false
+    /// bodies). Constant across passes of the same network.
+    pub pruned_differentials: u64,
 }
 
 impl PassMetrics {
@@ -207,6 +211,7 @@ impl PassMetrics {
                         .collect(),
                 ),
             )
+            .with("pruned_differentials", self.pruned_differentials)
     }
 
     /// Human-readable rendering for `explain` output.
@@ -226,14 +231,15 @@ impl PassMetrics {
         );
         let _ = writeln!(
             out,
-            "  planning: replans={} plan_cache_hits={} probes={} scans={} delta_probes={} delta_scans={} fallback_scans={}",
+            "  planning: replans={} plan_cache_hits={} probes={} scans={} delta_probes={} delta_scans={} fallback_scans={} pruned_differentials={}",
             self.replans,
             self.plan_cache_hits,
             self.probes,
             self.scans,
             self.delta_probes,
             self.delta_scans,
-            self.fallback_scans
+            self.fallback_scans,
+            self.pruned_differentials
         );
         for site in &self.fallback_sites {
             let _ = writeln!(out, "  FALLBACK scan at {site} (no covering index)");
@@ -311,6 +317,7 @@ mod tests {
             delta_scans: 1,
             fallback_scans: 1,
             fallback_sites: vec!["stock[1]".into()],
+            pruned_differentials: 2,
         }
     }
 
@@ -326,6 +333,7 @@ mod tests {
         assert!(doc.contains(r#""est_rows":4.5"#));
         assert!(doc.contains(r#""replans":1,"plan_cache_hits":3,"#));
         assert!(doc.contains(r#""fallback_scans":1,"fallback_sites":["stock[1]"]"#));
+        assert!(doc.contains(r#""pruned_differentials":2"#));
     }
 
     #[test]
@@ -337,6 +345,7 @@ mod tests {
         assert!(text.contains("accepted=4 rejected=1"));
         assert!(text.contains("FAILED action order_rule"));
         assert!(text.contains("replans=1 plan_cache_hits=3"));
+        assert!(text.contains("pruned_differentials=2"));
         assert!(text.contains("est-rows=4.50 actual=5"));
         assert!(text.contains("FALLBACK scan at stock[1]"));
     }

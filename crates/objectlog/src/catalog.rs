@@ -326,32 +326,58 @@ impl Catalog {
     ///
     /// Returns an error on recursive definitions — the paper's algorithm
     /// "assumes that there are no loops in the network".
+    ///
+    /// Iterative (explicit DFS frames + memo): derived chains can be
+    /// tens of thousands deep and a recursive walk would overflow the
+    /// 2 MiB default thread stack.
     pub fn stratum(&self, id: PredId) -> Result<usize, ObjectLogError> {
-        self.stratum_rec(id, &mut Vec::new())
-    }
-
-    fn stratum_rec(&self, id: PredId, path: &mut Vec<PredId>) -> Result<usize, ObjectLogError> {
-        if path.contains(&id) {
-            return Err(ObjectLogError::RecursivePredicate(
-                self.name(id).to_string(),
-            ));
+        use std::collections::HashSet;
+        if !matches!(self.def(id).kind, PredKind::Derived(_)) {
+            return Ok(0);
         }
-        match &self.def(id).kind {
-            PredKind::Stored { .. } | PredKind::Foreign(_) => Ok(0),
-            PredKind::Derived(_) => {
-                path.push(id);
-                let mut level = 0;
-                for dep in self.direct_influents(id) {
-                    // Direct self-recursion contributes no height (the
-                    // fixpoint stays within the node); longer cycles
-                    // (mutual recursion) remain unsupported.
-                    if dep == id {
-                        continue;
-                    }
-                    level = level.max(self.stratum_rec(dep, path)? + 1);
+        let mut memo: HashMap<PredId, usize> = HashMap::new();
+        let mut on_path: HashSet<PredId> = HashSet::new();
+        // Frame: (pred, direct influents, next influent, level so far).
+        let mut frames: Vec<(PredId, Vec<PredId>, usize, usize)> = Vec::new();
+        on_path.insert(id);
+        frames.push((id, self.direct_influents(id), 0, 0));
+        loop {
+            let top = frames.len() - 1;
+            let p = frames[top].0;
+            if frames[top].2 < frames[top].1.len() {
+                let dep = frames[top].1[frames[top].2];
+                frames[top].2 += 1;
+                // Direct self-recursion contributes no height (the
+                // fixpoint stays within the node); longer cycles
+                // (mutual recursion) remain unsupported.
+                if dep == p {
+                    continue;
                 }
-                path.pop();
-                Ok(level.max(1))
+                if let Some(&l) = memo.get(&dep) {
+                    frames[top].3 = frames[top].3.max(l + 1);
+                    continue;
+                }
+                if !matches!(self.def(dep).kind, PredKind::Derived(_)) {
+                    frames[top].3 = frames[top].3.max(1);
+                    continue;
+                }
+                if on_path.contains(&dep) {
+                    return Err(ObjectLogError::RecursivePredicate(
+                        self.name(dep).to_string(),
+                    ));
+                }
+                on_path.insert(dep);
+                frames.push((dep, self.direct_influents(dep), 0, 0));
+            } else {
+                // All influents resolved: finish this node.
+                let level = frames[top].3.max(1);
+                frames.pop();
+                on_path.remove(&p);
+                memo.insert(p, level);
+                match frames.last_mut() {
+                    Some(parent) => parent.3 = parent.3.max(level + 1),
+                    None => return Ok(level),
+                }
             }
         }
     }
@@ -502,6 +528,28 @@ mod tests {
             cat.stratum(a),
             Err(ObjectLogError::RecursivePredicate(_))
         ));
+    }
+
+    #[test]
+    fn stratum_survives_deep_derived_chains() {
+        // Regression: the recursive walk overflowed the 2 MiB test-thread
+        // stack on chains this deep; the iterative version must not.
+        let mut cat = Catalog::new();
+        let mut prev = cat.define_stored("d0", sig(1), RelId(0), 1).unwrap();
+        const DEPTH: usize = 10_000;
+        for i in 1..=DEPTH {
+            prev = cat
+                .define_derived(
+                    &format!("d{i}"),
+                    sig(1),
+                    vec![ClauseBuilder::new(1)
+                        .head([Term::var(0)])
+                        .pred(prev, [Term::var(0)])
+                        .build()],
+                )
+                .unwrap();
+        }
+        assert_eq!(cat.stratum(prev).unwrap(), DEPTH);
     }
 
     #[test]

@@ -86,6 +86,11 @@ pub struct Storage {
     /// arity *adopts* the recovered data instead of erroring, so
     /// re-running the schema script after a restart just works.
     recovered: HashSet<String>,
+    /// Relations declared append-only by the caller. Advisory schema
+    /// metadata: the network builder prunes Δ₋ differentials on these
+    /// relations, which is sound only while the caller honours the
+    /// no-deletes contract.
+    append_only: HashSet<RelId>,
 }
 
 impl Storage {
@@ -204,6 +209,24 @@ impl Storage {
     /// Whether the relation is currently monitored.
     pub fn is_monitored(&self, id: RelId) -> bool {
         self.monitored.contains(&id)
+    }
+
+    /// Declare (or retract) a relation as append-only. The minus side of
+    /// its Δ-set can then be assumed empty, letting the network builder
+    /// drop dead `Δ₋` differentials. The flag is a caller contract —
+    /// deletes are *not* rejected here, so marking a relation that does
+    /// see deletes makes the pruning unsound.
+    pub fn set_append_only(&mut self, id: RelId, on: bool) {
+        if on {
+            self.append_only.insert(id);
+        } else {
+            self.append_only.remove(&id);
+        }
+    }
+
+    /// Whether the relation was declared append-only.
+    pub fn is_append_only(&self, id: RelId) -> bool {
+        self.append_only.contains(&id)
     }
 
     /// The accumulated Δ-set of a monitored relation (empty if none).
