@@ -1,0 +1,84 @@
+//! Bench-regression gate: diff a fresh bench JSON report against a
+//! committed baseline and exit non-zero on regression.
+//!
+//! ```text
+//! compare --baseline crates/bench/baselines/BENCH_fig6.json \
+//!         --fresh BENCH_fig6.json [--tolerance 0.5]
+//! ```
+//!
+//! Deterministic counters (`fired`/`candidates`/`rejected`) must match
+//! the baseline exactly — a drift there is a semantic change, not
+//! noise. Speed *ratios* (naive/incremental, static/adaptive) may sag
+//! by up to `tolerance` (relative) before the gate trips; absolute
+//! milliseconds are never compared, so runner speed doesn't matter.
+
+use amos_bench::report::compare_reports;
+use amos_metrics::json::JsonValue;
+use std::process::ExitCode;
+
+struct Args {
+    baseline: String,
+    fresh: String,
+    tolerance: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut baseline = None;
+    let mut fresh = None;
+    let mut tolerance = 0.5;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut grab = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--baseline" => baseline = Some(grab("--baseline")?),
+            "--fresh" => fresh = Some(grab("--fresh")?),
+            "--tolerance" => {
+                tolerance = grab("--tolerance")?
+                    .parse()
+                    .map_err(|e| format!("--tolerance: {e}"))?
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(Args {
+        baseline: baseline.ok_or("--baseline is required")?,
+        fresh: fresh.ok_or("--fresh is required")?,
+        tolerance,
+    })
+}
+
+fn load(path: &str) -> Result<JsonValue, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    JsonValue::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let run = || -> Result<Vec<String>, String> {
+        let args = parse_args()?;
+        let baseline = load(&args.baseline)?;
+        let fresh = load(&args.fresh)?;
+        let regressions = compare_reports(&baseline, &fresh, args.tolerance)?;
+        println!(
+            "compare: {} vs {} (tolerance {})",
+            args.baseline, args.fresh, args.tolerance
+        );
+        Ok(regressions)
+    };
+    match run() {
+        Ok(regressions) if regressions.is_empty() => {
+            println!("compare: OK — no regressions");
+            ExitCode::SUCCESS
+        }
+        Ok(regressions) => {
+            for r in &regressions {
+                eprintln!("REGRESSION: {r}");
+            }
+            eprintln!("compare: {} regression(s)", regressions.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("compare: error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

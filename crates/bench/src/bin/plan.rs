@@ -15,10 +15,18 @@
 //!
 //! * **bulk** (bulk load, tiny companion): `p2(X) ← s2(X,G) ∧ small(G)`
 //!   with `BULK_ROWS` insertions into `s2` against a 4-row `small`. The
-//!   static plan Δ-scans the bulk seed and looks up `small` per row; the
-//!   adaptive plan flips to scan-`small`-then-Δ-probe through the lazy
-//!   Δ-set column index. Both are `O(|Δ|)` — the gate is that adaptive
-//!   planning costs nothing here (within 10%).
+//!   static plan Δ-scans the bulk seed and hash-probes `small` per row
+//!   (a per-row pattern allocation plus probe); the adaptive planner
+//!   prices the sorted-run arrangement, fuses the pair into a single
+//!   `MergeJoin` step, and executes it as one lookup join over the
+//!   stored arrangement — no per-row plan interpretation at all.
+//!
+//! `static_ms`/`adaptive_ms` time the **propagation slice only** — the
+//! work the planner controls. Δ-application and rollback are
+//! byte-identical in both modes (and in the bulk regime they are
+//! O(|Δ|) hash churn an order of magnitude above either plan), so they
+//! are reported separately as `*_total_ms` rather than folded into the
+//! comparison.
 //!
 //! Run with: `cargo run -p amos-bench --release --bin plan`
 //!
@@ -146,31 +154,41 @@ fn build_bulk() -> World {
 
 /// Execute one monitored transaction: insert `batch` into the seed
 /// relation, propagate (static or adaptive), roll back. Returns the
-/// pass metrics and the condition-Δ insertion count (for sanity).
+/// pass metrics, the condition-Δ insertion count (for sanity), and the
+/// seconds spent in propagation — the slice the planner controls. The
+/// surrounding Δ-application and rollback are byte-identical work in
+/// both modes, so timing them would only dilute the comparison (in the
+/// bulk regime they are O(|Δ|) hash churn that dwarfs either plan).
 fn run_pass(
     w: &mut World,
     batch: &[Tuple],
     shared: &Arc<EvalShared>,
     planner: Option<&AdaptivePlanner>,
-) -> (PassMetrics, usize) {
+) -> (PassMetrics, usize, f64) {
     w.storage.begin().unwrap();
     for t in batch {
         w.storage.insert(w.seed_rel, t.clone()).unwrap();
     }
     shared.reset_pass();
-    let result = propagate_adaptive(
-        &w.network,
-        &w.catalog,
-        &w.storage,
-        CheckLevel::Nervous,
-        ExecStrategy::Parallel,
-        shared,
-        planner,
-    )
-    .unwrap();
+    let mut result = None;
+    let prop_secs = time_secs(|| {
+        result = Some(
+            propagate_adaptive(
+                &w.network,
+                &w.catalog,
+                &w.storage,
+                CheckLevel::Nervous,
+                ExecStrategy::Parallel,
+                shared,
+                planner,
+            )
+            .unwrap(),
+        );
+    });
+    let result = result.expect("propagation ran");
     let plus = result.condition_deltas[&w.cond].plus().len();
     w.storage.rollback().unwrap();
-    (result.metrics, plus)
+    (result.metrics, plus, prop_secs)
 }
 
 /// Mean relative error of the estimator over the differentials that
@@ -193,8 +211,13 @@ fn est_row_error(metrics: &PassMetrics) -> Option<f64> {
 
 struct ScenarioRow {
     scenario: &'static str,
+    /// Propagation-only milliseconds (the planner-controlled slice).
     static_ms: f64,
     adaptive_ms: f64,
+    /// Whole-pass milliseconds including Δ-application and rollback —
+    /// mode-independent overhead, reported for context.
+    static_total_ms: f64,
+    adaptive_total_ms: f64,
     replans: u64,
     plan_cache_hits: u64,
     est_row_error: Option<f64>,
@@ -212,6 +235,8 @@ impl ScenarioRow {
             .with("static_ms", self.static_ms)
             .with("adaptive_ms", self.adaptive_ms)
             .with("speedup", self.speedup())
+            .with("static_total_ms", self.static_total_ms)
+            .with("adaptive_total_ms", self.adaptive_total_ms)
             .with("replans", self.replans)
             .with("plan_cache_hits", self.plan_cache_hits);
         row = match self.est_row_error {
@@ -233,30 +258,36 @@ fn run_scenario(scenario: &'static str, w: &mut World, batches: &[Vec<Tuple>]) -
     let planner = AdaptivePlanner::new();
 
     // Warm-up (and equivalence check) with the first batch.
-    let (_, static_plus) = run_pass(w, &batches[0], &static_shared, None);
-    let (_, adaptive_plus) = run_pass(w, &batches[0], &adaptive_shared, Some(&planner));
+    let (_, static_plus, _) = run_pass(w, &batches[0], &static_shared, None);
+    let (_, adaptive_plus, _) = run_pass(w, &batches[0], &adaptive_shared, Some(&planner));
     assert_eq!(
         static_plus, adaptive_plus,
         "adaptive and static monitors diverged ({scenario})"
     );
 
-    let static_ms = time_secs(|| {
+    let mut static_prop = 0.0;
+    let static_total_ms = time_secs(|| {
         for batch in batches {
-            run_pass(w, batch, &static_shared, None);
+            let (_, _, secs) = run_pass(w, batch, &static_shared, None);
+            static_prop += secs;
         }
     }) * 1e3;
     let mut last = None;
-    let adaptive_ms = time_secs(|| {
+    let mut adaptive_prop = 0.0;
+    let adaptive_total_ms = time_secs(|| {
         for batch in batches {
-            let (metrics, _) = run_pass(w, batch, &adaptive_shared, Some(&planner));
+            let (metrics, _, secs) = run_pass(w, batch, &adaptive_shared, Some(&planner));
+            adaptive_prop += secs;
             last = Some(metrics);
         }
     }) * 1e3;
 
     ScenarioRow {
         scenario,
-        static_ms,
-        adaptive_ms,
+        static_ms: static_prop * 1e3,
+        adaptive_ms: adaptive_prop * 1e3,
+        static_total_ms,
+        adaptive_total_ms,
         replans: planner.replan_count(),
         plan_cache_hits: planner.hit_count(),
         est_row_error: last.as_ref().and_then(est_row_error),
@@ -320,8 +351,10 @@ fn main() {
         );
     }
     println!();
+    println!("# static_ms/adaptive_ms time propagation only (the planner-controlled slice);");
+    println!("# whole-pass totals incl. Δ-apply+rollback are in the JSON as *_total_ms.");
     println!("# Expectation: skew speedup >= 2 (estimator reorders the tied probes);");
-    println!("# bulk within 10% either way (plan flips to scan-then-Δ-probe, same O(|Δ|)).");
+    println!("# bulk speedup >= 1.3 (fused merge/lookup join beats per-row hash probing).");
 
     if let Some(path) = &args.json {
         let doc = JsonValue::object()

@@ -7,6 +7,15 @@
 //! propagation pass — per-differential timings, candidate/rejected
 //! counters, and per-level wave-front sizes — so perf regressions are
 //! diffable across CI runs.
+//!
+//! [`compare_reports`] is that diff, mechanized: the CI bench-regression
+//! gate reads the committed `crates/bench/baselines/BENCH_*.json` and a
+//! fresh run of the same binary at the same sizes, and fails on (a) any
+//! drift in the deterministic result counters (fired / candidates /
+//! rejected — a semantic regression, zero tolerance) or (b) a timing
+//! *ratio* (incremental-vs-naive, adaptive-vs-static) that fell more
+//! than a tolerance factor below the baseline. Absolute milliseconds are
+//! never compared — they measure the runner, not the code.
 
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -129,6 +138,105 @@ pub fn write_report(
     Ok(())
 }
 
+/// The speed *ratio* a result row demonstrates, by report family:
+/// `naive_ms / incremental_ms` for the figure sweeps,
+/// `static_ms / adaptive_ms` for the planner bench. `None` when the row
+/// carries neither pair.
+fn row_ratio(row: &JsonValue) -> Option<(&'static str, f64)> {
+    let num = |key: &str| row.get(key).and_then(JsonValue::as_f64);
+    if let (Some(naive), Some(inc)) = (num("naive_ms"), num("incremental_ms")) {
+        return Some(("naive/incremental", naive / inc.max(f64::MIN_POSITIVE)));
+    }
+    if let (Some(st), Some(ad)) = (num("static_ms"), num("adaptive_ms")) {
+        return Some(("static/adaptive", st / ad.max(f64::MIN_POSITIVE)));
+    }
+    None
+}
+
+/// The key identifying a result row across runs: `scenario` (planner
+/// bench) or `n_items` (figure sweeps).
+fn row_key(row: &JsonValue) -> String {
+    row.get("scenario")
+        .and_then(JsonValue::as_str)
+        .map(str::to_owned)
+        .or_else(|| {
+            row.get("n_items")
+                .and_then(JsonValue::as_f64)
+                .map(|n| format!("n_items={n}"))
+        })
+        .unwrap_or_else(|| "<unkeyed>".to_owned())
+}
+
+/// Per-row counters that are deterministic for a fixed workload: any
+/// drift means the engine computed something different, not slower.
+const EXACT_COUNTERS: [&str; 3] = ["fired", "candidates", "rejected"];
+
+/// Diff `fresh` against `baseline`; returns the list of regressions
+/// (empty = gate passes). `tolerance` is the allowed *relative* drop in
+/// a row's speed ratio — 0.5 means a fresh ratio down to half the
+/// baseline's still passes (CI runners are noisy; only collapses fail).
+pub fn compare_reports(
+    baseline: &JsonValue,
+    fresh: &JsonValue,
+    tolerance: f64,
+) -> Result<Vec<String>, String> {
+    let name = |doc: &JsonValue| {
+        doc.get("bench")
+            .and_then(JsonValue::as_str)
+            .map(str::to_owned)
+            .ok_or_else(|| "report has no \"bench\" field".to_owned())
+    };
+    let (bname, fname) = (name(baseline)?, name(fresh)?);
+    if bname != fname {
+        return Err(format!(
+            "comparing different benches: baseline {bname:?} vs fresh {fname:?}"
+        ));
+    }
+    let rows = |doc: &JsonValue, which: &str| {
+        doc.get("results")
+            .and_then(JsonValue::as_array)
+            .map(<[JsonValue]>::to_vec)
+            .ok_or_else(|| format!("{which} report has no \"results\" array"))
+    };
+    let base_rows = rows(baseline, "baseline")?;
+    let fresh_rows = rows(fresh, "fresh")?;
+
+    let mut regressions = Vec::new();
+    for brow in &base_rows {
+        let key = row_key(brow);
+        let Some(frow) = fresh_rows.iter().find(|r| row_key(r) == key) else {
+            regressions.push(format!("{bname}[{key}]: row missing from fresh report"));
+            continue;
+        };
+        // Deterministic counters from the last pass must match exactly.
+        if let (Some(bpass), Some(fpass)) = (brow.get("last_pass"), frow.get("last_pass")) {
+            for counter in EXACT_COUNTERS {
+                let b = bpass.get(counter).and_then(JsonValue::as_f64);
+                let f = fpass.get(counter).and_then(JsonValue::as_f64);
+                if let (Some(b), Some(f)) = (b, f) {
+                    if b != f {
+                        regressions.push(format!(
+                            "{bname}[{key}]: {counter} drifted from {b} to {f} \
+                             (deterministic counter — semantic change)"
+                        ));
+                    }
+                }
+            }
+        }
+        // The demonstrated speed ratio must not collapse.
+        if let (Some((label, bratio)), Some((_, fratio))) = (row_ratio(brow), row_ratio(frow)) {
+            let floor = bratio * (1.0 - tolerance);
+            if fratio < floor {
+                regressions.push(format!(
+                    "{bname}[{key}]: {label} ratio fell to {fratio:.2} \
+                     (baseline {bratio:.2}, floor {floor:.2})"
+                ));
+            }
+        }
+    }
+    Ok(regressions)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,5 +258,71 @@ mod tests {
         assert!(doc.contains(r#""transactions":100"#));
         assert!(doc.contains(r#""incremental_ms":1.25"#));
         assert!(doc.contains(r#""last_pass":{"strategy":"parallel""#));
+    }
+
+    fn fig_report(incremental_ms: f64, naive_ms: f64, candidates: u64) -> JsonValue {
+        JsonValue::parse(&format!(
+            r#"{{"bench":"fig6","results":[{{"n_items":100,
+                "incremental_ms":{incremental_ms},"naive_ms":{naive_ms},
+                "last_pass":{{"fired":2,"candidates":{candidates},"rejected":0}}}}]}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn compare_passes_identical_and_faster_runs() {
+        let base = fig_report(10.0, 100.0, 5);
+        assert_eq!(
+            compare_reports(&base, &base, 0.5).unwrap(),
+            Vec::<String>::new()
+        );
+        // 2x faster incremental: ratio improved, still passes.
+        let faster = fig_report(5.0, 100.0, 5);
+        assert!(compare_reports(&base, &faster, 0.5).unwrap().is_empty());
+        // Ratio sagged 30% — inside the 50% tolerance.
+        let noisy = fig_report(14.0, 100.0, 5);
+        assert!(compare_reports(&base, &noisy, 0.5).unwrap().is_empty());
+    }
+
+    #[test]
+    fn compare_flags_ratio_collapse_and_counter_drift() {
+        let base = fig_report(10.0, 100.0, 5);
+        // Ratio collapsed from 10x to 2x: regression.
+        let slow = fig_report(50.0, 100.0, 5);
+        let found = compare_reports(&base, &slow, 0.5).unwrap();
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].contains("ratio fell"), "{found:?}");
+        // Candidate count drift: semantic regression, zero tolerance.
+        let drifted = fig_report(10.0, 100.0, 6);
+        let found = compare_reports(&base, &drifted, 0.5).unwrap();
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].contains("candidates drifted"), "{found:?}");
+    }
+
+    #[test]
+    fn compare_rejects_mismatched_benches_and_missing_rows() {
+        let base = fig_report(10.0, 100.0, 5);
+        let other = JsonValue::parse(r#"{"bench":"fig7","results":[]}"#).unwrap();
+        assert!(compare_reports(&base, &other, 0.5).is_err());
+        let empty = JsonValue::parse(r#"{"bench":"fig6","results":[]}"#).unwrap();
+        let found = compare_reports(&base, &empty, 0.5).unwrap();
+        assert!(found[0].contains("row missing"), "{found:?}");
+    }
+
+    #[test]
+    fn compare_handles_planner_reports() {
+        let row = |static_ms: f64, adaptive_ms: f64| {
+            JsonValue::parse(&format!(
+                r#"{{"bench":"plan","results":[{{"scenario":"bulk",
+                    "static_ms":{static_ms},"adaptive_ms":{adaptive_ms}}}]}}"#
+            ))
+            .unwrap()
+        };
+        let base = row(300.0, 200.0); // 1.5x
+        assert!(compare_reports(&base, &row(300.0, 220.0), 0.5)
+            .unwrap()
+            .is_empty());
+        let collapsed = row(300.0, 450.0); // 0.67x < 1.5 * 0.5
+        assert!(!compare_reports(&base, &collapsed, 0.5).unwrap().is_empty());
     }
 }

@@ -62,6 +62,11 @@ impl PlanStats for LiveStats<'_> {
     fn delta_len(&self, pred: PredId, polarity: Polarity) -> Option<f64> {
         Some(self.deltas.get(&pred).map_or(0, |d| d.side(polarity).len()) as f64)
     }
+
+    fn run_profile(&self, rel: RelId) -> Option<(usize, usize)> {
+        let r = self.storage.relation(rel);
+        Some((r.run_count(), r.run_sizes().iter().sum()))
+    }
 }
 
 /// The statistics a differential's plan was compiled under: one entry
@@ -299,8 +304,8 @@ mod tests {
         assert_eq!(planner.hit_count(), 2);
         assert_eq!(planner.replan_count(), 1);
 
-        // Δ explodes past 4× → re-plan, and the bulk order flips to
-        // scan-then-Δ-probe.
+        // Δ explodes past 4× → re-plan, and the bulk pair fuses into a
+        // sorted merge join on the shared key.
         let mut dbig = amos_storage::DeltaSet::new();
         for i in 0..1000 {
             dbig.apply_insert(tuple![i, i % 10]);
@@ -311,11 +316,18 @@ mod tests {
             .unwrap();
         assert_eq!(planner.replan_count(), 2, "drift forces recompilation");
         assert!(
-            matches!(p3.steps[0], PlanStep::Stored { .. }),
-            "bulk Δ flips to base-scan first: {:?}",
+            matches!(
+                p3.steps[0],
+                PlanStep::MergeJoin {
+                    ref delta_cols,
+                    ref rel_cols,
+                    ..
+                } if *delta_cols == vec![1] && *rel_cols == vec![0]
+            ),
+            "bulk Δ fuses into a merge join: {:?}",
             p3.steps
         );
-        assert!(matches!(p3.steps[1], PlanStep::Delta { .. }));
+        assert_eq!(p3.steps.len(), 1);
     }
 
     #[test]

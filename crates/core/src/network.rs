@@ -141,14 +141,11 @@ impl PropagationNetwork {
             // queries — both probe stored literals on column subsets
             // that differ from the differential plans'.
             if let Some(clauses) = catalog.def(pred).clauses() {
-                // Clone out: ensure_plan_indexes needs &mut storage while
-                // the clauses borrow the catalog.
-                #[allow(clippy::unnecessary_to_owned)]
-                for clause in clauses.to_vec() {
-                    let unbound = compile_clause(catalog, &clause, &HashSet::new())?;
+                for clause in clauses {
+                    let unbound = compile_clause(catalog, clause, &HashSet::new())?;
                     ensure_plan_indexes(catalog, &unbound, storage);
                     let all_head: HashSet<_> = clause.head_vars().into_iter().collect();
-                    let bound = compile_clause(catalog, &clause, &all_head)?;
+                    let bound = compile_clause(catalog, clause, &all_head)?;
                     ensure_plan_indexes(catalog, &bound, storage);
                 }
             }

@@ -1,9 +1,11 @@
-//! A minimal JSON document model with a serializer.
+//! A minimal JSON document model with a serializer and parser.
 //!
 //! The workspace has no registry access (so no `serde`/`serde_json`);
-//! this hand-rolled writer covers what the metrics layer and the bench
-//! harness need: building documents programmatically and rendering them
-//! with correct string escaping, either compact or pretty-printed.
+//! this hand-rolled module covers what the metrics layer and the bench
+//! harness need: building documents programmatically, rendering them
+//! with correct string escaping (compact or pretty-printed), and
+//! parsing them back — the bench regression gate reads committed
+//! `BENCH_*.json` baselines and diffs them against fresh runs.
 
 use std::fmt::Write as _;
 
@@ -50,6 +52,55 @@ impl JsonValue {
         out
     }
 
+    /// Parse a JSON document (the whole input must be one value plus
+    /// optional trailing whitespace).
+    pub fn parse(input: &str) -> Result<JsonValue, String> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing input at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup (`None` on non-objects and missing keys).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric view: `Int` and `Float` both answer.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Int(i) => Some(*i as f64),
+            JsonValue::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array view.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
     fn render(&self, out: &mut String, indent: Option<usize>, depth: usize) {
         match self {
             JsonValue::Null => out.push_str("null"),
@@ -87,6 +138,195 @@ impl JsonValue {
                     v.render(out, indent, depth + 1);
                 });
             }
+        }
+    }
+}
+
+/// Recursive-descent JSON parser over raw bytes (inputs are the
+/// artifacts this module itself writes, so strings are valid UTF-8 and
+/// escape handling mirrors [`render_string`]).
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b' ' | b'\t' | b'\n' | b'\r') = self.bytes.get(self.pos) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'"') => self.string().map(JsonValue::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(format!("unexpected input at byte {}", self.pos)),
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| "truncated \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            self.pos += 4;
+                            // Artifacts we write only \u-escape control
+                            // characters (< 0x20), so surrogate pairs are
+                            // rejected rather than recombined.
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| "non-scalar \\u escape".to_string())?,
+                            );
+                        }
+                        other => return Err(format!("unknown escape '\\{}'", other as char)),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (multi-byte safe).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid UTF-8 in string".to_string())?;
+                    let c = rest
+                        .chars()
+                        .next()
+                        .ok_or_else(|| "unterminated string".to_string())?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+                None => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if float {
+            text.parse::<f64>()
+                .map(JsonValue::Float)
+                .map_err(|e| format!("bad number '{text}': {e}"))
+        } else {
+            text.parse::<i128>()
+                .map(JsonValue::Int)
+                .map_err(|e| format!("bad number '{text}': {e}"))
         }
     }
 }
@@ -204,6 +444,59 @@ mod tests {
         assert_eq!(JsonValue::Float(1.5).to_compact(), "1.5");
         assert_eq!(JsonValue::Float(2.0).to_compact(), "2.0");
         assert_eq!(JsonValue::Float(f64::NAN).to_compact(), "null");
+    }
+
+    #[test]
+    fn parse_roundtrips_what_we_write() {
+        let doc = JsonValue::object()
+            .with("name", "he said \"hi\"\n\u{1}")
+            .with("n", 42u64)
+            .with("neg", -7i64)
+            .with("f", 1.25)
+            .with("ok", true)
+            .with("nothing", JsonValue::Null)
+            .with("xs", vec![1i64, 2, 3])
+            .with("nested", JsonValue::object().with("k", "v"))
+            .with("unicode", "Δ₊quantity ⋈");
+        for rendered in [doc.to_compact(), doc.to_pretty()] {
+            assert_eq!(JsonValue::parse(&rendered).unwrap(), doc, "{rendered}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "tru",
+            "1 2",
+            "\"\\q\"",
+            "{\"a\" 1}",
+        ] {
+            assert!(JsonValue::parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn accessors_view_parsed_documents() {
+        let doc =
+            JsonValue::parse(r#"{"bulk":{"speedup":1.31,"rows":2000},"tags":["a"]}"#).unwrap();
+        let bulk = doc.get("bulk").unwrap();
+        assert_eq!(bulk.get("speedup").and_then(JsonValue::as_f64), Some(1.31));
+        assert_eq!(bulk.get("rows").and_then(JsonValue::as_f64), Some(2000.0));
+        assert_eq!(
+            doc.get("tags")
+                .and_then(JsonValue::as_array)
+                .map(<[_]>::len),
+            Some(1)
+        );
+        assert_eq!(
+            doc.get("tags").unwrap().as_array().unwrap()[0].as_str(),
+            Some("a")
+        );
+        assert!(doc.get("missing").is_none());
     }
 
     #[test]

@@ -83,6 +83,7 @@ pub struct EvalShared {
     scans: AtomicU64,
     delta_probes: AtomicU64,
     delta_scans: AtomicU64,
+    merge_joins: AtomicU64,
 }
 
 impl Default for EvalShared {
@@ -105,6 +106,7 @@ impl EvalShared {
             scans: AtomicU64::new(0),
             delta_probes: AtomicU64::new(0),
             delta_scans: AtomicU64::new(0),
+            merge_joins: AtomicU64::new(0),
         }
     }
 
@@ -161,7 +163,18 @@ impl EvalShared {
     pub fn delta_scan_count(&self) -> u64 {
         self.delta_scans.load(Ordering::Relaxed)
     }
+
+    /// Cumulative sorted merge-join zipper executions.
+    pub fn merge_join_count(&self) -> u64 {
+        self.merge_joins.load(Ordering::Relaxed)
+    }
 }
+
+/// When the Δ side of a merge join outnumbers the stored arrangement by
+/// this factor, skip sorting it and binary-search each Δ tuple into the
+/// stored blocks instead: `O(|Δ|·log s)` beats the `O(|Δ|·log |Δ|)`
+/// arrange once `s ≪ |Δ|` (the bulk-load-against-tiny-companion shape).
+const LOOKUP_JOIN_FACTOR: usize = 8;
 
 /// Evaluation context: storage, catalog, and the Δ-environment.
 pub struct EvalContext<'a> {
@@ -638,7 +651,7 @@ impl<'a> EvalContext<'a> {
                 if bound_cols.is_empty() {
                     r.scan().cloned().collect()
                 } else {
-                    r.probe(&bound_cols, &key).into_iter().cloned().collect()
+                    r.probe(&bound_cols, &key)
                 }
             }
             StateEpoch::Old => {
@@ -648,7 +661,7 @@ impl<'a> EvalContext<'a> {
                 } else if v.delta_len() <= 32 {
                     // Small transaction (the paper's common case): the
                     // per-probe linear Δ overlay is O(|Δ|) ≈ O(1).
-                    v.probe(&bound_cols, &key).into_iter().cloned().collect()
+                    v.probe(&bound_cols, &key)
                 } else {
                     // Massive transaction: amortize one old-state scan
                     // into a hash index shared across the whole pass.
@@ -845,6 +858,95 @@ impl<'a> EvalContext<'a> {
                 }
                 Ok(())
             }
+            PlanStep::MergeJoin {
+                delta_pred,
+                polarity,
+                delta_args,
+                rel,
+                stored_args,
+                delta_cols,
+                rel_cols,
+                ..
+            } => {
+                // Only differential plans carry Δ-literals, and those run
+                // in the new epoch; the fusion gate additionally required
+                // the stored side to be epoch-`New`.
+                debug_assert_eq!(outer_epoch, StateEpoch::New);
+                let Some(delta) = self.deltas.get(delta_pred) else {
+                    return Ok(()); // no Δ-set: the join is empty
+                };
+                self.shared.merge_joins.fetch_add(1, Ordering::Relaxed);
+                let dside = delta.side(*polarity);
+                if dside.is_empty() {
+                    return Ok(());
+                }
+                let sarr = self.storage.relation(*rel).arrangement(rel_cols);
+                if sarr.is_empty() {
+                    return Ok(());
+                }
+                if dside.len() > LOOKUP_JOIN_FACTOR * sarr.len() {
+                    // Asymmetric: the Δ side dwarfs the stored
+                    // arrangement, so sorting it would dominate the
+                    // join. Binary-search each Δ tuple into the stored
+                    // blocks instead — O(|Δ|·log s) beats O(|Δ|·log |Δ|).
+                    for dtu in dside {
+                        let block = sarr.equal_range_on(dtu, delta_cols);
+                        if block.is_empty() {
+                            continue;
+                        }
+                        if let Some(dtrail) = unify_tuple(delta_args, dtu, b) {
+                            for stu in block {
+                                if let Some(strail) = unify_tuple(stored_args, stu, b) {
+                                    self.exec_step(plan, idx + 1, b, outer_epoch, depth, emit)?;
+                                    undo(&strail, b);
+                                }
+                            }
+                            undo(&dtrail, b);
+                        }
+                    }
+                    return Ok(());
+                }
+                let darr = delta.arrangement(*polarity, delta_cols);
+                let (dt, st) = (darr.tuples(), sarr.tuples());
+                let (mut i, mut j) = (0, 0);
+                while i < dt.len() && j < st.len() {
+                    use std::cmp::Ordering as Ord_;
+                    match amos_storage::arrangement::cmp_on_cols(
+                        &dt[i], delta_cols, &st[j], rel_cols,
+                    ) {
+                        Ord_::Less => i += 1,
+                        Ord_::Greater => j += 1,
+                        Ord_::Equal => {
+                            let di_end = darr.block_end(i);
+                            let sj_end = sarr.block_end(j);
+                            // Unify against the full argument lists so
+                            // constants and repeated variables outside the
+                            // join key still filter.
+                            for dtu in &dt[i..di_end] {
+                                if let Some(dtrail) = unify_tuple(delta_args, dtu, b) {
+                                    for stu in &st[j..sj_end] {
+                                        if let Some(strail) = unify_tuple(stored_args, stu, b) {
+                                            self.exec_step(
+                                                plan,
+                                                idx + 1,
+                                                b,
+                                                outer_epoch,
+                                                depth,
+                                                emit,
+                                            )?;
+                                            undo(&strail, b);
+                                        }
+                                    }
+                                    undo(&dtrail, b);
+                                }
+                            }
+                            i = di_end;
+                            j = sj_end;
+                        }
+                    }
+                }
+                Ok(())
+            }
             PlanStep::Unify { lhs, rhs } => match (resolve(lhs, b), resolve(rhs, b)) {
                 (Some(l), Some(r)) => {
                     if l == r {
@@ -995,6 +1097,152 @@ mod tests {
         let ctx = EvalContext::new(&f.storage, &f.catalog, &deltas);
         let out = ctx.eval_pred(dp, &[None, None], StateEpoch::New).unwrap();
         assert_eq!(out, [tuple![1, 3]].into_iter().collect());
+    }
+
+    /// The fused merge-join step computes exactly what the unfused
+    /// Δ-scan + probe pair computes — including residual constraints
+    /// (a repeated variable on the Δ side) that are outside the join
+    /// key — and bumps the `merge_joins` counter.
+    #[test]
+    fn merge_join_matches_unfused_pair() {
+        use crate::plan::{compile_clause_with, PlanStats};
+        use amos_storage::RelId;
+
+        struct BulkStats;
+        impl PlanStats for BulkStats {
+            fn cardinality(&self, _rel: RelId) -> Option<f64> {
+                Some(4.0)
+            }
+            fn ndv(&self, _rel: RelId, _col: usize) -> Option<f64> {
+                Some(4.0)
+            }
+            fn delta_len(&self, _pred: PredId, _polarity: Polarity) -> Option<f64> {
+                Some(100_000.0)
+            }
+        }
+
+        let mut f = fixture();
+        // Δp/Δ₊q ← Δ₊q(X,X) ∧ r(X,Z): repeated variable X on the Δ side.
+        let diff = ClauseBuilder::new(2)
+            .head([Term::var(0), Term::var(1)])
+            .delta(f.q, Polarity::Plus, [Term::var(0), Term::var(0)])
+            .pred(f.r, [Term::var(0), Term::var(1)])
+            .build();
+
+        let fused = compile_clause_with(&f.catalog, &diff, &HashSet::new(), &BulkStats).unwrap();
+        assert!(
+            matches!(fused.steps[0], PlanStep::MergeJoin { .. }),
+            "{:?}",
+            fused.steps
+        );
+        let unfused = compile_clause(&f.catalog, &diff, &HashSet::new()).unwrap();
+        assert!(!unfused
+            .steps
+            .iter()
+            .any(|s| matches!(s, PlanStep::MergeJoin { .. })));
+
+        let mut deltas = DeltaMap::new();
+        let mut d = DeltaSet::new();
+        d.apply_insert(tuple![1, 1]); // matches X=X, joins r(1,2)
+        d.apply_insert(tuple![2, 2]); // matches X=X, joins r(2,3)
+        d.apply_insert(tuple![1, 2]); // fails the repeated-variable test
+        deltas.insert(f.q, d);
+        f.storage.insert(RelId(1), tuple![1, 9]).unwrap(); // second block row
+
+        let ctx = EvalContext::new(&f.storage, &f.catalog, &deltas);
+        let run = |plan: &Plan| {
+            let mut out = HashSet::new();
+            ctx.run_plan(
+                plan,
+                vec![None; plan.n_vars as usize],
+                StateEpoch::New,
+                0,
+                &mut |b, head| {
+                    let vals: Vec<Value> = head.iter().map(|t| resolve(t, b).unwrap()).collect();
+                    out.insert(Tuple::new(vals));
+                    Ok(())
+                },
+            )
+            .unwrap();
+            out
+        };
+        let fused_out = run(&fused);
+        let unfused_out = run(&unfused);
+        let expected: HashSet<Tuple> = [tuple![1, 2], tuple![1, 9], tuple![2, 3]]
+            .into_iter()
+            .collect();
+        assert_eq!(fused_out, expected);
+        assert_eq!(fused_out, unfused_out);
+        assert_eq!(ctx.shared.merge_join_count(), 1, "one zipper execution");
+    }
+
+    /// When the Δ side outnumbers the stored arrangement past
+    /// `LOOKUP_JOIN_FACTOR`, the merge-join step switches to the
+    /// asymmetric lookup path (no Δ sort) — which must produce exactly
+    /// the zipper's results.
+    #[test]
+    fn lookup_join_matches_unfused_pair() {
+        use crate::plan::{compile_clause_with, PlanStats};
+        use amos_storage::RelId;
+
+        struct BulkStats;
+        impl PlanStats for BulkStats {
+            fn cardinality(&self, _rel: RelId) -> Option<f64> {
+                Some(3.0)
+            }
+            fn ndv(&self, _rel: RelId, _col: usize) -> Option<f64> {
+                Some(3.0)
+            }
+            fn delta_len(&self, _pred: PredId, _polarity: Polarity) -> Option<f64> {
+                Some(100_000.0)
+            }
+        }
+
+        let mut f = fixture();
+        // Δp/Δ₊q ← Δ₊q(X,Y) ∧ r(Y,Z), bulk Δ against a 3-row r.
+        let diff = ClauseBuilder::new(3)
+            .head([Term::var(0), Term::var(2)])
+            .delta(f.q, Polarity::Plus, [Term::var(0), Term::var(1)])
+            .pred(f.r, [Term::var(1), Term::var(2)])
+            .build();
+        let fused = compile_clause_with(&f.catalog, &diff, &HashSet::new(), &BulkStats).unwrap();
+        assert!(matches!(fused.steps[0], PlanStep::MergeJoin { .. }));
+        let unfused = compile_clause(&f.catalog, &diff, &HashSet::new()).unwrap();
+
+        let mut deltas = DeltaMap::new();
+        let mut d = DeltaSet::new();
+        for i in 0..30i64 {
+            d.apply_insert(tuple![i, (i % 3) + 1]); // keys 1, 2, 3
+        }
+        deltas.insert(f.q, d);
+        f.storage.insert(RelId(1), tuple![1, 9]).unwrap();
+        // r = {(1,2), (2,3), (1,9)}: arrangement of 3 ≪ Δ of 30, so the
+        // lookup path engages (factor 8).
+
+        let ctx = EvalContext::new(&f.storage, &f.catalog, &deltas);
+        let run = |plan: &Plan| {
+            let mut out = HashSet::new();
+            ctx.run_plan(
+                plan,
+                vec![None; plan.n_vars as usize],
+                StateEpoch::New,
+                0,
+                &mut |b, head| {
+                    let vals: Vec<Value> = head.iter().map(|t| resolve(t, b).unwrap()).collect();
+                    out.insert(Tuple::new(vals));
+                    Ok(())
+                },
+            )
+            .unwrap();
+            out
+        };
+        let fused_out = run(&fused);
+        let unfused_out = run(&unfused);
+        assert_eq!(fused_out, unfused_out);
+        // Key 3 never matches; keys 1 and 2 each match 10 Δ tuples,
+        // key 1 twice over (r has two rows under it).
+        assert_eq!(fused_out.len(), 30);
+        assert_eq!(ctx.shared.merge_join_count(), 1);
     }
 
     #[test]

@@ -91,6 +91,11 @@ pub struct Storage {
     /// relations, which is sound only while the caller honours the
     /// no-deletes contract.
     append_only: HashSet<RelId>,
+    /// Seal-threshold override applied to every relation (existing and
+    /// future). `None` keeps the per-relation default. A physical
+    /// layout knob only — logical content is identical at any setting
+    /// (the sorted-run ≡ hash-map proptests pin this).
+    seal_threshold: Option<usize>,
 }
 
 impl Storage {
@@ -136,9 +141,23 @@ impl Storage {
             return Err(StorageError::DuplicateRelation(name));
         }
         let id = RelId(self.relations.len() as u32);
-        self.relations.push(BaseRelation::new(name.clone(), arity));
+        let mut rel = BaseRelation::new(name.clone(), arity);
+        if let Some(t) = self.seal_threshold {
+            rel.set_seal_threshold(t);
+        }
+        self.relations.push(rel);
         self.by_name.insert(name, id);
         Ok(id)
+    }
+
+    /// Override the sorted-run seal threshold on every relation,
+    /// existing and future (`usize::MAX` effectively restores pure
+    /// hash-set behaviour; small values exercise runs aggressively).
+    pub fn set_seal_threshold(&mut self, threshold: usize) {
+        self.seal_threshold = Some(threshold);
+        for r in &mut self.relations {
+            r.set_seal_threshold(threshold);
+        }
     }
 
     /// Look up a relation id by name.
@@ -347,12 +366,7 @@ impl Storage {
         rest: &[Value],
     ) -> Result<(), StorageError> {
         let key_cols: Vec<usize> = (0..key.len()).collect();
-        let old: Vec<Tuple> = self
-            .relation(id)
-            .probe(&key_cols, key)
-            .into_iter()
-            .cloned()
-            .collect();
+        let old: Vec<Tuple> = self.relation(id).probe(&key_cols, key);
         for t in old {
             self.delete(id, &t)?;
         }
@@ -568,10 +582,20 @@ impl Storage {
             self.oids
                 .ensure_above(Oid::from_raw(snap.next_oid.saturating_sub(1)));
             for rel in snap.relations {
-                let id = self.recovered_relation(&rel.name, rel.arity)?;
-                for t in rel.tuples {
-                    self.note_recovered_oids(&t);
-                    self.relations[id.0 as usize].insert(t);
+                // Adopt the snapshot's sorted runs directly — no
+                // tuple-by-tuple rehydration through hash maps; only the
+                // oid scan below touches individual tuples.
+                let id = self.recovered_relation_from_runs(&rel.name, rel.arity, rel.runs)?;
+                let oids: Vec<Oid> = self.relations[id.0 as usize]
+                    .scan()
+                    .flat_map(|t| t.iter())
+                    .filter_map(|v| match v {
+                        Value::Oid(o) => Some(*o),
+                        _ => None,
+                    })
+                    .collect();
+                for o in oids {
+                    self.oids.ensure_above(o);
                 }
             }
         }
@@ -641,7 +665,7 @@ impl Storage {
             .map(|r| SnapshotRelation {
                 name: r.name().to_string(),
                 arity: r.arity(),
-                tuples: r.scan().cloned().collect(),
+                runs: r.snapshot_runs(),
             })
             .collect();
         let wal = self
@@ -664,6 +688,40 @@ impl Storage {
         Ok(())
     }
 
+    /// Materialize a relation from snapshot runs during recovery,
+    /// validating arity. The runs are adopted as the relation's
+    /// physical layout ([`BaseRelation::from_runs`]); if the relation
+    /// already exists (schema declared before `attach_wal`) the runs
+    /// fold in through regular inserts instead.
+    fn recovered_relation_from_runs(
+        &mut self,
+        name: &str,
+        arity: usize,
+        runs: Vec<Vec<Tuple>>,
+    ) -> Result<RelId, StorageError> {
+        if let Some(&id) = self.by_name.get(name) {
+            let existing = self.relation(id).arity();
+            if existing != arity {
+                return Err(StorageError::Corrupt(format!(
+                    "recovered tuple of arity {arity} for relation `{name}` of arity {existing}"
+                )));
+            }
+            for t in runs.into_iter().flatten() {
+                self.relations[id.0 as usize].insert(t);
+            }
+            return Ok(id);
+        }
+        let id = RelId(self.relations.len() as u32);
+        let mut rel = BaseRelation::from_runs(name, arity, runs);
+        if let Some(t) = self.seal_threshold {
+            rel.set_seal_threshold(t);
+        }
+        self.relations.push(rel);
+        self.by_name.insert(name.to_string(), id);
+        self.recovered.insert(name.to_string());
+        Ok(id)
+    }
+
     /// Get-or-create a relation during recovery, validating arity.
     fn recovered_relation(&mut self, name: &str, arity: usize) -> Result<RelId, StorageError> {
         if let Some(&id) = self.by_name.get(name) {
@@ -676,7 +734,11 @@ impl Storage {
             return Ok(id);
         }
         let id = RelId(self.relations.len() as u32);
-        self.relations.push(BaseRelation::new(name, arity));
+        let mut rel = BaseRelation::new(name, arity);
+        if let Some(t) = self.seal_threshold {
+            rel.set_seal_threshold(t);
+        }
+        self.relations.push(rel);
         self.by_name.insert(name.to_string(), id);
         self.recovered.insert(name.to_string());
         Ok(id)

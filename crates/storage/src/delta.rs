@@ -16,6 +16,8 @@ use std::sync::{Arc, RwLock};
 
 use amos_types::{FxHashMap, FxHashSet, Tuple, Value};
 
+use crate::arrangement::Arrangement;
+
 /// Whether a change, Δ-set side, or differential concerns insertions
 /// (`Δ₊`) or deletions (`Δ₋`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -45,28 +47,33 @@ impl fmt::Display for Polarity {
     }
 }
 
-/// Below this side size a Δ-probe just scan-filters: building a hash
-/// index over a handful of tuples costs more than the scan it saves.
+/// Below this side size a Δ-probe just scan-filters: arranging a
+/// handful of tuples costs more than the scan it saves.
 const DELTA_INDEX_THRESHOLD: usize = 16;
 
-/// One lazily built Δ-side hash index: projection of the indexed columns
-/// → matching tuples, mirroring [`HashIndex`](crate::BaseRelation) on
-/// base relations.
-type DeltaIndex = Arc<FxHashMap<Tuple, Vec<Tuple>>>;
+/// Past this combined size, `∪Δ` switches from hash-set differences to
+/// the sorted linear co-traversal (the arrangement idiom: sort once,
+/// cancel in one merge pass).
+const DELTA_UNION_SORT_THRESHOLD: usize = 64;
+
+/// Cache of lazily-built Δ-side arrangements, keyed by side and key
+/// columns.
+type ArrangementCache = RwLock<FxHashMap<(Polarity, Vec<usize>), Arc<Arrangement>>>;
 
 /// A disjoint pair of inserted (`Δ₊`) and deleted (`Δ₋`) tuples.
 ///
-/// Carries a cache of lazy per-column-set hash indexes so that a
+/// Carries a cache of lazy per-column-set [`Arrangement`]s so that a
 /// Δ-literal scheduled *after* binding literals (the adaptive planner's
-/// scan-then-probe order for bulk loads) probes the Δ-set in O(1)
-/// instead of scanning it. The cache is execution state, not value
-/// state: it is invalidated by every mutation and excluded from
-/// `Clone`/`PartialEq`.
+/// scan-then-probe order for bulk loads) probes the Δ-set by binary
+/// search instead of scanning it, and so that a merge join can zipper
+/// the Δ-side against a base-relation arrangement without building any
+/// hash table. The cache is execution state, not value state: it is
+/// invalidated by every mutation and excluded from `Clone`/`PartialEq`.
 #[derive(Debug, Default)]
 pub struct DeltaSet {
     plus: FxHashSet<Tuple>,
     minus: FxHashSet<Tuple>,
-    indexes: RwLock<FxHashMap<(Polarity, Vec<usize>), DeltaIndex>>,
+    indexes: ArrangementCache,
 }
 
 impl Clone for DeltaSet {
@@ -101,7 +108,8 @@ impl DeltaSet {
         }
     }
 
-    /// Drop all cached Δ-side indexes; must be called by every mutator.
+    /// Drop all cached Δ-side arrangements; must be called by every
+    /// mutator.
     fn invalidate_indexes(&mut self) {
         if let Ok(map) = self.indexes.get_mut() {
             if !map.is_empty() {
@@ -200,6 +208,9 @@ impl DeltaSet {
     /// assert!(d1.delta_union(&d2).is_empty());
     /// ```
     pub fn delta_union(&self, other: &DeltaSet) -> DeltaSet {
+        if self.len() + other.len() >= DELTA_UNION_SORT_THRESHOLD {
+            return self.delta_union_sorted(other);
+        }
         let plus: FxHashSet<Tuple> = self
             .plus
             .difference(&other.minus)
@@ -212,6 +223,40 @@ impl DeltaSet {
             .chain(other.minus.difference(&self.plus))
             .cloned()
             .collect();
+        DeltaSet::from_sets(plus, minus)
+    }
+
+    /// The `∪Δ` cancellation as linear co-traversals over sorted runs:
+    /// each side is sorted once, then every set difference in the §4.1
+    /// formula is a single merge pass. Identical result to the hash
+    /// formula (pinned by `delta_union_sorted_matches_formula`); wins
+    /// once the Δ-sets are large enough to make hash churn the cost.
+    fn delta_union_sorted(&self, other: &DeltaSet) -> DeltaSet {
+        fn sorted(set: &FxHashSet<Tuple>) -> Vec<Tuple> {
+            let mut v: Vec<Tuple> = set.iter().cloned().collect();
+            v.sort_unstable();
+            v
+        }
+        /// `a − b` for sorted, duplicate-free slices, in one pass.
+        fn difference(a: &[Tuple], b: &[Tuple], out: &mut FxHashSet<Tuple>) {
+            let mut j = 0;
+            for t in a {
+                while j < b.len() && b[j] < *t {
+                    j += 1;
+                }
+                if j >= b.len() || b[j] != *t {
+                    out.insert(t.clone());
+                }
+            }
+        }
+        let (p1, m1) = (sorted(&self.plus), sorted(&self.minus));
+        let (p2, m2) = (sorted(&other.plus), sorted(&other.minus));
+        let mut plus = FxHashSet::default();
+        difference(&p1, &m2, &mut plus);
+        difference(&p2, &m1, &mut plus);
+        let mut minus = FxHashSet::default();
+        difference(&m1, &p2, &mut minus);
+        difference(&m2, &p1, &mut minus);
         DeltaSet::from_sets(plus, minus)
     }
 
@@ -255,10 +300,10 @@ impl DeltaSet {
     /// equals `key`.
     ///
     /// Small sides are scan-filtered directly; past
-    /// [`DELTA_INDEX_THRESHOLD`] a hash index over `cols` is built
-    /// lazily (and cached until the next mutation), making repeated
-    /// probes O(1) in the Δ-set size. Returns owned tuples — interning
-    /// makes the clones reference bumps.
+    /// [`DELTA_INDEX_THRESHOLD`] the side is arranged by `cols` lazily
+    /// (sorted once, cached until the next mutation), making repeated
+    /// probes a binary search with no per-tuple key allocation. Returns
+    /// owned tuples — interning makes the clones reference bumps.
     pub fn probe(&self, polarity: Polarity, cols: &[usize], key: &[Value]) -> Vec<Tuple> {
         let side = self.side(polarity);
         if side.len() < DELTA_INDEX_THRESHOLD {
@@ -268,31 +313,32 @@ impl DeltaSet {
                 .cloned()
                 .collect();
         }
-        let index = self.index_for(polarity, cols);
-        let key_tuple = Tuple::new(key.to_vec());
-        index.get(&key_tuple).cloned().unwrap_or_default()
+        self.arrangement(polarity, cols).equal_range(key).to_vec()
     }
 
-    /// Number of cached Δ-side indexes (for tests / introspection).
+    /// Number of cached Δ-side arrangements (for tests / introspection).
     pub fn index_count(&self) -> usize {
         self.indexes.read().map(|m| m.len()).unwrap_or(0)
     }
 
-    fn index_for(&self, polarity: Polarity, cols: &[usize]) -> DeltaIndex {
+    /// The side's tuples arranged (sorted) by `cols`, built lazily and
+    /// cached until the next mutation. The Δ-side input of a merge join
+    /// — unlike [`probe`](Self::probe) this always arranges, because the
+    /// caller wants the whole sorted sequence, not one key block.
+    pub fn arrangement(&self, polarity: Polarity, cols: &[usize]) -> Arc<Arrangement> {
         if let Ok(cache) = self.indexes.read() {
-            if let Some(idx) = cache.get(&(polarity, cols.to_vec())) {
-                return Arc::clone(idx);
+            if let Some(a) = cache.get(&(polarity, cols.to_vec())) {
+                return Arc::clone(a);
             }
         }
-        let mut map: FxHashMap<Tuple, Vec<Tuple>> = FxHashMap::default();
-        for t in self.side(polarity) {
-            map.entry(t.project(cols)).or_default().push(t.clone());
-        }
-        let idx: DeltaIndex = Arc::new(map);
+        let a = Arc::new(Arrangement::build(
+            self.side(polarity).iter().cloned().collect(),
+            cols,
+        ));
         if let Ok(mut cache) = self.indexes.write() {
-            cache.insert((polarity, cols.to_vec()), Arc::clone(&idx));
+            cache.insert((polarity, cols.to_vec()), Arc::clone(&a));
         }
-        idx
+        a
     }
 }
 
@@ -460,6 +506,60 @@ mod tests {
         let c = d.clone();
         assert_eq!(c.index_count(), 0, "clone starts with a cold cache");
         assert_eq!(c, d, "equality is on Δ contents only");
+    }
+
+    #[test]
+    fn delta_union_sorted_matches_formula() {
+        // Large overlapping Δ-sets: the sorted co-traversal path engages
+        // (combined size past DELTA_UNION_SORT_THRESHOLD) and must agree
+        // with the event-fold oracle.
+        let mut d1 = DeltaSet::new();
+        for i in 0..50 {
+            if i % 2 == 0 {
+                d1.apply_insert(tuple![i]);
+            } else {
+                d1.apply_delete(tuple![i]);
+            }
+        }
+        let mut d2 = DeltaSet::new();
+        for i in 25..75 {
+            if i % 3 == 0 {
+                d2.apply_insert(tuple![i]);
+            } else {
+                d2.apply_delete(tuple![i]);
+            }
+        }
+        assert!(d1.len() + d2.len() >= super::DELTA_UNION_SORT_THRESHOLD);
+        let by_sorted = d1.delta_union(&d2);
+        let by_fold = {
+            let mut c = d1.clone();
+            c.delta_union_assign(d2.clone());
+            c
+        };
+        assert_eq!(by_sorted, by_fold);
+        assert!(by_sorted.invariant_holds());
+    }
+
+    #[test]
+    fn arrangement_exposes_sorted_side() {
+        let mut d = DeltaSet::new();
+        for i in 0..20 {
+            d.apply_insert(tuple![i, i % 4]);
+        }
+        let a = d.arrangement(Polarity::Plus, &[1]);
+        assert_eq!(a.len(), 20);
+        assert_eq!(a.equal_range(&[Value::Int(2)]).len(), 5);
+        // Cached until mutation, shared with probe's cache.
+        assert_eq!(d.index_count(), 1);
+        d.apply_insert(tuple![100, 2]);
+        assert_eq!(d.index_count(), 0);
+        assert_eq!(
+            d.arrangement(Polarity::Plus, &[1])
+                .equal_range(&[Value::Int(2)])
+                .len(),
+            6
+        );
+        assert!(d.arrangement(Polarity::Minus, &[1]).is_empty());
     }
 
     #[test]

@@ -38,6 +38,7 @@
 //!   fault plans (crashes, torn writes, I/O errors, failing rule
 //!   actions) threaded through the WAL writer and the rule layer.
 
+pub mod arrangement;
 pub mod database;
 pub mod delta;
 pub mod error;
@@ -49,6 +50,7 @@ pub mod relation;
 pub mod snapshot;
 pub mod wal;
 
+pub use arrangement::{Arrangement, SortedRun};
 pub use database::{RecoveryInfo, RelId, Savepoint, Storage};
 pub use delta::{DeltaSet, Polarity};
 pub use error::StorageError;

@@ -75,19 +75,21 @@ impl<'a> OldStateView<'a> {
     }
 
     /// Probe by key columns in the old state: the new-state probe minus
-    /// inserted tuples, plus matching deleted tuples.
-    pub fn probe(&self, cols: &[usize], key: &[Value]) -> Vec<&'a Tuple> {
-        let mut out: Vec<&'a Tuple> = self
+    /// inserted tuples, plus matching deleted tuples. Owned tuples —
+    /// interning makes the clones reference bumps.
+    pub fn probe(&self, cols: &[usize], key: &[Value]) -> Vec<Tuple> {
+        let mut out: Vec<Tuple> = self
             .rel
             .probe(cols, key)
             .into_iter()
-            .filter(|t| !self.delta.plus().contains(*t))
+            .filter(|t| !self.delta.plus().contains(t))
             .collect();
         out.extend(
             self.delta
                 .minus()
                 .iter()
-                .filter(|t| cols.iter().zip(key).all(|(&c, v)| &t[c] == v)),
+                .filter(|t| cols.iter().zip(key).all(|(&c, v)| &t[c] == v))
+                .cloned(),
         );
         out
     }
@@ -152,7 +154,7 @@ mod tests {
 
         let view = OldStateView::new(&rel, &delta);
         let hits = view.probe(&[0], &[Value::Int(1)]);
-        assert_eq!(hits, vec![&tuple![1, 10]]);
+        assert_eq!(hits, vec![tuple![1, 10]]);
     }
 
     #[test]

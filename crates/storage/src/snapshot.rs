@@ -3,10 +3,19 @@
 //! last checkpoint rather than the life of the database.
 //!
 //! ```text
-//! file := magic "AMOSSNP1" body crc:u32      (crc over body)
+//! file := magic "AMOSSNP2" body crc:u32      (crc over body)
 //! body := last_seq:u64 next_oid:u64 n_rels:u32 relation*
-//! relation := name_len:u16 name:utf8 arity:u16 count:u64 tuple*
+//! relation := name_len:u16 name:utf8 arity:u16 n_runs:u32 run*
+//! run := count:u64 tuple*                    (tuples in value order)
 //! ```
+//!
+//! A relation's image is its **sorted runs** as they sit in memory
+//! (tombstones already reconciled, the mutable head sealed as a final
+//! run) — checkpointing streams runs out and recovery adopts them back
+//! verbatim, with no rehydration through hash maps on either side. The
+//! previous `AMOSSNP1` format (one flat, unordered tuple list per
+//! relation) is still read, as a single run that gets defensively
+//! sorted on load.
 //!
 //! Snapshots are written to a temporary file and atomically renamed into
 //! place, so a crash mid-checkpoint leaves the previous snapshot (or
@@ -24,18 +33,28 @@ use crate::wal::{crc32, encode_tuple, Cursor};
 
 /// File name of the snapshot inside a WAL directory.
 pub const SNAPSHOT_FILE: &str = "snapshot.bin";
-/// Magic bytes opening a snapshot file.
-pub const SNAPSHOT_MAGIC: &[u8; 8] = b"AMOSSNP1";
+/// Magic bytes opening a snapshot file (run-structured format).
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"AMOSSNP2";
+/// Magic of the legacy flat-tuple-list format, still readable.
+pub const SNAPSHOT_MAGIC_V1: &[u8; 8] = b"AMOSSNP1";
 
-/// One relation's image inside a snapshot.
+/// One relation's image inside a snapshot: its sorted runs.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SnapshotRelation {
     /// Relation name (ids are per-process; names are durable).
     pub name: String,
     /// Declared arity (kept even when the relation is empty).
     pub arity: usize,
-    /// The tuples, in unspecified order.
-    pub tuples: Vec<Tuple>,
+    /// The tombstone-free sorted runs (a v1 snapshot decodes as one
+    /// possibly-unordered run).
+    pub runs: Vec<Vec<Tuple>>,
+}
+
+impl SnapshotRelation {
+    /// Total tuples across all runs.
+    pub fn tuple_count(&self) -> usize {
+        self.runs.iter().map(Vec::len).sum()
+    }
 }
 
 /// A decoded snapshot.
@@ -60,9 +79,12 @@ pub fn write_snapshot(path: &Path, snap: &Snapshot) -> Result<(), StorageError> 
         body.extend_from_slice(&(rel.name.len() as u16).to_le_bytes());
         body.extend_from_slice(rel.name.as_bytes());
         body.extend_from_slice(&(rel.arity as u16).to_le_bytes());
-        body.extend_from_slice(&(rel.tuples.len() as u64).to_le_bytes());
-        for t in &rel.tuples {
-            encode_tuple(&mut body, t);
+        body.extend_from_slice(&(rel.runs.len() as u32).to_le_bytes());
+        for run in &rel.runs {
+            body.extend_from_slice(&(run.len() as u64).to_le_bytes());
+            for t in run {
+                encode_tuple(&mut body, t);
+            }
         }
     }
     let crc = crc32(&body);
@@ -87,7 +109,12 @@ pub fn read_snapshot(path: &Path) -> Result<Option<Snapshot>, StorageError> {
         Err(e) => return Err(e.into()),
     };
     let corrupt = |what: &str| StorageError::Corrupt(format!("snapshot: {what}"));
-    if bytes.len() < SNAPSHOT_MAGIC.len() + 4 || &bytes[..SNAPSHOT_MAGIC.len()] != SNAPSHOT_MAGIC {
+    if bytes.len() < SNAPSHOT_MAGIC.len() + 4 {
+        return Err(corrupt("bad magic or truncated"));
+    }
+    let magic = &bytes[..SNAPSHOT_MAGIC.len()];
+    let v1 = magic == SNAPSHOT_MAGIC_V1;
+    if !v1 && magic != SNAPSHOT_MAGIC {
         return Err(corrupt("bad magic or truncated"));
     }
     let body = &bytes[SNAPSHOT_MAGIC.len()..bytes.len() - 4];
@@ -104,20 +131,24 @@ pub fn read_snapshot(path: &Path) -> Result<Option<Snapshot>, StorageError> {
         let name_len = cur.u16()? as usize;
         let name = cur.str(name_len)?.to_string();
         let arity = cur.u16()? as usize;
-        let count = cur.u64()? as usize;
-        let mut tuples = Vec::with_capacity(count);
-        for _ in 0..count {
-            let t = cur.tuple()?;
-            if t.arity() != arity {
-                return Err(corrupt("tuple arity disagrees with relation header"));
+        let n_runs = if v1 { 1 } else { cur.u32()? as usize };
+        let mut runs = Vec::with_capacity(n_runs);
+        for _ in 0..n_runs {
+            let count = cur.u64()? as usize;
+            let mut tuples = Vec::with_capacity(count);
+            for _ in 0..count {
+                let t = cur.tuple()?;
+                if t.arity() != arity {
+                    return Err(corrupt("tuple arity disagrees with relation header"));
+                }
+                tuples.push(t);
             }
-            tuples.push(t);
+            runs.push(tuples);
         }
-        relations.push(SnapshotRelation {
-            name,
-            arity,
-            tuples,
-        });
+        if v1 && runs.len() == 1 && runs[0].is_empty() {
+            runs.clear(); // empty v1 relation: no runs, not one empty run
+        }
+        relations.push(SnapshotRelation { name, arity, runs });
     }
     if !cur.is_at_end() {
         return Err(corrupt("trailing bytes"));
@@ -142,12 +173,12 @@ mod tests {
                 SnapshotRelation {
                     name: "q".into(),
                     arity: 2,
-                    tuples: vec![tuple![1, "a"], tuple![2, "b"]],
+                    runs: vec![vec![tuple![1, "a"], tuple![2, "b"]], vec![tuple![3, "c"]]],
                 },
                 SnapshotRelation {
                     name: "empty".into(),
                     arity: 3,
-                    tuples: vec![],
+                    runs: vec![],
                 },
             ],
         }
@@ -181,6 +212,44 @@ mod tests {
             read_snapshot(&path),
             Err(StorageError::Corrupt(_))
         ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A legacy `AMOSSNP1` file (flat tuple list per relation) still
+    /// decodes, as one run per relation.
+    #[test]
+    fn v1_snapshot_still_readable() {
+        use crate::wal::{crc32, encode_tuple};
+        let mut body = Vec::new();
+        body.extend_from_slice(&7u64.to_le_bytes()); // last_seq
+        body.extend_from_slice(&3u64.to_le_bytes()); // next_oid
+        body.extend_from_slice(&1u32.to_le_bytes()); // n_rels
+        body.extend_from_slice(&1u16.to_le_bytes());
+        body.extend_from_slice(b"q");
+        body.extend_from_slice(&2u16.to_le_bytes()); // arity
+        body.extend_from_slice(&2u64.to_le_bytes()); // count (v1: no n_runs)
+        encode_tuple(&mut body, &tuple![2, "b"]);
+        encode_tuple(&mut body, &tuple![1, "a"]);
+        let crc = crc32(&body);
+
+        let dir = std::env::temp_dir().join(format!("amos-snapv1-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(SNAPSHOT_FILE);
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(SNAPSHOT_MAGIC_V1);
+        bytes.extend_from_slice(&body);
+        bytes.extend_from_slice(&crc.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+
+        let snap = read_snapshot(&path).unwrap().unwrap();
+        assert_eq!(snap.last_seq, 7);
+        assert_eq!(snap.relations.len(), 1);
+        assert_eq!(
+            snap.relations[0].runs,
+            vec![vec![tuple![2, "b"], tuple![1, "a"]]],
+            "v1 decodes as one (possibly unordered) run"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -149,7 +149,7 @@ proptest! {
         }
         let view = OldStateView::new(&rel, &delta);
         let k = Value::Int(key);
-        let mut probed: Vec<Tuple> = view.probe(&[0], std::slice::from_ref(&k)).into_iter().cloned().collect();
+        let mut probed: Vec<Tuple> = view.probe(&[0], std::slice::from_ref(&k));
         let mut scanned: Vec<Tuple> = view.scan().filter(|t| t[0] == k).cloned().collect();
         probed.sort();
         scanned.sort();
