@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! compare --baseline crates/bench/baselines/BENCH_fig6.json \
-//!         --fresh BENCH_fig6.json [--tolerance 0.5]
+//!         --fresh BENCH_fig6.json [--tolerance 0.5] [--scaling-floor 1.5]
 //! ```
 //!
 //! Deterministic counters (`fired`/`candidates`/`rejected`) must match
@@ -11,8 +11,15 @@
 //! noise. Speed *ratios* (naive/incremental, static/adaptive) may sag
 //! by up to `tolerance` (relative) before the gate trips; absolute
 //! milliseconds are never compared, so runner speed doesn't matter.
+//!
+//! When both reports carry a `"scaling"` sweep (fig7 `--workers`), the
+//! sweep is gated too: counters must agree across every worker count,
+//! per-worker-count speedups must not collapse below the baseline, and
+//! `--scaling-floor F` additionally demands an absolute speedup of F at
+//! ≥4 workers — but speedup gates only bind on runners with enough
+//! hardware threads (`hw_threads >= workers` in the fresh row).
 
-use amos_bench::report::compare_reports;
+use amos_bench::report::compare_reports_scaled;
 use amos_metrics::json::JsonValue;
 use std::process::ExitCode;
 
@@ -20,12 +27,14 @@ struct Args {
     baseline: String,
     fresh: String,
     tolerance: f64,
+    scaling_floor: Option<f64>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut baseline = None;
     let mut fresh = None;
     let mut tolerance = 0.5;
+    let mut scaling_floor = None;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut grab = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
@@ -37,6 +46,13 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--tolerance: {e}"))?
             }
+            "--scaling-floor" => {
+                scaling_floor = Some(
+                    grab("--scaling-floor")?
+                        .parse()
+                        .map_err(|e| format!("--scaling-floor: {e}"))?,
+                )
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -44,6 +60,7 @@ fn parse_args() -> Result<Args, String> {
         baseline: baseline.ok_or("--baseline is required")?,
         fresh: fresh.ok_or("--fresh is required")?,
         tolerance,
+        scaling_floor,
     })
 }
 
@@ -57,7 +74,8 @@ fn main() -> ExitCode {
         let args = parse_args()?;
         let baseline = load(&args.baseline)?;
         let fresh = load(&args.fresh)?;
-        let regressions = compare_reports(&baseline, &fresh, args.tolerance)?;
+        let regressions =
+            compare_reports_scaled(&baseline, &fresh, args.tolerance, args.scaling_floor)?;
         println!(
             "compare: {} vs {} (tolerance {})",
             args.baseline, args.fresh, args.tolerance

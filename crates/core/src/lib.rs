@@ -53,6 +53,7 @@ pub mod naive;
 pub mod network;
 pub mod propagate;
 pub mod rules;
+pub mod shard;
 
 pub use adaptive::{AdaptivePlanner, LiveStats, StatsFingerprint};
 pub use aggregate::{AggFn, AggregateView};
@@ -70,3 +71,4 @@ pub use propagate::{
 pub use rules::{
     ActionCtx, ActionFn, MonitorMode, MonitorStats, Rule, RuleId, RuleManager, RuleSemantics,
 };
+pub use shard::{LevelExchange, ShardKey};

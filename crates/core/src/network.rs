@@ -26,6 +26,7 @@ use amos_objectlog::plan::{compile_clause, ensure_plan_indexes};
 
 use crate::differ::{generate_differentials, DiffId, DiffScope, Differential};
 use crate::error::CoreError;
+use crate::shard::ShardKey;
 
 /// Identifier of a node within the network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -65,6 +66,9 @@ pub struct PropagationNetwork {
     nodes: Vec<Node>,
     by_pred: HashMap<PredId, NodeId>,
     differentials: Vec<Differential>,
+    /// Shard-routing key per differential, parallel to `differentials`
+    /// (how sharded execution partitions the differential's seed Δ-set).
+    shard_keys: Vec<ShardKey>,
     /// Node ids grouped by level, ascending.
     levels: Vec<Vec<NodeId>>,
     /// The condition predicates, in registration order.
@@ -170,6 +174,7 @@ impl PropagationNetwork {
                 let did = DiffId(net.differentials.len() as u32);
                 let influent_node = net.by_pred[&d.influent];
                 net.nodes[influent_node.0 as usize].out_diffs.push(did);
+                net.shard_keys.push(ShardKey::for_differential(&d));
                 net.differentials.push(d);
             }
         }
@@ -194,6 +199,12 @@ impl PropagationNetwork {
     /// A differential by id.
     pub fn differential(&self, id: DiffId) -> &Differential {
         &self.differentials[id.0 as usize]
+    }
+
+    /// The shard-routing key of a differential: the Δ-literal's
+    /// bound/join columns, or [`ShardKey::Broadcast`] when it has none.
+    pub fn shard_key(&self, id: DiffId) -> &ShardKey {
+        &self.shard_keys[id.0 as usize]
     }
 
     /// Node ids per level, ascending (level 0 = stored predicates).
@@ -237,7 +248,11 @@ impl PropagationNetwork {
                 out.push_str(&format!("L{level}{marker} {}\n", catalog.name(node.pred)));
                 for did in &node.out_diffs {
                     let d = self.differential(*did);
-                    out.push_str(&format!("      └─ {}\n", d.display_name(catalog)));
+                    out.push_str(&format!(
+                        "      └─ {} [{}]\n",
+                        d.display_name(catalog),
+                        self.shard_key(*did).describe()
+                    ));
                 }
             }
         }

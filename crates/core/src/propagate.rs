@@ -46,6 +46,12 @@ use crate::differ::DiffId;
 use crate::error::CoreError;
 use crate::explain::FiredDifferential;
 use crate::network::PropagationNetwork;
+use crate::shard::{LevelExchange, ShardKey};
+
+/// Below this many exchanged seed tuples a sharded level runs its
+/// shards inline (same partition, same combine order, no threads) —
+/// thread spawn would cost more than the work it distributes.
+const SHARD_INLINE_THRESHOLD: usize = 256;
 
 /// Which §7.2 checks to apply to candidate changes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -84,6 +90,17 @@ impl CheckLevel {
 /// *sequentially in serial execution order* — so the resulting Δ-sets
 /// (and all counters) are identical to [`ExecStrategy::Serial`] under
 /// every [`CheckLevel`].
+///
+/// The sharded strategy goes one step further: instead of fanning out
+/// whole tasks over one shared wave, each level runs as a partitioned
+/// exchange — every task's seed Δ-set is hash-partitioned on the
+/// differential's shard key into `workers` worker-owned slices
+/// ([`crate::shard`]), each worker evaluates every task against its own
+/// slice with no cross-worker locks, and the per-(task, shard) outputs
+/// are recombined in (serial task order, shard order) before the same
+/// deterministic merge. Because the slices partition each seed exactly
+/// and within a task all outputs carry one polarity, the merged Δ-sets,
+/// counters, and fired trace are bit-identical to serial execution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ExecStrategy {
     /// One differential at a time, in network order.
@@ -91,6 +108,28 @@ pub enum ExecStrategy {
     /// All differentials of a level concurrently (deterministic merge).
     #[default]
     Parallel,
+    /// Each level as a partitioned exchange over `workers` shard-owning
+    /// workers (deterministic re-shard + merge).
+    Sharded {
+        /// Number of shards / worker threads (clamped to at least 1).
+        workers: usize,
+    },
+}
+
+/// A rejected [`ExecStrategy::parse`] input, with the byte span of the
+/// offending part for caret-style CLI diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StrategyParseError {
+    /// What was wrong.
+    pub message: String,
+    /// `(byte offset, byte length)` of the offending slice of the input.
+    pub span: (usize, usize),
+}
+
+impl std::fmt::Display for StrategyParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
 }
 
 impl ExecStrategy {
@@ -99,6 +138,48 @@ impl ExecStrategy {
         match self {
             ExecStrategy::Serial => "serial",
             ExecStrategy::Parallel => "parallel",
+            ExecStrategy::Sharded { .. } => "sharded",
+        }
+    }
+
+    /// Parse a strategy spelling: `serial`, `parallel`, or `sharded:N`
+    /// with `N` in `1..=64`. Errors carry the span of the offending
+    /// input slice so callers can render a pointed diagnostic.
+    pub fn parse(input: &str) -> Result<ExecStrategy, StrategyParseError> {
+        let (head, arg) = match input.find(':') {
+            Some(i) => (&input[..i], Some(&input[i + 1..])),
+            None => (input, None),
+        };
+        let err = |message: String, span: (usize, usize)| Err(StrategyParseError { message, span });
+        match (head, arg) {
+            ("serial", None) => Ok(ExecStrategy::Serial),
+            ("parallel", None) => Ok(ExecStrategy::Parallel),
+            ("serial" | "parallel", Some(_)) => err(
+                format!("strategy `{head}` takes no `:argument`"),
+                (head.len(), input.len() - head.len()),
+            ),
+            ("sharded", None) => err(
+                "strategy `sharded` needs a worker count, e.g. `sharded:4`".to_owned(),
+                (0, input.len()),
+            ),
+            ("sharded", Some(n)) => {
+                let off = head.len() + 1;
+                match n.parse::<usize>() {
+                    Ok(w) if (1..=64).contains(&w) => Ok(ExecStrategy::Sharded { workers: w }),
+                    Ok(w) => err(
+                        format!("worker count {w} out of range 1..=64"),
+                        (off, n.len()),
+                    ),
+                    Err(_) => err(
+                        format!("invalid worker count `{n}` (expected an integer 1..=64)"),
+                        (off, n.len().max(1)),
+                    ),
+                }
+            }
+            _ => err(
+                format!("unknown strategy `{head}`; expected serial, parallel, or sharded:N"),
+                (0, head.len().max(1)),
+            ),
         }
     }
 }
@@ -234,6 +315,13 @@ pub fn propagate_adaptive(
     let mut result = PropagationResult::default();
     result.metrics.strategy = strategy.name().to_owned();
     result.metrics.check = check.name().to_owned();
+    let sharded_workers = match strategy {
+        ExecStrategy::Sharded { workers } => Some(workers.max(1)),
+        _ => None,
+    };
+    let mut shard_seed_tuples: Vec<u64> = vec![0; sharded_workers.unwrap_or(0)];
+    let mut shard_candidates: Vec<u64> = vec![0; sharded_workers.unwrap_or(0)];
+    let mut exchange_tuples = 0u64;
 
     // Wave-front Δ-sets, keyed by predicate. Level-0 nodes read straight
     // from storage's accumulated transaction Δ-sets.
@@ -310,15 +398,54 @@ pub fn propagate_adaptive(
             }
         }
 
-        // Execute: threads when the strategy and the task count warrant
+        // Execute: a partitioned exchange under the sharded strategy,
+        // threads when the parallel strategy and the task count warrant
         // it, inline otherwise. Either way `wave` is frozen (shared
         // immutably) for the whole batch.
-        let parallel = strategy == ExecStrategy::Parallel && tasks.len() > 1;
-        let outputs: Vec<Result<TaskOutput, CoreError>> = {
-            // One evaluation context for the whole level, borrowing the
-            // frozen wave; dropped before the merge mutates `wave`.
+        let mut level_shards = 0usize;
+        let mut max_occupancy = 0u64;
+        let mut min_occupancy = 0u64;
+        let (outputs, parallel): (Vec<Result<TaskOutput, CoreError>>, bool) = if let Some(workers) =
+            sharded_workers
+        {
+            // Plan the exchange: each task's seed partitioned on its
+            // shard key against the frozen level-start wave.
+            let routes: Vec<(PredId, Polarity, &ShardKey)> = tasks
+                .iter()
+                .map(|t| {
+                    let d = network.differential(t.diff);
+                    (d.influent, d.seed, network.shard_key(t.diff))
+                })
+                .collect();
+            let exchange = LevelExchange::plan(&routes, &wave, workers);
+            level_shards = workers;
+            max_occupancy = exchange.occupancy().iter().copied().max().unwrap_or(0);
+            min_occupancy = exchange.occupancy().iter().copied().min().unwrap_or(0);
+            for (s, n) in exchange.occupancy().iter().enumerate() {
+                shard_seed_tuples[s] += n;
+            }
+            exchange_tuples += exchange.exchanged();
+            let threaded = workers > 1 && exchange.exchanged() as usize >= SHARD_INLINE_THRESHOLD;
+            let outs = run_tasks_sharded(
+                network,
+                catalog,
+                storage,
+                shared,
+                check,
+                &tasks,
+                &exchange,
+                workers,
+                threaded,
+                &mut shard_candidates,
+            );
+            (outs, threaded)
+        } else {
+            let parallel = strategy == ExecStrategy::Parallel && tasks.len() > 1;
+            // One evaluation context for the whole level, borrowing
+            // the frozen wave; dropped before the merge mutates
+            // `wave`.
             let ctx = EvalContext::with_shared(storage, catalog, &wave, Arc::clone(shared));
-            if parallel {
+            let outs = if parallel {
                 run_tasks_threaded(network, catalog, &ctx, check, &tasks)
             } else {
                 tasks
@@ -334,7 +461,8 @@ pub fn propagate_adaptive(
                         )
                     })
                     .collect()
-            }
+            };
+            (outs, parallel)
         };
 
         result.metrics.levels.push(LevelStats {
@@ -343,6 +471,9 @@ pub fn propagate_adaptive(
             wave_tuples,
             tasks: tasks.len(),
             parallel,
+            shards: level_shards,
+            max_occupancy,
+            min_occupancy,
         });
 
         // Merge sequentially, in serial execution order: `∪Δ` into the
@@ -421,6 +552,19 @@ pub fn propagate_adaptive(
             .collect();
     }
     result.metrics.pruned_differentials = network.pruned_count() as u64;
+    if let Some(workers) = sharded_workers {
+        result.metrics.workers = workers;
+        result.metrics.exchange_tuples = exchange_tuples;
+        let total: u64 = shard_seed_tuples.iter().sum();
+        result.metrics.skew = if total == 0 {
+            0.0
+        } else {
+            let max = shard_seed_tuples.iter().copied().max().unwrap_or(0) as f64;
+            max / (total as f64 / workers as f64)
+        };
+        result.metrics.shard_seed_tuples = shard_seed_tuples;
+        result.metrics.shard_candidates = shard_candidates;
+    }
     result.metrics.nanos = pass_timer.elapsed_nanos();
     Ok(result)
 }
@@ -547,6 +691,120 @@ fn run_tasks_threaded(
     slots
         .into_iter()
         .map(|slot| slot.into_inner().unwrap().expect("worker filled its slot"))
+        .collect()
+}
+
+/// Run a level's tasks as a partitioned exchange: worker `w` evaluates
+/// every task against shard `w`'s seed slice, then the per-(task, shard)
+/// outputs are recombined per task in shard order.
+///
+/// The recombined outputs are bit-identical to whole-seed execution:
+/// the slices partition each seed exactly (every candidate descends from
+/// exactly one seed tuple, so the candidate multiset is preserved), and
+/// within one task all accepted tuples carry the same output polarity,
+/// making the `∪Δ` fold over them order-insensitive. Empty slices are
+/// skipped on both the inline and threaded paths — an empty seed
+/// produces nothing.
+///
+/// `shard_candidates[s]` accumulates the candidates produced by shard
+/// `s` (the per-shard work counters surfaced in [`PassMetrics`]).
+#[allow(clippy::too_many_arguments)]
+fn run_tasks_sharded(
+    network: &PropagationNetwork,
+    catalog: &Catalog,
+    storage: &Storage,
+    shared: &Arc<EvalShared>,
+    check: CheckLevel,
+    tasks: &[Task],
+    exchange: &LevelExchange,
+    workers: usize,
+    threaded: bool,
+    shard_candidates: &mut [u64],
+) -> Vec<Result<TaskOutput, CoreError>> {
+    let empty_output = || TaskOutput {
+        candidates: 0,
+        accepted: Vec::new(),
+        nanos: 0,
+    };
+    let mut combine = |total: &mut TaskOutput, s: usize, out: TaskOutput| {
+        shard_candidates[s] += out.candidates as u64;
+        total.candidates += out.candidates;
+        total.nanos += out.nanos;
+        total.accepted.extend(out.accepted);
+    };
+    if !threaded {
+        // Inline fallback: same partition, same (task, shard) combine
+        // order, no thread spawn — byte-identical output to the threaded
+        // path.
+        return tasks
+            .iter()
+            .enumerate()
+            .map(|(i, task)| {
+                let mut total = empty_output();
+                for (s, slice) in exchange.slices(i).iter().enumerate() {
+                    if slice.is_empty() {
+                        continue;
+                    }
+                    let ctx = EvalContext::with_shared(storage, catalog, slice, Arc::clone(shared));
+                    let out = run_differential(
+                        network,
+                        catalog,
+                        &ctx,
+                        task.diff,
+                        task.plan.as_deref(),
+                        check,
+                    )?;
+                    combine(&mut total, s, out);
+                }
+                Ok(total)
+            })
+            .collect();
+    }
+
+    // One scoped thread per shard; worker `w` owns slice `w` of every
+    // task and writes into per-(task, shard) slots, so the combine below
+    // is independent of completion order.
+    type ShardSlot = Mutex<Option<Result<TaskOutput, CoreError>>>;
+    let slots: Vec<Vec<ShardSlot>> = tasks
+        .iter()
+        .map(|_| (0..workers).map(|_| Mutex::new(None)).collect())
+        .collect();
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let slots = &slots;
+            scope.spawn(move || {
+                for (i, task) in tasks.iter().enumerate() {
+                    let slice = &exchange.slices(i)[w];
+                    if slice.is_empty() {
+                        continue;
+                    }
+                    let ctx = EvalContext::with_shared(storage, catalog, slice, Arc::clone(shared));
+                    let out = run_differential(
+                        network,
+                        catalog,
+                        &ctx,
+                        task.diff,
+                        task.plan.as_deref(),
+                        check,
+                    );
+                    *slots[i][w].lock().unwrap() = Some(out);
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|task_slots| {
+            let mut total = empty_output();
+            for (s, slot) in task_slots.into_iter().enumerate() {
+                match slot.into_inner().unwrap() {
+                    None => {}
+                    Some(Ok(out)) => combine(&mut total, s, out),
+                    Some(Err(e)) => return Err(e),
+                }
+            }
+            Ok(total)
+        })
         .collect()
 }
 
@@ -918,6 +1176,88 @@ mod tests {
                 "trace order must match serial execution order"
             );
         }
+    }
+
+    /// Sharded execution agrees with serial for every worker count and
+    /// check level — Δ-sets, counters, and the fired trace.
+    #[test]
+    fn sharded_strategy_agrees_with_serial() {
+        let mut f = fixture();
+        let net =
+            PropagationNetwork::build(&f.catalog, &mut f.storage, &[f.p], DiffScope::Full).unwrap();
+        f.storage.begin().unwrap();
+        f.storage.insert(f.rq, tuple![1, 2]).unwrap();
+        f.storage.insert(f.rr, tuple![1, 4]).unwrap();
+        f.storage.delete(f.rr, &tuple![2, 3]).unwrap();
+
+        for check in [CheckLevel::Raw, CheckLevel::Nervous, CheckLevel::Strict] {
+            let serial =
+                propagate_with(&net, &f.catalog, &f.storage, check, ExecStrategy::Serial).unwrap();
+            for workers in [1, 2, 3, 8] {
+                let sharded = propagate_with(
+                    &net,
+                    &f.catalog,
+                    &f.storage,
+                    check,
+                    ExecStrategy::Sharded { workers },
+                )
+                .unwrap();
+                assert_eq!(serial.condition_deltas, sharded.condition_deltas);
+                assert_eq!(serial.candidates, sharded.candidates);
+                assert_eq!(serial.rejected, sharded.rejected);
+                assert_eq!(
+                    serial.fired.iter().map(|fd| fd.diff).collect::<Vec<_>>(),
+                    sharded.fired.iter().map(|fd| fd.diff).collect::<Vec<_>>(),
+                );
+                // The exchange accounted every seed tuple exactly once
+                // per distinct routing, and occupancy sums to the seeds
+                // consumed per task.
+                let m = &sharded.metrics;
+                assert_eq!(m.strategy, "sharded");
+                assert_eq!(m.workers, workers);
+                assert_eq!(m.shard_seed_tuples.len(), workers);
+                assert!(m.exchange_tuples > 0);
+                assert!(m.skew >= 1.0, "skew {} below balanced floor", m.skew);
+                assert!(m.levels.iter().all(|l| l.shards == workers));
+                let cand: u64 = m.shard_candidates.iter().sum();
+                assert_eq!(cand as usize, sharded.candidates);
+            }
+        }
+    }
+
+    /// Strategy parsing: the accepted grammar and spanned rejections.
+    #[test]
+    fn strategy_parse_grammar_and_spans() {
+        assert_eq!(ExecStrategy::parse("serial"), Ok(ExecStrategy::Serial));
+        assert_eq!(ExecStrategy::parse("parallel"), Ok(ExecStrategy::Parallel));
+        assert_eq!(
+            ExecStrategy::parse("sharded:4"),
+            Ok(ExecStrategy::Sharded { workers: 4 })
+        );
+        assert_eq!(
+            ExecStrategy::parse("sharded:1"),
+            Ok(ExecStrategy::Sharded { workers: 1 })
+        );
+
+        let e = ExecStrategy::parse("turbo").unwrap_err();
+        assert_eq!(e.span, (0, 5));
+        assert!(e.message.contains("unknown strategy `turbo`"));
+
+        let e = ExecStrategy::parse("sharded").unwrap_err();
+        assert_eq!(e.span, (0, 7));
+        assert!(e.message.contains("worker count"));
+
+        let e = ExecStrategy::parse("sharded:0").unwrap_err();
+        assert_eq!(e.span, (8, 1), "span covers the count after the colon");
+        assert!(e.message.contains("out of range"));
+
+        let e = ExecStrategy::parse("sharded:many").unwrap_err();
+        assert_eq!(e.span, (8, 4));
+        assert!(e.message.contains("invalid worker count"));
+
+        let e = ExecStrategy::parse("serial:2").unwrap_err();
+        assert_eq!(e.span, (6, 2));
+        assert!(e.message.contains("takes no"));
     }
 
     /// The metrics layer records the pass: per-differential timings in

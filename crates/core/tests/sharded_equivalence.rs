@@ -1,0 +1,429 @@
+//! Sharded propagation is an execution detail, not a semantics change:
+//! hash-partitioning each wave-front level across `workers` shards and
+//! merging worker outputs in (shard, serial-order) must reproduce the
+//! serial §5 pass bit-identically — same condition Δ-sets, same
+//! candidate/rejection counters, same fired order — under every §7.2
+//! check level, for any shard count 1–8, including key-free
+//! differentials that fall back to broadcast routing and passes where
+//! the adaptive planner re-optimizes mid-stream.
+
+use std::sync::Arc;
+
+use amos_core::adaptive::AdaptivePlanner;
+use amos_core::differ::{DiffId, DiffScope};
+use amos_core::network::PropagationNetwork;
+use amos_core::propagate::{
+    propagate_adaptive, propagate_with, recompute_delta, CheckLevel, ExecStrategy,
+    PropagationResult,
+};
+use amos_core::ShardKey;
+use amos_objectlog::catalog::{Catalog, PredId};
+use amos_objectlog::clause::{ClauseBuilder, Term};
+use amos_objectlog::eval::EvalShared;
+use amos_storage::{RelId, Storage};
+use amos_types::{tuple, ArithOp, CmpOp, Tuple, TypeId};
+use proptest::prelude::*;
+
+fn sig(n: usize) -> Vec<TypeId> {
+    vec![TypeId(0); n]
+}
+
+struct World {
+    storage: Storage,
+    catalog: Catalog,
+    rq: RelId,
+    rr: RelId,
+    cond: PredId,
+}
+
+/// The `proptest_equivalence` shape zoo plus a seventh, key-free shape:
+/// 0 join, 1 selection+arith, 2 negation, 3 disjunction (single-literal
+/// bodies — every differential broadcasts), 4 bushy, 5 self-join,
+/// 6 cartesian product q(X,_) × r(_,Y) (two-literal bodies with no
+/// shared variable — the Δ-literal has no join key, so both
+/// differentials broadcast).
+fn build_world(shape: u8, q0: &[Tuple], r0: &[Tuple]) -> World {
+    let mut storage = Storage::new();
+    let rq = storage.create_relation("q", 2).unwrap();
+    let rr = storage.create_relation("r", 2).unwrap();
+    let mut catalog = Catalog::new();
+    let q = catalog.define_stored("q", sig(2), rq, 1).unwrap();
+    let r = catalog.define_stored("r", sig(2), rr, 1).unwrap();
+
+    let cond = match shape % 7 {
+        0 => catalog
+            .define_derived(
+                "cond",
+                sig(2),
+                vec![ClauseBuilder::new(3)
+                    .head([Term::var(0), Term::var(2)])
+                    .pred(q, [Term::var(0), Term::var(1)])
+                    .pred(r, [Term::var(1), Term::var(2)])
+                    .build()],
+            )
+            .unwrap(),
+        1 => catalog
+            .define_derived(
+                "cond",
+                sig(1),
+                vec![ClauseBuilder::new(3)
+                    .head([Term::var(0)])
+                    .pred(q, [Term::var(0), Term::var(1)])
+                    .arith(Term::var(2), Term::var(1), ArithOp::Mul, Term::val(2))
+                    .cmp(Term::var(2), CmpOp::Lt, Term::val(6))
+                    .build()],
+            )
+            .unwrap(),
+        2 => catalog
+            .define_derived(
+                "cond",
+                sig(2),
+                vec![ClauseBuilder::new(2)
+                    .head([Term::var(0), Term::var(1)])
+                    .pred(q, [Term::var(0), Term::var(1)])
+                    .not_pred(r, [Term::var(0), Term::var(1)])
+                    .build()],
+            )
+            .unwrap(),
+        3 => catalog
+            .define_derived(
+                "cond",
+                sig(1),
+                vec![
+                    ClauseBuilder::new(2)
+                        .head([Term::var(0)])
+                        .pred(q, [Term::var(0), Term::var(1)])
+                        .build(),
+                    ClauseBuilder::new(2)
+                        .head([Term::var(0)])
+                        .pred(r, [Term::var(1), Term::var(0)])
+                        .build(),
+                ],
+            )
+            .unwrap(),
+        4 => {
+            let mid = catalog
+                .define_derived(
+                    "mid",
+                    sig(2),
+                    vec![ClauseBuilder::new(3)
+                        .head([Term::var(0), Term::var(2)])
+                        .pred(q, [Term::var(0), Term::var(1)])
+                        .pred(r, [Term::var(1), Term::var(2)])
+                        .build()],
+                )
+                .unwrap();
+            catalog
+                .define_derived(
+                    "cond",
+                    sig(1),
+                    vec![ClauseBuilder::new(2)
+                        .head([Term::var(0)])
+                        .pred(mid, [Term::var(0), Term::var(1)])
+                        .cmp(Term::var(1), CmpOp::Lt, Term::val(4))
+                        .build()],
+                )
+                .unwrap()
+        }
+        5 => catalog
+            .define_derived(
+                "cond",
+                sig(2),
+                vec![ClauseBuilder::new(3)
+                    .head([Term::var(0), Term::var(2)])
+                    .pred(q, [Term::var(0), Term::var(1)])
+                    .pred(q, [Term::var(1), Term::var(2)])
+                    .build()],
+            )
+            .unwrap(),
+        _ => catalog
+            .define_derived(
+                "cond",
+                sig(2),
+                vec![ClauseBuilder::new(4)
+                    .head([Term::var(0), Term::var(3)])
+                    .pred(q, [Term::var(0), Term::var(1)])
+                    .pred(r, [Term::var(2), Term::var(3)])
+                    .build()],
+            )
+            .unwrap(),
+    };
+
+    for t in q0 {
+        storage.insert(rq, t.clone()).unwrap();
+    }
+    for t in r0 {
+        storage.insert(rr, t.clone()).unwrap();
+    }
+    storage.monitor(rq);
+    storage.monitor(rr);
+    World {
+        storage,
+        catalog,
+        rq,
+        rr,
+        cond,
+    }
+}
+
+fn small_tuple() -> impl Strategy<Value = Tuple> {
+    (0i64..5, 0i64..5).prop_map(|(a, b)| tuple![a, b])
+}
+
+fn tuples() -> impl Strategy<Value = Vec<Tuple>> {
+    prop::collection::vec(small_tuple(), 0..10)
+}
+
+fn updates() -> impl Strategy<Value = Vec<(bool, bool, Tuple)>> {
+    prop::collection::vec((any::<bool>(), any::<bool>(), small_tuple()), 0..15)
+}
+
+fn apply(w: &mut World, ups: &[(bool, bool, Tuple)]) {
+    for (on_q, is_insert, t) in ups {
+        let rel = if *on_q { w.rq } else { w.rr };
+        if *is_insert {
+            w.storage.insert(rel, t.clone()).unwrap();
+        } else {
+            w.storage.delete(rel, t).unwrap();
+        }
+    }
+}
+
+fn fired_order(r: &PropagationResult) -> Vec<DiffId> {
+    r.fired.iter().map(|f| f.diff).collect()
+}
+
+/// Assert the three strategy-invariant observables match: condition
+/// Δ-sets, candidate/rejection counters, and fired differential order.
+macro_rules! assert_same_pass {
+    ($a:expr, $b:expr, $ctx:expr) => {
+        prop_assert_eq!(
+            &$a.condition_deltas,
+            &$b.condition_deltas,
+            "Δ-sets diverged: {}",
+            $ctx
+        );
+        prop_assert_eq!(
+            $a.metrics.candidates,
+            $b.metrics.candidates,
+            "candidate counts diverged: {}",
+            $ctx
+        );
+        prop_assert_eq!(
+            $a.metrics.rejected,
+            $b.metrics.rejected,
+            "rejection counts diverged: {}",
+            $ctx
+        );
+        prop_assert_eq!(
+            fired_order(&$a),
+            fired_order(&$b),
+            "fired order diverged: {}",
+            $ctx
+        );
+    };
+}
+
+/// Proptest batches stay below the inline-execution threshold; this
+/// deterministic case pushes enough Δ-tuples through one level to take
+/// the threaded exchange path, and must still match serial exactly.
+#[test]
+fn large_wave_takes_threads_and_stays_exact() {
+    let mut w = build_world(0, &[], &[]);
+    let net =
+        PropagationNetwork::build(&w.catalog, &mut w.storage, &[w.cond], DiffScope::Full).unwrap();
+    w.storage.begin().unwrap();
+    for i in 0..400i64 {
+        w.storage.insert(w.rq, tuple![i, i % 17]).unwrap();
+        w.storage.insert(w.rr, tuple![i % 17, i]).unwrap();
+    }
+    for check in [CheckLevel::Raw, CheckLevel::Nervous, CheckLevel::Strict] {
+        let serial =
+            propagate_with(&net, &w.catalog, &w.storage, check, ExecStrategy::Serial).unwrap();
+        let sharded = propagate_with(
+            &net,
+            &w.catalog,
+            &w.storage,
+            check,
+            ExecStrategy::Sharded { workers: 4 },
+        )
+        .unwrap();
+        assert_eq!(serial.condition_deltas, sharded.condition_deltas);
+        assert_eq!(serial.metrics.candidates, sharded.metrics.candidates);
+        assert_eq!(serial.metrics.rejected, sharded.metrics.rejected);
+        assert_eq!(fired_order(&serial), fired_order(&sharded));
+        // 800 seed tuples is far past the inline threshold, so the
+        // exchange really fanned out across the four workers.
+        assert!(sharded.metrics.exchange_tuples >= 800);
+        assert_eq!(sharded.metrics.shard_seed_tuples.len(), 4);
+        assert!(sharded.metrics.shard_seed_tuples.iter().all(|&n| n > 0));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Sharded ≡ serial ≡ parallel for every shape, every check level,
+    /// and random shard counts 1–8. Shapes 3 and 6 exercise the
+    /// broadcast fallback (key-free differentials route their whole
+    /// seed to one owner shard).
+    #[test]
+    fn sharded_agrees_with_serial_and_parallel(
+        shape in 0u8..7,
+        workers in 1usize..=8,
+        q0 in tuples(),
+        r0 in tuples(),
+        ups in updates(),
+    ) {
+        let mut w = build_world(shape, &q0, &r0);
+        let net = PropagationNetwork::build(
+            &w.catalog, &mut w.storage, &[w.cond], DiffScope::Full,
+        ).unwrap();
+        w.storage.begin().unwrap();
+        apply(&mut w, &ups);
+
+        for check in [CheckLevel::Raw, CheckLevel::Nervous, CheckLevel::Strict] {
+            let serial = propagate_with(
+                &net, &w.catalog, &w.storage, check, ExecStrategy::Serial,
+            ).unwrap();
+            let parallel = propagate_with(
+                &net, &w.catalog, &w.storage, check, ExecStrategy::Parallel,
+            ).unwrap();
+            let sharded = propagate_with(
+                &net, &w.catalog, &w.storage, check,
+                ExecStrategy::Sharded { workers },
+            ).unwrap();
+            let ctx = format!(
+                "shape {shape}, check {check:?}, workers {workers}"
+            );
+            assert_same_pass!(sharded, serial, &ctx);
+            assert_same_pass!(sharded, parallel, &ctx);
+            prop_assert_eq!(sharded.metrics.workers, workers);
+        }
+    }
+
+    /// Key-free differentials (single-literal and cartesian bodies)
+    /// really do take the broadcast path — the network annotates them
+    /// `ShardKey::Broadcast` — and the pass still matches serial at
+    /// every shard count.
+    #[test]
+    fn broadcast_differentials_stay_exact(
+        cartesian in any::<bool>(),
+        workers in 2usize..=8,
+        q0 in tuples(),
+        r0 in tuples(),
+        ups in updates(),
+    ) {
+        let shape = if cartesian { 6 } else { 3 };
+        let mut w = build_world(shape, &q0, &r0);
+        let net = PropagationNetwork::build(
+            &w.catalog, &mut w.storage, &[w.cond], DiffScope::Full,
+        ).unwrap();
+        let broadcasts = (0..net.differentials().len())
+            .filter(|&i| matches!(net.shard_key(DiffId(i as u32)), ShardKey::Broadcast))
+            .count();
+        prop_assert!(
+            broadcasts > 0,
+            "shape {} should produce key-free differentials", shape
+        );
+
+        w.storage.begin().unwrap();
+        apply(&mut w, &ups);
+        for check in [CheckLevel::Raw, CheckLevel::Nervous, CheckLevel::Strict] {
+            let serial = propagate_with(
+                &net, &w.catalog, &w.storage, check, ExecStrategy::Serial,
+            ).unwrap();
+            let sharded = propagate_with(
+                &net, &w.catalog, &w.storage, check,
+                ExecStrategy::Sharded { workers },
+            ).unwrap();
+            let ctx = format!("shape {shape}, check {check:?}, workers {workers}");
+            assert_same_pass!(sharded, serial, &ctx);
+        }
+    }
+
+    /// Sharded execution under the adaptive planner: plans resolve
+    /// sequentially against the full unsharded wave before the level is
+    /// partitioned, so a sharded pass makes the very same replan /
+    /// cache-hit decisions as a serial pass — and produces the same
+    /// Δ-sets — even as statistics drift across committed batches and
+    /// trigger mid-pass re-optimizations.
+    #[test]
+    fn adaptive_sharded_replans_like_serial(
+        shape in 0u8..7,
+        workers in 1usize..=8,
+        q0 in tuples(),
+        r0 in tuples(),
+        batches in prop::collection::vec(updates(), 1..4),
+    ) {
+        let mut w = build_world(shape, &q0, &r0);
+        let net = PropagationNetwork::build(
+            &w.catalog, &mut w.storage, &[w.cond], DiffScope::Full,
+        ).unwrap();
+        let serial_planner = AdaptivePlanner::new();
+        let sharded_planner = AdaptivePlanner::new();
+        let serial_shared = Arc::new(EvalShared::default());
+        let sharded_shared = Arc::new(EvalShared::default());
+
+        for ups in &batches {
+            w.storage.begin().unwrap();
+            apply(&mut w, ups);
+            serial_shared.reset_pass();
+            sharded_shared.reset_pass();
+            let serial = propagate_adaptive(
+                &net, &w.catalog, &w.storage, CheckLevel::Strict,
+                ExecStrategy::Serial, &serial_shared, Some(&serial_planner),
+            ).unwrap();
+            let sharded = propagate_adaptive(
+                &net, &w.catalog, &w.storage, CheckLevel::Strict,
+                ExecStrategy::Sharded { workers }, &sharded_shared,
+                Some(&sharded_planner),
+            ).unwrap();
+            let ctx = format!("shape {shape}, workers {workers}");
+            assert_same_pass!(sharded, serial, &ctx);
+            // The pass is exact against ground truth, not just
+            // self-consistent.
+            let truth = recompute_delta(&w.catalog, &w.storage, w.cond).unwrap();
+            prop_assert_eq!(
+                &sharded.condition_deltas[&w.cond], &truth,
+                "sharded adaptive pass diverged from naive diff (shape {})",
+                shape
+            );
+            w.storage.commit().unwrap();
+        }
+        prop_assert_eq!(
+            serial_planner.replan_count(), sharded_planner.replan_count(),
+            "replan counts diverged (shape {}, workers {})", shape, workers
+        );
+        prop_assert_eq!(serial_planner.hit_count(), sharded_planner.hit_count());
+    }
+
+    /// The shard count is pure execution policy: two sharded passes
+    /// with different worker counts agree with each other bit-for-bit.
+    #[test]
+    fn shard_count_is_invisible(
+        shape in 0u8..7,
+        wa in 1usize..=8,
+        wb in 1usize..=8,
+        q0 in tuples(),
+        r0 in tuples(),
+        ups in updates(),
+    ) {
+        let mut w = build_world(shape, &q0, &r0);
+        let net = PropagationNetwork::build(
+            &w.catalog, &mut w.storage, &[w.cond], DiffScope::Full,
+        ).unwrap();
+        w.storage.begin().unwrap();
+        apply(&mut w, &ups);
+        let a = propagate_with(
+            &net, &w.catalog, &w.storage, CheckLevel::Nervous,
+            ExecStrategy::Sharded { workers: wa },
+        ).unwrap();
+        let b = propagate_with(
+            &net, &w.catalog, &w.storage, CheckLevel::Nervous,
+            ExecStrategy::Sharded { workers: wb },
+        ).unwrap();
+        let ctx = format!("shape {shape}, workers {wa} vs {wb}");
+        assert_same_pass!(a, b, &ctx);
+    }
+}

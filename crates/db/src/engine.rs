@@ -47,7 +47,9 @@ pub struct EngineOptions {
     /// identical; only the check-phase timing changes.
     pub immediate: bool,
     /// Wave-front execution strategy for propagation passes (parallel
-    /// by default; serial retained for the ablation benches).
+    /// by default; serial retained for the ablation benches; sharded
+    /// runs each level as a hash-partitioned exchange over `workers`
+    /// shard-owning threads).
     pub propagation: ExecStrategy,
     /// Per-pass tabling of derived-call results (on by default; the
     /// `--no-tabling` bench flag disables it for ablation runs).
@@ -330,8 +332,8 @@ impl Amos {
         self.rules.mode = mode;
     }
 
-    /// Switch the wave-front execution strategy (parallel / serial).
-    /// Takes effect from the next propagation pass.
+    /// Switch the wave-front execution strategy (parallel / serial /
+    /// sharded). Takes effect from the next propagation pass.
     pub fn set_propagation_strategy(&mut self, strategy: ExecStrategy) {
         self.options.propagation = strategy;
         self.rules.exec = strategy;

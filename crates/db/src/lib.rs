@@ -31,7 +31,8 @@ pub mod engine;
 pub mod error;
 pub mod lint;
 
-pub use amos_core::{CheckLevel, MonitorMode, RuleSemantics};
+pub use amos_core::propagate::StrategyParseError;
+pub use amos_core::{CheckLevel, ExecStrategy, MonitorMode, RuleSemantics};
 pub use amos_lint::{Diagnostic, LintCode, LintConfig, Severity, Span};
 pub use amos_storage::{RecoveryInfo, Savepoint, WalConfig};
 pub use amos_types::{Oid, Tuple, Value};

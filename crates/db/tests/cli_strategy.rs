@@ -1,0 +1,78 @@
+//! End-to-end tests of the `amosql --strategy` flag: accepted spellings
+//! start the shell under the chosen strategy, rejected ones exit 2 with
+//! a caret diagnostic pointing at the offending slice.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+/// Run `amosql` with the given args and empty stdin; return
+/// (exit code, stdout, stderr).
+fn run_amosql(args: &[&str]) -> (i32, String, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_amosql"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn amosql");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(b"")
+        .expect("write stdin");
+    let out = child.wait_with_output().expect("wait amosql");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn valid_strategies_start_the_shell() {
+    for strategy in ["serial", "parallel", "sharded:4"] {
+        let (code, stdout, stderr) = run_amosql(&["--strategy", strategy]);
+        assert_eq!(code, 0, "--strategy {strategy} failed: {stderr}");
+        assert!(
+            stdout.contains("amos-pdiff interactive shell"),
+            "banner missing for {strategy}: {stdout}"
+        );
+    }
+}
+
+#[test]
+fn unknown_strategy_gets_a_spanned_diagnostic() {
+    let (code, _, stderr) = run_amosql(&["--strategy", "turbo"]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("unknown strategy `turbo`"), "{stderr}");
+    // The caret line points at the whole bad token.
+    assert!(stderr.contains("--strategy turbo"), "{stderr}");
+    assert!(stderr.contains("^^^^^"), "{stderr}");
+}
+
+#[test]
+fn bad_worker_count_points_after_the_colon() {
+    let (code, _, stderr) = run_amosql(&["--strategy", "sharded:0"]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("out of range 1..=64"), "{stderr}");
+    let caret_line = stderr
+        .lines()
+        .find(|l| l.trim_start().starts_with('^'))
+        .unwrap_or_else(|| panic!("no caret line in {stderr}"));
+    // "  --strategy " is 13 chars; "sharded:" is 8 more — the caret
+    // must sit under the `0`.
+    assert_eq!(caret_line.find('^'), Some(13 + 8), "{stderr}");
+    assert_eq!(caret_line.trim_start(), "^", "{stderr}");
+}
+
+#[test]
+fn missing_worker_count_is_rejected() {
+    let (code, _, stderr) = run_amosql(&["--strategy", "sharded"]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("needs a worker count"), "{stderr}");
+
+    let (code, _, stderr) = run_amosql(&["--strategy"]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("--strategy requires a value"), "{stderr}");
+}

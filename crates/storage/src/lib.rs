@@ -47,6 +47,7 @@ pub mod fault;
 pub mod log;
 pub mod oldstate;
 pub mod relation;
+pub mod shard;
 pub mod snapshot;
 pub mod wal;
 
@@ -57,5 +58,6 @@ pub use error::StorageError;
 pub use log::{LogOp, LogRecord, UndoDrain, UpdateLog};
 pub use oldstate::{OldStateView, StateEpoch};
 pub use relation::BaseRelation;
+pub use shard::{shard_of, ShardedDelta};
 pub use snapshot::{Snapshot, SnapshotRelation, SNAPSHOT_FILE};
 pub use wal::{read_wal, read_wal_bytes, WalBatch, WalConfig, WalRecord, WalWriter, WAL_FILE};

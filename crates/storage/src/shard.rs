@@ -1,0 +1,241 @@
+//! Hash-partitioned shard views over Δ-sets — the storage substrate of
+//! sharded wave-front propagation.
+//!
+//! A [`ShardedDelta`] splits one side of a [`DeltaSet`] into `S`
+//! disjoint [`DeltaSet`] slices keyed on a column subset: every tuple
+//! lands in the shard selected by hashing its projection onto the key
+//! columns, so all tuples agreeing on the key are owned by one shard.
+//! Workers can then evaluate a partial differential against their own
+//! slice with no cross-worker coordination — the union of the slices is
+//! exactly the original side, tuple for tuple, so partitioned execution
+//! reproduces unpartitioned execution as a multiset.
+//!
+//! Partitioning rides on the Δ-set's existing [`Arrangement`] layer:
+//! the side is arranged by the key columns once (sorted, equal keys
+//! contiguous) and then walked block by block with
+//! [`Arrangement::equal_range_on`] — one hash per distinct key instead
+//! of one per tuple, and key groups move into their shard as contiguous
+//! runs. Key-free ("broadcast") differentials have no columns to
+//! partition on; [`ShardedDelta::broadcast`] routes the whole side to
+//! one owner shard, which evaluates it against the full shared state —
+//! the degenerate exchange in which the state is broadcast rather than
+//! the Δ-stream partitioned.
+
+use std::hash::{Hash, Hasher};
+
+use amos_types::{FxHashSet, Tuple};
+
+use crate::arrangement::Arrangement;
+use crate::delta::{DeltaSet, Polarity};
+
+/// The shard owning `tuple` under a partitioning of `shards` shards
+/// keyed on `cols`.
+///
+/// Deterministic across runs and platforms (FxHash over the projected
+/// values, no per-process seed) — shard assignment, and therefore every
+/// per-shard metric, is reproducible for a fixed workload.
+pub fn shard_of(tuple: &Tuple, cols: &[usize], shards: usize) -> usize {
+    debug_assert!(shards > 0);
+    let mut h = amos_types::FxHasher::default();
+    for &c in cols {
+        tuple[c].hash(&mut h);
+    }
+    (h.finish() as usize) % shards
+}
+
+/// One side of a Δ-set, hash-partitioned into `S` disjoint slices.
+#[derive(Debug)]
+pub struct ShardedDelta {
+    shards: Vec<DeltaSet>,
+    key: Vec<usize>,
+}
+
+impl ShardedDelta {
+    /// Partition `polarity`'s side of `delta` into `shards` slices keyed
+    /// on `cols`. Each slice is a [`DeltaSet`] with only that side
+    /// populated; the union of all slices equals the source side.
+    ///
+    /// The side is arranged by `cols` (reusing the Δ-set's lazy
+    /// arrangement cache) and walked in equal-key blocks via
+    /// [`Arrangement::equal_range_on`], so tuples sharing a key are
+    /// hashed once and co-located in one shard.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    pub fn partition(delta: &DeltaSet, polarity: Polarity, cols: &[usize], shards: usize) -> Self {
+        assert!(shards > 0, "cannot partition into zero shards");
+        let mut sides: Vec<FxHashSet<Tuple>> = (0..shards).map(|_| FxHashSet::default()).collect();
+        if shards == 1 {
+            sides[0] = delta.side(polarity).clone();
+        } else {
+            let arr: std::sync::Arc<Arrangement> = delta.arrangement(polarity, cols);
+            let tuples = arr.tuples();
+            let mut i = 0;
+            while i < tuples.len() {
+                // The contiguous block of tuples sharing tuples[i]'s key.
+                let block = arr.equal_range_on(&tuples[i], cols);
+                let s = shard_of(&tuples[i], cols, shards);
+                sides[s].extend(block.iter().cloned());
+                i += block.len();
+            }
+        }
+        ShardedDelta {
+            shards: sides
+                .into_iter()
+                .map(|side| match polarity {
+                    Polarity::Plus => DeltaSet::from_parts(side, FxHashSet::default()),
+                    Polarity::Minus => DeltaSet::from_parts(FxHashSet::default(), side),
+                })
+                .collect(),
+            key: cols.to_vec(),
+        }
+    }
+
+    /// The key-free fallback: the entire side goes to `owner`'s slice
+    /// and every other shard is empty. Used for differentials with no
+    /// bound/join columns, where hash partitioning has nothing to key
+    /// on.
+    ///
+    /// # Panics
+    /// Panics if `owner >= shards` or `shards == 0`.
+    pub fn broadcast(delta: &DeltaSet, polarity: Polarity, shards: usize, owner: usize) -> Self {
+        assert!(shards > 0, "cannot partition into zero shards");
+        assert!(owner < shards, "broadcast owner out of range");
+        let shards: Vec<DeltaSet> = (0..shards)
+            .map(|s| {
+                let side = if s == owner {
+                    delta.side(polarity).clone()
+                } else {
+                    FxHashSet::default()
+                };
+                match polarity {
+                    Polarity::Plus => DeltaSet::from_parts(side, FxHashSet::default()),
+                    Polarity::Minus => DeltaSet::from_parts(FxHashSet::default(), side),
+                }
+            })
+            .collect();
+        ShardedDelta {
+            shards,
+            key: Vec::new(),
+        }
+    }
+
+    /// The per-shard slices, in shard order.
+    pub fn shards(&self) -> &[DeltaSet] {
+        &self.shards
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The key columns this partition hashes on (empty for broadcast).
+    pub fn key(&self) -> &[usize] {
+        &self.key
+    }
+
+    /// Per-shard slice sizes, in shard order — the occupancy profile the
+    /// skew metrics report.
+    pub fn shard_lens(&self) -> Vec<usize> {
+        self.shards.iter().map(DeltaSet::len).collect()
+    }
+
+    /// Total tuples across all slices. Always equals the partitioned
+    /// side's size — the shard-aware statistics path sums per-shard
+    /// cardinalities back into the whole-side estimate.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(DeltaSet::len).sum()
+    }
+
+    /// Whether every slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amos_types::{tuple, Value};
+
+    fn sample(n: i64) -> DeltaSet {
+        let mut d = DeltaSet::new();
+        for i in 0..n {
+            d.apply_insert(tuple![i % 7, i]);
+        }
+        d
+    }
+
+    #[test]
+    fn partition_is_exact_and_disjoint() {
+        let d = sample(50);
+        for shards in 1..=8 {
+            let p = ShardedDelta::partition(&d, Polarity::Plus, &[0], shards);
+            assert_eq!(p.shard_count(), shards);
+            assert_eq!(p.len(), 50, "no tuple lost or duplicated");
+            let mut union: FxHashSet<Tuple> = FxHashSet::default();
+            for slice in p.shards() {
+                assert!(slice.minus().is_empty());
+                for t in slice.plus() {
+                    assert!(union.insert(t.clone()), "tuple {t} in two shards");
+                }
+            }
+            assert_eq!(&union, d.plus());
+        }
+    }
+
+    #[test]
+    fn equal_keys_land_in_one_shard() {
+        let d = sample(49); // 7 tuples per key value
+        let p = ShardedDelta::partition(&d, Polarity::Plus, &[0], 4);
+        for key in 0..7i64 {
+            let holders: Vec<usize> = p
+                .shards()
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.plus().iter().any(|t| t[0] == Value::Int(key)))
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(holders.len(), 1, "key {key} split across shards");
+            assert_eq!(holders[0], shard_of(&tuple![key, 0], &[0], 4));
+        }
+    }
+
+    #[test]
+    fn single_shard_is_identity() {
+        let d = sample(20);
+        let p = ShardedDelta::partition(&d, Polarity::Plus, &[0], 1);
+        assert_eq!(p.shards()[0].plus(), d.plus());
+    }
+
+    #[test]
+    fn minus_side_partitions_too() {
+        let mut d = DeltaSet::new();
+        for i in 0..30 {
+            d.apply_delete(tuple![i, i]);
+        }
+        let p = ShardedDelta::partition(&d, Polarity::Minus, &[1], 3);
+        assert_eq!(p.len(), 30);
+        assert!(p.shards().iter().all(|s| s.plus().is_empty()));
+    }
+
+    #[test]
+    fn broadcast_routes_everything_to_the_owner() {
+        let d = sample(10);
+        let p = ShardedDelta::broadcast(&d, Polarity::Plus, 4, 2);
+        assert_eq!(p.shard_lens(), vec![0, 0, 10, 0]);
+        assert_eq!(p.shards()[2].plus(), d.plus());
+        assert!(p.key().is_empty());
+    }
+
+    #[test]
+    fn shard_of_is_deterministic() {
+        let t = tuple![3, 9];
+        let a = shard_of(&t, &[0], 8);
+        for _ in 0..10 {
+            assert_eq!(shard_of(&t, &[0], 8), a);
+        }
+        assert!(a < 8);
+    }
+}
