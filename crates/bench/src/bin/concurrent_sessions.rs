@@ -1,0 +1,231 @@
+//! Multi-session transaction-server throughput and conflict behavior.
+//!
+//! Two phases per session count, over one shared engine each:
+//!
+//! * **Deterministic phase** — a single driver thread advances K
+//!   sessions in strict round-robin through seeded workloads (two
+//!   whole-relation `threshold` scans plus one hot-key-skewed
+//!   read-modify-write of `quantity` per transaction). The interleaving
+//!   and every key choice derive from the seed, so the resulting
+//!   `committed` / `aborted` counters are **exact across machines** —
+//!   the bench-regression gate compares them with zero tolerance: any
+//!   drift means conflict detection itself changed.
+//! * **Timed phase** — the same total workload run twice: serially on
+//!   one session (`serial_ms`), then free-running on K OS threads with
+//!   retry-on-conflict (`concurrent_ms`, `commits_per_sec`). The gate
+//!   compares only the `serial_ms / concurrent_ms` *ratio*, floored by
+//!   a tolerance — absolute milliseconds measure the runner.
+//!
+//! Reads (snapshot selects, scalar probes) run under the engine's read
+//! lock and parallelize; commits serialize through the write lock. The
+//! workload is read-heavy inside each transaction precisely so the
+//! session layer has something to overlap.
+//!
+//! ```text
+//! cargo run --release -p amos-bench --bin concurrent_sessions -- \
+//!     --json BENCH_server.json [--sessions 1,2,4,8] [--transactions 30]
+//! ```
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use amos_db::{Amos, SharedEngine};
+use amos_metrics::JsonValue;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const N_ITEMS: usize = 16;
+
+fn build() -> Arc<SharedEngine> {
+    let mut db = Amos::new();
+    db.register_procedure("note", |_ctx, _args| Ok(()));
+    db.execute(
+        r#"
+        create type item;
+        create function quantity(item i) -> integer;
+        create function threshold(item i) -> integer;
+
+        create rule low() as
+            when for each item i
+            where quantity(i) < threshold(i)
+            do note(i);
+    "#,
+    )
+    .expect("schema");
+    let names: Vec<String> = (0..N_ITEMS).map(|i| format!(":i{i}")).collect();
+    db.execute(&format!("create item instances {};", names.join(", ")))
+        .expect("instances");
+    for (i, name) in names.iter().enumerate() {
+        db.execute(&format!("set quantity({name}) = {};", 1_000 + i as i64))
+            .expect("quantity");
+        db.execute(&format!("set threshold({name}) = 0;"))
+            .expect("threshold");
+    }
+    db.execute("activate low();").expect("activate");
+    SharedEngine::new(db)
+}
+
+/// One transaction body: two parallelizable whole-relation reads plus a
+/// hot-key-skewed read-modify-write (30% of writes hit item 0).
+fn txn_body(rng: &mut StdRng) -> String {
+    let key = if rng.gen_bool(0.3) {
+        0
+    } else {
+        rng.gen_range(0..N_ITEMS)
+    };
+    format!(
+        "select threshold(i) for each item i; \
+         select threshold(i) for each item i; \
+         set quantity(:i{key}) = quantity(:i{key}) - 1;"
+    )
+}
+
+/// Round-robin deterministic phase: K sessions, `per` transactions
+/// each, advanced one protocol step at a time in session order. Every
+/// transaction of a round overlaps every other, so same-key writes in
+/// one round conflict by construction. Aborted transactions are counted
+/// and skipped (not retried), keeping both counters exact.
+fn deterministic_phase(k: usize, per: usize, seed: u64) -> (u64, u64) {
+    let engine = build();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sessions: Vec<_> = (0..k).map(|_| engine.session()).collect();
+    let bodies: Vec<Vec<String>> = (0..k)
+        .map(|_| (0..per).map(|_| txn_body(&mut rng)).collect())
+        .collect();
+    let (mut committed, mut aborted) = (0u64, 0u64);
+    for round in 0..per {
+        for s in sessions.iter_mut() {
+            s.execute("begin;").unwrap();
+        }
+        for (s, body) in sessions.iter_mut().zip(&bodies) {
+            s.execute(&body[round]).unwrap();
+        }
+        for s in sessions.iter_mut() {
+            match s.execute("commit;") {
+                Ok(_) => committed += 1,
+                Err(e) if e.is_retryable() => aborted += 1,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+    }
+    (committed, aborted)
+}
+
+/// Serial reference: the full K×per workload on one session, one
+/// transaction at a time.
+fn serial_phase(k: usize, per: usize, seed: u64) -> f64 {
+    let engine = build();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut s = engine.session();
+    let start = Instant::now();
+    for _ in 0..k * per {
+        let body = txn_body(&mut rng);
+        s.execute(&format!("begin; {body} commit;")).unwrap();
+    }
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+/// Free-running phase: K threads, each its own session, retrying
+/// conflicted transactions until they commit. Returns (elapsed ms,
+/// committed).
+fn concurrent_phase(k: usize, per: usize, seed: u64) -> (f64, u64) {
+    let engine = build();
+    let committed = Arc::new(AtomicUsize::new(0));
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for t in 0..k {
+        let engine = Arc::clone(&engine);
+        let committed = Arc::clone(&committed);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(seed ^ (t as u64).wrapping_mul(0x9E37));
+            let mut s = engine.session();
+            for _ in 0..per {
+                let body = txn_body(&mut rng);
+                let script = format!("begin; {body} commit;");
+                loop {
+                    match s.execute(&script) {
+                        Ok(_) => {
+                            committed.fetch_add(1, Ordering::Relaxed);
+                            break;
+                        }
+                        Err(e) if e.is_retryable() => continue,
+                        Err(e) => panic!("unexpected error: {e}"),
+                    }
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let ms = start.elapsed().as_secs_f64() * 1e3;
+    (ms, committed.load(Ordering::Relaxed) as u64)
+}
+
+fn main() {
+    let mut json: Option<PathBuf> = None;
+    let mut sessions = vec![1usize, 2, 4, 8];
+    let mut per = 30usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--json" => json = Some(PathBuf::from(value("--json"))),
+            "--sessions" => {
+                sessions = value("--sessions")
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("bad session count"))
+                    .collect()
+            }
+            "--transactions" => per = value("--transactions").parse().expect("bad count"),
+            other => panic!(
+                "unknown flag {other:?} (expected --json PATH, --sessions A,B,C, --transactions N)"
+            ),
+        }
+    }
+
+    println!("concurrent_sessions: {per} transactions/session, sessions {sessions:?}");
+    let mut rows = Vec::new();
+    for &k in &sessions {
+        let (committed, aborted) = deterministic_phase(k, per, 42);
+        let serial_ms = serial_phase(k, per, 43);
+        let (concurrent_ms, free_committed) = concurrent_phase(k, per, 43);
+        let commits_per_sec = free_committed as f64 / (concurrent_ms / 1e3).max(f64::MIN_POSITIVE);
+        println!(
+            "  sessions={k}: committed={committed} aborted={aborted} \
+             serial={serial_ms:.1}ms concurrent={concurrent_ms:.1}ms \
+             ({commits_per_sec:.0} commits/s, serial/concurrent {:.2}x)",
+            serial_ms / concurrent_ms.max(f64::MIN_POSITIVE)
+        );
+        rows.push(
+            JsonValue::object()
+                .with("sessions", k)
+                .with("committed", committed)
+                .with("aborted", aborted)
+                .with("serial_ms", serial_ms)
+                .with("concurrent_ms", concurrent_ms)
+                .with("commits_per_sec", commits_per_sec),
+        );
+    }
+
+    if let Some(path) = json {
+        use std::io::Write as _;
+        let doc = JsonValue::object()
+            .with("bench", "server")
+            .with(
+                "description",
+                "multi-session snapshot-isolation server: deterministic round-robin \
+                 conflict counts + free-running throughput vs serial reference",
+            )
+            .with("transactions", per)
+            .with("results", JsonValue::Array(rows));
+        let mut file = std::fs::File::create(&path).expect("create JSON report");
+        writeln!(file, "{}", doc.to_pretty()).expect("write JSON report");
+        println!("wrote {}", path.display());
+    }
+}

@@ -219,8 +219,9 @@ pub fn write_report_scaled(
 
 /// The speed *ratio* a result row demonstrates, by report family:
 /// `naive_ms / incremental_ms` for the figure sweeps,
-/// `static_ms / adaptive_ms` for the planner bench. `None` when the row
-/// carries neither pair.
+/// `static_ms / adaptive_ms` for the planner bench,
+/// `serial_ms / concurrent_ms` for the multi-session server bench.
+/// `None` when the row carries none of the pairs.
 fn row_ratio(row: &JsonValue) -> Option<(&'static str, f64)> {
     let num = |key: &str| row.get(key).and_then(JsonValue::as_f64);
     if let (Some(naive), Some(inc)) = (num("naive_ms"), num("incremental_ms")) {
@@ -229,11 +230,14 @@ fn row_ratio(row: &JsonValue) -> Option<(&'static str, f64)> {
     if let (Some(st), Some(ad)) = (num("static_ms"), num("adaptive_ms")) {
         return Some(("static/adaptive", st / ad.max(f64::MIN_POSITIVE)));
     }
+    if let (Some(serial), Some(conc)) = (num("serial_ms"), num("concurrent_ms")) {
+        return Some(("serial/concurrent", serial / conc.max(f64::MIN_POSITIVE)));
+    }
     None
 }
 
 /// The key identifying a result row across runs: `scenario` (planner
-/// bench) or `n_items` (figure sweeps).
+/// bench), `n_items` (figure sweeps), or `sessions` (server bench).
 fn row_key(row: &JsonValue) -> String {
     row.get("scenario")
         .and_then(JsonValue::as_str)
@@ -243,12 +247,23 @@ fn row_key(row: &JsonValue) -> String {
                 .and_then(JsonValue::as_f64)
                 .map(|n| format!("n_items={n}"))
         })
+        .or_else(|| {
+            row.get("sessions")
+                .and_then(JsonValue::as_f64)
+                .map(|n| format!("sessions={n}"))
+        })
         .unwrap_or_else(|| "<unkeyed>".to_owned())
 }
 
 /// Per-row counters that are deterministic for a fixed workload: any
 /// drift means the engine computed something different, not slower.
 const EXACT_COUNTERS: [&str; 3] = ["fired", "candidates", "rejected"];
+
+/// Deterministic counters carried directly on a result row (not inside
+/// `last_pass`): the server bench's seeded schedule commits and aborts
+/// exactly the same transactions on every machine, so any drift is a
+/// change in conflict-detection semantics.
+const ROW_EXACT_COUNTERS: [&str; 2] = ["committed", "aborted"];
 
 /// Diff `fresh` against `baseline`; returns the list of regressions
 /// (empty = gate passes). `tolerance` is the allowed *relative* drop in
@@ -320,6 +335,19 @@ pub fn compare_reports_scaled(
                              (deterministic counter — semantic change)"
                         ));
                     }
+                }
+            }
+        }
+        // Row-level deterministic counters (server bench): exact match.
+        for counter in ROW_EXACT_COUNTERS {
+            let b = brow.get(counter).and_then(JsonValue::as_f64);
+            let f = frow.get(counter).and_then(JsonValue::as_f64);
+            if let (Some(b), Some(f)) = (b, f) {
+                if b != f {
+                    regressions.push(format!(
+                        "{bname}[{key}]: {counter} drifted from {b} to {f} \
+                         (deterministic counter — semantic change)"
+                    ));
                 }
             }
         }
@@ -612,5 +640,45 @@ mod tests {
             .is_empty());
         let collapsed = row(300.0, 450.0); // 0.67x < 1.5 * 0.5
         assert!(!compare_reports(&base, &collapsed, 0.5).unwrap().is_empty());
+    }
+
+    fn server_report(sessions: u64, committed: u64, aborted: u64, concurrent_ms: f64) -> JsonValue {
+        JsonValue::parse(&format!(
+            r#"{{"bench":"server","results":[{{"sessions":{sessions},
+                "committed":{committed},"aborted":{aborted},
+                "serial_ms":100.0,"concurrent_ms":{concurrent_ms},
+                "commits_per_sec":1000.0}}]}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn server_rows_key_on_sessions_and_gate_exact_counters() {
+        let base = server_report(4, 120, 7, 60.0);
+        assert!(compare_reports(&base, &base, 0.5).unwrap().is_empty());
+
+        // Commit/abort counts are exact: any drift fails, even "better".
+        let drift = server_report(4, 120, 6, 60.0);
+        let found = compare_reports(&base, &drift, 0.5).unwrap();
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].contains("aborted drifted"), "{found:?}");
+        assert!(found[0].contains("sessions=4"), "{found:?}");
+
+        let drift = server_report(4, 119, 7, 60.0);
+        let found = compare_reports(&base, &drift, 0.5).unwrap();
+        assert!(found[0].contains("committed drifted"), "{found:?}");
+    }
+
+    #[test]
+    fn server_throughput_ratio_is_floored_not_exact() {
+        let base = server_report(4, 120, 7, 60.0); // serial/concurrent ≈ 1.67
+                                                   // 20% sag: inside tolerance.
+        let noisy = server_report(4, 120, 7, 72.0);
+        assert!(compare_reports(&base, &noisy, 0.5).unwrap().is_empty());
+        // Collapse below half the baseline ratio: regression.
+        let collapsed = server_report(4, 120, 7, 150.0);
+        let found = compare_reports(&base, &collapsed, 0.5).unwrap();
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].contains("serial/concurrent"), "{found:?}");
     }
 }

@@ -28,7 +28,11 @@ use crate::error::CoreError;
 pub type SourceDeltas<'a> = HashMap<RelId, &'a DeltaSet>;
 
 /// An incrementally maintained computation over stored relations.
-pub trait UserView: Send {
+///
+/// `Send + Sync` because registered views live inside the engine, and
+/// the engine is shared across session threads behind an `RwLock`
+/// ([`apply`](Self::apply) itself only ever runs under the write lock).
+pub trait UserView: Send + Sync {
     /// The stored relations this view reads. Changes to any of them
     /// invoke [`apply`](Self::apply) at commit.
     fn sources(&self) -> Vec<RelId>;
@@ -101,8 +105,8 @@ impl UserView for MaintainedAggregate {
 /// `Arc<Mutex<…>>` cache shared with the application).
 pub struct ClosureView<I, D>
 where
-    I: FnMut(&Catalog, &Storage) -> Result<Vec<Tuple>, CoreError> + Send,
-    D: FnMut(&SourceDeltas<'_>, &Catalog, &Storage) -> Result<DeltaSet, CoreError> + Send,
+    I: FnMut(&Catalog, &Storage) -> Result<Vec<Tuple>, CoreError> + Send + Sync,
+    D: FnMut(&SourceDeltas<'_>, &Catalog, &Storage) -> Result<DeltaSet, CoreError> + Send + Sync,
 {
     sources: Vec<RelId>,
     init: I,
@@ -111,8 +115,8 @@ where
 
 impl<I, D> ClosureView<I, D>
 where
-    I: FnMut(&Catalog, &Storage) -> Result<Vec<Tuple>, CoreError> + Send,
-    D: FnMut(&SourceDeltas<'_>, &Catalog, &Storage) -> Result<DeltaSet, CoreError> + Send,
+    I: FnMut(&Catalog, &Storage) -> Result<Vec<Tuple>, CoreError> + Send + Sync,
+    D: FnMut(&SourceDeltas<'_>, &Catalog, &Storage) -> Result<DeltaSet, CoreError> + Send + Sync,
 {
     /// Build a view over the given source relations.
     pub fn new(sources: Vec<RelId>, init: I, diff: D) -> Self {
@@ -126,8 +130,8 @@ where
 
 impl<I, D> UserView for ClosureView<I, D>
 where
-    I: FnMut(&Catalog, &Storage) -> Result<Vec<Tuple>, CoreError> + Send,
-    D: FnMut(&SourceDeltas<'_>, &Catalog, &Storage) -> Result<DeltaSet, CoreError> + Send,
+    I: FnMut(&Catalog, &Storage) -> Result<Vec<Tuple>, CoreError> + Send + Sync,
+    D: FnMut(&SourceDeltas<'_>, &Catalog, &Storage) -> Result<DeltaSet, CoreError> + Send + Sync,
 {
     fn sources(&self) -> Vec<RelId> {
         self.sources.clone()

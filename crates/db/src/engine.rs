@@ -1,7 +1,8 @@
 //! The AMOS engine: statement execution, scalar evaluation, rule
 //! wiring, and transaction/check-phase orchestration.
 
-use std::collections::HashMap;
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Mutex};
 
 use amos_amosql::ast::{Expr, ProcStmt, Select, Statement, TypedVar};
@@ -13,11 +14,11 @@ use amos_core::maintained::{MaintainedAggregate, SourceDeltas, UserView};
 use amos_core::propagate::ExecStrategy;
 use amos_core::rules::{ActionFn, CheckSummary, MonitorMode, RuleManager, RuleSemantics};
 use amos_lint::{Diagnostic, LintConfig, RuleFacts, RuleWrite, Span};
-use amos_objectlog::catalog::{Catalog, ForeignFn, PredId};
+use amos_objectlog::catalog::{Catalog, ForeignFn, PredId, PredKind};
 use amos_objectlog::eval::{DeltaMap, EvalConfig, EvalContext};
 use amos_objectlog::expand::{expand_clause, ExpandOptions};
 use amos_objectlog::plan::compile_clause;
-use amos_storage::{RecoveryInfo, RelId, Savepoint, StateEpoch, Storage, WalConfig};
+use amos_storage::{ReadOverlay, RecoveryInfo, RelId, Savepoint, StateEpoch, Storage, WalConfig};
 use amos_types::{Tuple, TypeRegistry, Value};
 
 use crate::error::DbError;
@@ -578,6 +579,13 @@ impl Amos {
     // ------------------------------------------------------------------
     // Statement execution
     // ------------------------------------------------------------------
+
+    /// The global interface-variable bindings (`:name` → value).
+    /// Sessions snapshot these for scalar evaluation; `create
+    /// instances` forwarded from a session writes through them.
+    pub(crate) fn iface_map(&self) -> &HashMap<String, Value> {
+        &self.iface
+    }
 
     pub(crate) fn query_env(&self) -> QueryEnv<'_> {
         QueryEnv {
@@ -1141,7 +1149,7 @@ impl Amos {
         Ok(out)
     }
 
-    fn run_select(&self, sel: &Select) -> Result<Vec<Tuple>, DbError> {
+    pub(crate) fn run_select(&self, sel: &Select) -> Result<Vec<Tuple>, DbError> {
         let q = compile_select(&self.query_env(), sel, &[])?;
         let deltas = DeltaMap::new();
         let ctx = EvalContext::new(&self.storage, &self.catalog, &deltas);
@@ -1177,72 +1185,171 @@ pub fn eval_scalar(
     iface: &HashMap<String, Value>,
     expr: &Expr,
 ) -> Result<Value, DbError> {
-    match expr {
-        Expr::Var(n) => env
-            .get(n)
-            .cloned()
-            .ok_or_else(|| DbError::Other(format!("unbound variable `{n}`"))),
-        Expr::IfaceVar(n) => iface
-            .get(n)
-            .cloned()
-            .ok_or_else(|| DbError::Other(format!("unbound interface variable `:{n}`"))),
-        Expr::Int(i) => Ok(Value::Int(*i)),
-        Expr::Real(r) => Ok(Value::real(*r)?),
-        Expr::Str(s) => Ok(Value::str(s.as_str())),
-        Expr::Bool(b) => Ok(Value::Bool(*b)),
-        Expr::Arith { op, lhs, rhs } => {
-            let l = eval_scalar(storage, catalog, env, iface, lhs)?;
-            let r = eval_scalar(storage, catalog, env, iface, rhs)?;
-            Ok(op.apply(&l, &r)?)
-        }
-        Expr::Neg(e) => {
-            let v = eval_scalar(storage, catalog, env, iface, e)?;
-            Ok(v.neg()?)
-        }
-        Expr::Cmp { op, lhs, rhs } => {
-            let l = eval_scalar(storage, catalog, env, iface, lhs)?;
-            let r = eval_scalar(storage, catalog, env, iface, rhs)?;
-            Ok(Value::Bool(op.apply(&l, &r)?))
-        }
-        Expr::And(a, b) => {
-            let l = eval_scalar(storage, catalog, env, iface, a)?.as_bool()?;
-            let r = eval_scalar(storage, catalog, env, iface, b)?.as_bool()?;
-            Ok(Value::Bool(l && r))
-        }
-        Expr::Or(a, b) => {
-            let l = eval_scalar(storage, catalog, env, iface, a)?.as_bool()?;
-            let r = eval_scalar(storage, catalog, env, iface, b)?.as_bool()?;
-            Ok(Value::Bool(l || r))
-        }
-        Expr::Not(e) => {
-            let v = eval_scalar(storage, catalog, env, iface, e)?.as_bool()?;
-            Ok(Value::Bool(!v))
-        }
-        Expr::Call { func, args } => {
-            let pred = catalog
-                .lookup(func)
-                .map_err(|_| DbError::Other(format!("unknown function `{func}`")))?;
-            let arity = catalog.def(pred).arity;
-            if args.len() + 1 != arity {
-                return Err(DbError::Other(format!(
-                    "function `{func}` takes {} arguments, {} supplied",
-                    arity - 1,
-                    args.len()
-                )));
+    ScalarEval {
+        storage,
+        catalog,
+        env,
+        iface,
+        view: None,
+        reads: None,
+    }
+    .eval(expr)
+}
+
+/// Relations a session transaction has read, at two granularities:
+/// whole-relation (scans, derived-function calls) and conflict-key
+/// (stored-function probes). Commit-time validation intersects these
+/// with the write-sets of concurrently committed transactions.
+#[derive(Debug, Default)]
+pub(crate) struct ReadTrace {
+    /// Relations read in full.
+    pub whole: HashSet<RelId>,
+    /// Per-relation conflict keys probed (key-column prefix tuples).
+    pub keys: HashMap<RelId, HashSet<Tuple>>,
+}
+
+impl ReadTrace {
+    /// Record the read footprint of a stored/derived function call with
+    /// fully-bound arguments: key-granular for stored functions (the
+    /// probed key is the conflict key), whole-relation for every stored
+    /// influent of a derived function.
+    pub(crate) fn record_call(&mut self, catalog: &Catalog, pred: PredId, args: &[Value]) {
+        match &catalog.def(pred).kind {
+            PredKind::Stored { rel, key_arity } => {
+                let k = *key_arity;
+                if k > 0 && k <= args.len() {
+                    self.keys
+                        .entry(*rel)
+                        .or_default()
+                        .insert(Tuple::new(args[..k].to_vec()));
+                } else {
+                    self.whole.insert(*rel);
+                }
             }
-            let mut pattern: Vec<Option<Value>> = Vec::with_capacity(arity);
-            for a in args {
-                pattern.push(Some(eval_scalar(storage, catalog, env, iface, a)?));
+            PredKind::Derived(_) => {
+                for p in catalog.stored_influents(pred) {
+                    if let Some(rel) = catalog.def(p).stored_rel() {
+                        self.whole.insert(rel);
+                    }
+                }
             }
-            pattern.push(None);
-            let deltas = DeltaMap::new();
-            let ctx = EvalContext::new(storage, catalog, &deltas);
-            let results = ctx.eval_pred(pred, &pattern, StateEpoch::New)?;
-            let mut vals: Vec<Value> = results.into_iter().map(|t| t[arity - 1].clone()).collect();
-            vals.sort();
-            vals.into_iter().next().ok_or_else(|| {
-                DbError::Other(format!("no value stored for `{func}` at these arguments"))
-            })
+            PredKind::Foreign(_) => {}
+        }
+    }
+
+    /// Record the read footprint of an unbounded scan over `pred` (a
+    /// select clause literal): whole-relation on the backing relation of
+    /// a stored predicate, or on every stored influent of a derived one.
+    pub(crate) fn record_scan(&mut self, catalog: &Catalog, pred: PredId) {
+        match &catalog.def(pred).kind {
+            PredKind::Stored { rel, .. } => {
+                self.whole.insert(*rel);
+            }
+            PredKind::Derived(_) => {
+                for p in catalog.stored_influents(pred) {
+                    if let Some(rel) = catalog.def(p).stored_rel() {
+                        self.whole.insert(rel);
+                    }
+                }
+            }
+            PredKind::Foreign(_) => {}
+        }
+    }
+}
+
+/// Scalar-expression evaluator parameterized by an optional snapshot
+/// view (session transactions read through their overlay) and an
+/// optional read trace (commit-time conflict validation needs the read
+/// footprint). [`eval_scalar`] is the plain single-session instance.
+pub(crate) struct ScalarEval<'a> {
+    pub storage: &'a Storage,
+    pub catalog: &'a Catalog,
+    pub env: &'a HashMap<String, Value>,
+    pub iface: &'a HashMap<String, Value>,
+    pub view: Option<&'a ReadOverlay>,
+    pub reads: Option<&'a RefCell<ReadTrace>>,
+}
+
+impl ScalarEval<'_> {
+    pub(crate) fn eval(&self, expr: &Expr) -> Result<Value, DbError> {
+        match expr {
+            Expr::Var(n) => self
+                .env
+                .get(n)
+                .cloned()
+                .ok_or_else(|| DbError::Other(format!("unbound variable `{n}`"))),
+            Expr::IfaceVar(n) => self
+                .iface
+                .get(n)
+                .cloned()
+                .ok_or_else(|| DbError::Other(format!("unbound interface variable `:{n}`"))),
+            Expr::Int(i) => Ok(Value::Int(*i)),
+            Expr::Real(r) => Ok(Value::real(*r)?),
+            Expr::Str(s) => Ok(Value::str(s.as_str())),
+            Expr::Bool(b) => Ok(Value::Bool(*b)),
+            Expr::Arith { op, lhs, rhs } => {
+                let l = self.eval(lhs)?;
+                let r = self.eval(rhs)?;
+                Ok(op.apply(&l, &r)?)
+            }
+            Expr::Neg(e) => {
+                let v = self.eval(e)?;
+                Ok(v.neg()?)
+            }
+            Expr::Cmp { op, lhs, rhs } => {
+                let l = self.eval(lhs)?;
+                let r = self.eval(rhs)?;
+                Ok(Value::Bool(op.apply(&l, &r)?))
+            }
+            Expr::And(a, b) => {
+                let l = self.eval(a)?.as_bool()?;
+                let r = self.eval(b)?.as_bool()?;
+                Ok(Value::Bool(l && r))
+            }
+            Expr::Or(a, b) => {
+                let l = self.eval(a)?.as_bool()?;
+                let r = self.eval(b)?.as_bool()?;
+                Ok(Value::Bool(l || r))
+            }
+            Expr::Not(e) => {
+                let v = self.eval(e)?.as_bool()?;
+                Ok(Value::Bool(!v))
+            }
+            Expr::Call { func, args } => {
+                let pred = self
+                    .catalog
+                    .lookup(func)
+                    .map_err(|_| DbError::Other(format!("unknown function `{func}`")))?;
+                let arity = self.catalog.def(pred).arity;
+                if args.len() + 1 != arity {
+                    return Err(DbError::Other(format!(
+                        "function `{func}` takes {} arguments, {} supplied",
+                        arity - 1,
+                        args.len()
+                    )));
+                }
+                let mut vals: Vec<Value> = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(a)?);
+                }
+                if let Some(reads) = self.reads {
+                    reads.borrow_mut().record_call(self.catalog, pred, &vals);
+                }
+                let mut pattern: Vec<Option<Value>> = vals.into_iter().map(Some).collect();
+                pattern.push(None);
+                let deltas = DeltaMap::new();
+                let ctx = match self.view {
+                    Some(v) => EvalContext::with_view(self.storage, self.catalog, &deltas, v),
+                    None => EvalContext::new(self.storage, self.catalog, &deltas),
+                };
+                let results = ctx.eval_pred(pred, &pattern, StateEpoch::New)?;
+                let mut vals: Vec<Value> =
+                    results.into_iter().map(|t| t[arity - 1].clone()).collect();
+                vals.sort();
+                vals.into_iter().next().ok_or_else(|| {
+                    DbError::Other(format!("no value stored for `{func}` at these arguments"))
+                })
+            }
         }
     }
 }
@@ -1318,7 +1425,7 @@ fn exec_proc_stmt(
     }
 }
 
-fn resolve_stored(catalog: &Catalog, func: &str) -> Result<(RelId, usize), String> {
+pub(crate) fn resolve_stored(catalog: &Catalog, func: &str) -> Result<(RelId, usize), String> {
     let pred = catalog
         .lookup(func)
         .map_err(|_| format!("unknown function `{func}`"))?;

@@ -27,8 +27,24 @@ pub enum DbError {
     Value(ValueError),
     /// Deny-level lint findings refused an `activate`.
     Lint(Vec<Diagnostic>),
+    /// Commit-time validation detected a conflicting concurrent commit
+    /// (first-committer-wins): the transaction was aborted and its
+    /// buffered writes discarded. Retryable — replaying the same
+    /// statements in a fresh transaction may succeed.
+    TxnConflict {
+        /// Name of the relation the conflict was detected on.
+        relation: String,
+    },
     /// Anything else, with a message.
     Other(String),
+}
+
+impl DbError {
+    /// True for errors a client can resolve by simply retrying the
+    /// transaction (serialization conflicts, not semantic failures).
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, DbError::TxnConflict { .. })
+    }
 }
 
 impl fmt::Display for DbError {
@@ -47,6 +63,11 @@ impl fmt::Display for DbError {
                 }
                 Ok(())
             }
+            DbError::TxnConflict { relation } => write!(
+                f,
+                "transaction conflict on `{relation}`: a concurrent \
+                 transaction committed first; retry"
+            ),
             DbError::Other(m) => write!(f, "{m}"),
         }
     }

@@ -30,6 +30,7 @@
 pub mod engine;
 pub mod error;
 pub mod lint;
+pub mod session;
 
 pub use amos_core::propagate::StrategyParseError;
 pub use amos_core::{CheckLevel, ExecStrategy, MonitorMode, RuleSemantics};
@@ -39,3 +40,4 @@ pub use amos_types::{Oid, Tuple, Value};
 pub use engine::{Amos, EngineOptions, ExecResult, NetworkPrep, ProcCtx, ProcedureFn};
 pub use error::DbError;
 pub use lint::lint_script;
+pub use session::{Session, SharedEngine};

@@ -67,6 +67,23 @@ fn bad_worker_count_points_after_the_colon() {
 }
 
 #[test]
+fn worker_count_above_cap_points_at_the_number() {
+    let (code, _, stderr) = run_amosql(&["--strategy", "sharded:65"]);
+    assert_eq!(code, 2);
+    assert!(
+        stderr.contains("worker count 65 out of range 1..=64"),
+        "{stderr}"
+    );
+    let caret_line = stderr
+        .lines()
+        .find(|l| l.trim_start().starts_with('^'))
+        .unwrap_or_else(|| panic!("no caret line in {stderr}"));
+    // Same geometry as `sharded:0`, but the caret spans both digits.
+    assert_eq!(caret_line.find('^'), Some(13 + 8), "{stderr}");
+    assert_eq!(caret_line.trim_start(), "^^", "{stderr}");
+}
+
+#[test]
 fn missing_worker_count_is_rejected() {
     let (code, _, stderr) = run_amosql(&["--strategy", "sharded"]);
     assert_eq!(code, 2);

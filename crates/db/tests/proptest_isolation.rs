@@ -1,0 +1,201 @@
+//! Snapshot-isolation property test: for random multi-session workloads
+//! and random interleavings, the concurrently committed history is
+//! indistinguishable from a serial execution of the committed
+//! transactions in commit order — bit-identical stored state, rule
+//! firings (order included), and per-commit check summaries (executed
+//! counts, failures, and propagation pass counters) — at every §7.2
+//! check level (`Raw`, `Nervous`, `Strict`) and up to 8 sessions.
+//!
+//! The serial twin runs the *same* engine configuration, so the property
+//! isolates exactly the session machinery (snapshot overlays, buffered
+//! write-sets, commit-time validation); the companion stress harness in
+//! `concurrency_stress.rs` separately cross-validates against a naive
+//! monitor.
+
+use std::sync::{Arc, Mutex};
+
+use amos_core::rules::CheckSummary;
+use amos_db::{Amos, CheckLevel, ExecResult, SharedEngine, Value};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const N_ITEMS: usize = 5;
+
+fn item(i: usize) -> String {
+    format!(":i{i}")
+}
+
+fn build(level: CheckLevel) -> (Amos, Arc<Mutex<Vec<Value>>>) {
+    let mut db = Amos::new();
+    db.set_check_level(level);
+    let noted: Arc<Mutex<Vec<Value>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = noted.clone();
+    db.register_procedure("note", move |_ctx, args| {
+        sink.lock().unwrap().push(args[0].clone());
+        Ok(())
+    });
+    db.execute(
+        r#"
+        create type item;
+        create function quantity(item i) -> integer;
+        create function threshold(item i) -> integer;
+
+        create rule low() as
+            when for each item i
+            where quantity(i) < threshold(i)
+            do note(i);
+    "#,
+    )
+    .unwrap();
+    let names: Vec<String> = (0..N_ITEMS).map(item).collect();
+    db.execute(&format!("create item instances {};", names.join(", ")))
+        .unwrap();
+    for (i, name) in names.iter().enumerate() {
+        db.execute(&format!("set quantity({name}) = {};", 60 + 2 * i as i64))
+            .unwrap();
+        db.execute(&format!("set threshold({name}) = 55;")).unwrap();
+    }
+    db.execute("activate low();").unwrap();
+    (db, noted)
+}
+
+fn gen_txn(rng: &mut StdRng) -> Vec<String> {
+    let n = rng.gen_range(1..=3usize);
+    (0..n)
+        .map(|_| {
+            let a = item(rng.gen_range(0..N_ITEMS));
+            let b = item(rng.gen_range(0..N_ITEMS));
+            match rng.gen_range(0..8u32) {
+                0..=2 => format!("set quantity({a}) = {};", rng.gen_range(40..80i64)),
+                3..=5 => format!(
+                    "set quantity({a}) = quantity({a}) - {};",
+                    rng.gen_range(1..10i64)
+                ),
+                _ => format!(
+                    "set quantity({a}) = quantity({b}) + {};",
+                    rng.gen_range(0..5i64)
+                ),
+            }
+        })
+        .collect()
+}
+
+struct History {
+    committed: Vec<String>,
+    noted: Vec<Value>,
+    summaries: Vec<CheckSummary>,
+    state: Vec<amos_types::Tuple>,
+}
+
+fn commit_summary(results: &[ExecResult]) -> CheckSummary {
+    results
+        .iter()
+        .find_map(|r| match r {
+            ExecResult::Committed(s) => Some(s.clone()),
+            _ => None,
+        })
+        .expect("commit summary")
+}
+
+fn dump(engine: &Arc<SharedEngine>) -> Vec<amos_types::Tuple> {
+    let mut s = engine.session();
+    let mut out = s.query("select i, quantity(i) for each item i;").unwrap();
+    out.extend(s.query("select i, threshold(i) for each item i;").unwrap());
+    out
+}
+
+/// Concurrent run: K sessions advanced in a seeded random interleaving.
+fn concurrent(seed: u64, k: usize, level: CheckLevel) -> History {
+    let (db, noted) = build(level);
+    let engine = SharedEngine::new(db);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sessions: Vec<_> = (0..k).map(|_| engine.session()).collect();
+    let txns: Vec<Vec<Vec<String>>> = (0..k)
+        .map(|_| (0..3).map(|_| gen_txn(&mut rng)).collect())
+        .collect();
+    let mut at: Vec<(usize, usize)> = vec![(0, 0); k];
+    let mut committed = Vec::new();
+    let mut summaries = Vec::new();
+    let mut steps = 0;
+    while at.iter().zip(&txns).any(|(a, t)| a.0 < t.len()) {
+        steps += 1;
+        assert!(steps < 100_000, "livelock");
+        let p = rng.gen_range(0..k);
+        if at[p].0 >= txns[p].len() {
+            continue;
+        }
+        let (ti, si) = at[p];
+        let stmts = txns[p][ti].clone();
+        if si == 0 {
+            sessions[p].execute("begin;").unwrap();
+            at[p].1 = 1;
+        } else if si <= stmts.len() {
+            sessions[p].execute(&stmts[si - 1]).unwrap();
+            at[p].1 += 1;
+        } else {
+            match sessions[p].execute("commit;") {
+                Ok(results) => {
+                    summaries.push(commit_summary(&results));
+                    committed.push(stmts.join(" "));
+                    at[p] = (ti + 1, 0);
+                }
+                Err(e) if e.is_retryable() => at[p] = (ti, 0),
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+    }
+    drop(sessions);
+    let state = dump(&engine);
+    let noted = noted.lock().unwrap().clone();
+    History {
+        committed,
+        noted,
+        summaries,
+        state,
+    }
+}
+
+/// Serial twin: the committed groups replayed in commit order on an
+/// identically configured single-session engine.
+fn serial(committed: &[String], level: CheckLevel) -> History {
+    let (mut db, noted) = build(level);
+    let mut summaries = Vec::new();
+    for group in committed {
+        let results = db.execute(&format!("begin; {group} commit;")).unwrap();
+        summaries.push(commit_summary(&results));
+    }
+    let engine = SharedEngine::new(db);
+    let state = dump(&engine);
+    let noted = noted.lock().unwrap().clone();
+    History {
+        committed: committed.to_vec(),
+        noted,
+        summaries,
+        state,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn committed_history_is_serializable(seed in 0u64..10_000, k in 1usize..=8) {
+        for level in [CheckLevel::Raw, CheckLevel::Nervous, CheckLevel::Strict] {
+            let conc = concurrent(seed, k, level);
+            let twin = serial(&conc.committed, level);
+            prop_assert_eq!(
+                &conc.state, &twin.state,
+                "state diverged at {:?} (seed {}, k {})", level, seed, k
+            );
+            prop_assert_eq!(
+                &conc.noted, &twin.noted,
+                "fired order diverged at {:?} (seed {}, k {})", level, seed, k
+            );
+            prop_assert_eq!(
+                &conc.summaries, &twin.summaries,
+                "check summaries diverged at {:?} (seed {}, k {})", level, seed, k
+            );
+        }
+    }
+}

@@ -18,7 +18,7 @@ use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
-use amos_storage::{DeltaSet, StateEpoch, Storage};
+use amos_storage::{DeltaSet, ReadOverlay, StateEpoch, Storage};
 use amos_types::{FxHashMap, Tuple, Value};
 
 use crate::catalog::{Catalog, PredId, PredKind};
@@ -186,6 +186,12 @@ pub struct EvalContext<'a> {
     pub deltas: &'a DeltaMap,
     /// Recursion guard for derived-predicate calls.
     pub depth_limit: usize,
+    /// Snapshot-correction view for multi-session transactions: when
+    /// set, every `New`-epoch stored read is routed through the overlay
+    /// (`(S_now − hide) ∪ add`). Contexts carrying a view must use a
+    /// *fresh* [`EvalShared`] — the memo table is keyed by `(pred,
+    /// pattern, epoch)` only and would leak results across snapshots.
+    pub view: Option<&'a ReadOverlay>,
     /// Caches shared across the contexts of one propagation pass.
     shared: Arc<EvalShared>,
 }
@@ -293,7 +299,24 @@ impl<'a> EvalContext<'a> {
             catalog,
             deltas,
             depth_limit: shared.config().depth_limit,
+            view: None,
             shared,
+        }
+    }
+
+    /// Build a context whose `New`-epoch stored reads are corrected by a
+    /// snapshot [`ReadOverlay`] (session transactions). Uses fresh
+    /// private caches: memoized derived-call results are only valid
+    /// under the overlay they were computed with.
+    pub fn with_view(
+        storage: &'a Storage,
+        catalog: &'a Catalog,
+        deltas: &'a DeltaMap,
+        view: &'a ReadOverlay,
+    ) -> Self {
+        EvalContext {
+            view: Some(view),
+            ..EvalContext::new(storage, catalog, deltas)
         }
     }
 
@@ -330,7 +353,7 @@ impl<'a> EvalContext<'a> {
             if pattern.iter().all(Option::is_some) {
                 let t: Tuple = pattern.iter().map(|v| v.clone().unwrap()).collect();
                 return Ok(match epoch {
-                    StateEpoch::New => self.storage.relation(rel).contains(&t),
+                    StateEpoch::New => self.new_contains(rel, &t),
                     StateEpoch::Old => self.storage.old_view(rel).contains(&t),
                 });
             }
@@ -640,7 +663,7 @@ impl<'a> EvalContext<'a> {
         if bound_cols.len() == pattern.len() {
             let t = Tuple::new(key);
             let present = match epoch {
-                StateEpoch::New => self.storage.relation(rel).contains(&t),
+                StateEpoch::New => self.new_contains(rel, &t),
                 StateEpoch::Old => self.storage.old_view(rel).contains(&t),
             };
             return if present { vec![t] } else { Vec::new() };
@@ -648,6 +671,13 @@ impl<'a> EvalContext<'a> {
         match epoch {
             StateEpoch::New => {
                 let r = self.storage.relation(rel);
+                if let Some(view) = self.view.filter(|v| v.overlays(rel)) {
+                    return if bound_cols.is_empty() {
+                        view.scan(rel, r)
+                    } else {
+                        view.probe(rel, r, &bound_cols, &key)
+                    };
+                }
                 if bound_cols.is_empty() {
                     r.scan().cloned().collect()
                 } else {
@@ -672,6 +702,16 @@ impl<'a> EvalContext<'a> {
                     }
                 }
             }
+        }
+    }
+
+    /// `New`-epoch membership, corrected by the snapshot view when one
+    /// is attached and covers the relation.
+    fn new_contains(&self, rel: amos_storage::RelId, t: &Tuple) -> bool {
+        let base = self.storage.relation(rel);
+        match self.view {
+            Some(view) if view.overlays(rel) => view.contains(rel, base, t),
+            _ => base.contains(t),
         }
     }
 
@@ -878,6 +918,28 @@ impl<'a> EvalContext<'a> {
                 self.shared.merge_joins.fetch_add(1, Ordering::Relaxed);
                 let dside = delta.side(*polarity);
                 if dside.is_empty() {
+                    return Ok(());
+                }
+                if self.view.is_some_and(|v| v.overlays(*rel)) {
+                    // A snapshot view corrects this relation and the
+                    // stored-side arrangement bypasses it; fall back to
+                    // overlay-aware probes per Δ tuple. (Unreachable
+                    // from session selects — merge joins require a
+                    // Δ-literal, which only differencing plans carry —
+                    // but kept correct for defence in depth.)
+                    for dtu in dside {
+                        if let Some(dtrail) = unify_tuple(delta_args, dtu, b) {
+                            let pattern: Vec<Option<Value>> =
+                                stored_args.iter().map(|t| resolve(t, b)).collect();
+                            for stu in self.eval_stored(*rel, &pattern, StateEpoch::New) {
+                                if let Some(strail) = unify_tuple(stored_args, &stu, b) {
+                                    self.exec_step(plan, idx + 1, b, outer_epoch, depth, emit)?;
+                                    undo(&strail, b);
+                                }
+                            }
+                            undo(&dtrail, b);
+                        }
+                    }
                     return Ok(());
                 }
                 let sarr = self.storage.relation(*rel).arrangement(rel_cols);

@@ -1,0 +1,76 @@
+//! Standalone AMOSQL transaction server.
+//!
+//! ```sh
+//! cargo run -p amos-server --bin amos-server -- --listen 127.0.0.1:4640
+//! ```
+//!
+//! Optionally `--wal-dir <dir>` for durable commits (replays any
+//! existing snapshot + WAL on startup), `--max-sessions <n>` to bound
+//! the connection pool, and `--script <file.osql>` to load a schema
+//! before accepting connections.
+
+use amos_db::{Amos, SharedEngine, WalConfig};
+use amos_server::{serve, ServerConfig};
+
+fn main() {
+    let mut listen = "127.0.0.1:4640".to_string();
+    let mut config = ServerConfig::default();
+    let mut db = Amos::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} requires an argument");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--listen" => listen = value("--listen"),
+            "--max-sessions" => {
+                config.max_sessions = value("--max-sessions").parse().unwrap_or_else(|_| {
+                    eprintln!("--max-sessions requires a positive integer");
+                    std::process::exit(2);
+                })
+            }
+            "--wal-dir" => {
+                let dir = value("--wal-dir");
+                if let Err(e) = db.attach_wal(&dir, WalConfig::default()) {
+                    eprintln!("cannot attach WAL at {dir}: {e}");
+                    std::process::exit(2);
+                }
+            }
+            "--script" => {
+                let path = value("--script");
+                let src = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                    eprintln!("cannot read {path}: {e}");
+                    std::process::exit(2);
+                });
+                if let Err(e) = db.execute(&src) {
+                    eprintln!("{path}: {e}");
+                    std::process::exit(2);
+                }
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let engine = SharedEngine::new(db);
+    match serve(&listen, engine, config) {
+        Ok(handle) => {
+            println!("amos-server listening on {}", handle.addr());
+            // Serve until killed; the handle's Drop would stop the
+            // accept loop, so keep it alive while parked.
+            loop {
+                std::thread::park();
+            }
+        }
+        Err(e) => {
+            eprintln!("cannot listen on {listen}: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! End-to-end tests over real TCP: protocol framing, transaction
+//! isolation between two live connections, conflict-retry, and session
+//! cleanup on disconnect.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use amos_db::{Amos, SharedEngine};
+use amos_server::{serve, ServerConfig, ServerHandle};
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(handle: &ServerHandle) -> Client {
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        let mut c = Client {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        };
+        // Greeting: HELLO line then READY.
+        let hello = c.read_line();
+        assert!(hello.starts_with("HELLO amos-pdiff"), "{hello}");
+        assert_eq!(c.read_line(), "READY");
+        c
+    }
+
+    fn read_line(&mut self) -> String {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).unwrap();
+        line.trim_end().to_string()
+    }
+
+    /// Send one script line; collect responses until READY.
+    fn send(&mut self, script: &str) -> Vec<String> {
+        writeln!(self.writer, "{script}").unwrap();
+        let mut out = Vec::new();
+        loop {
+            let line = self.read_line();
+            if line == "READY" {
+                return out;
+            }
+            out.push(line);
+        }
+    }
+}
+
+fn boot() -> ServerHandle {
+    let mut db = Amos::new();
+    db.execute(
+        r#"
+        create type item;
+        create function quantity(item i) -> integer;
+        create item instances :a, :b;
+        set quantity(:a) = 100;
+        set quantity(:b) = 200;
+    "#,
+    )
+    .unwrap();
+    serve(
+        "127.0.0.1:0",
+        SharedEngine::new(db),
+        ServerConfig::default(),
+    )
+    .unwrap()
+}
+
+#[test]
+fn select_rows_and_ddl_ok() {
+    let handle = boot();
+    let mut c = Client::connect(&handle);
+
+    let resp = c.send("select quantity(:a);");
+    assert_eq!(resp, ["ROW 100", "END 1"]);
+
+    let resp = c.send("select quantity(i) for each item i;");
+    assert_eq!(resp, ["ROW 100", "ROW 200", "END 2"]);
+
+    // An update outside a transaction autocommits (and runs the check
+    // phase) immediately.
+    let resp = c.send("set quantity(:a) = 50;");
+    assert_eq!(resp, ["COMMITTED rules=0 failed=0"]);
+    assert_eq!(c.send("select quantity(:a);"), ["ROW 50", "END 1"]);
+
+    // Multiple statements on one line → one response group each.
+    let resp = c.send("set quantity(:a) = 60; select quantity(:a);");
+    assert_eq!(resp, ["COMMITTED rules=0 failed=0", "ROW 60", "END 1"]);
+
+    // Errors are single ERR lines.
+    let resp = c.send("select nonsense(:a);");
+    assert_eq!(resp.len(), 1);
+    assert!(resp[0].starts_with("ERR "), "{}", resp[0]);
+
+    // Blank lines are just re-prompted.
+    assert!(c.send("").is_empty());
+}
+
+#[test]
+fn transactions_isolated_between_connections() {
+    let handle = boot();
+    let mut c1 = Client::connect(&handle);
+    let mut c2 = Client::connect(&handle);
+
+    assert_eq!(c1.send("begin;"), ["OK"]);
+    assert_eq!(c1.send("set quantity(:a) = 1;"), ["OK"]);
+    // c1's buffered write is invisible to c2.
+    assert_eq!(c2.send("select quantity(:a);"), ["ROW 100", "END 1"]);
+    // c1 sees its own write.
+    assert_eq!(c1.send("select quantity(:a);"), ["ROW 1", "END 1"]);
+
+    let resp = c1.send("commit;");
+    assert_eq!(resp.len(), 1);
+    assert!(resp[0].starts_with("COMMITTED "), "{}", resp[0]);
+    assert_eq!(c2.send("select quantity(:a);"), ["ROW 1", "END 1"]);
+}
+
+#[test]
+fn conflict_reported_retryable_over_the_wire() {
+    let handle = boot();
+    let mut c1 = Client::connect(&handle);
+    let mut c2 = Client::connect(&handle);
+
+    assert_eq!(c1.send("begin; set quantity(:a) = 1;"), ["OK", "OK"]);
+    assert_eq!(c2.send("begin; set quantity(:a) = 2;"), ["OK", "OK"]);
+
+    assert!(c1.send("commit;")[0].starts_with("COMMITTED"));
+    let resp = c2.send("commit;");
+    assert!(resp[0].starts_with("ERR retryable "), "{}", resp[0]);
+
+    // The conflicting transaction was aborted server-side; a plain retry
+    // on the same connection succeeds.
+    let resp = c2.send("begin; set quantity(:a) = 2; commit;");
+    assert_eq!(resp.len(), 3);
+    assert!(resp[2].starts_with("COMMITTED"), "{}", resp[2]);
+    assert_eq!(c1.send("select quantity(:a);"), ["ROW 2", "END 1"]);
+}
+
+#[test]
+fn disconnect_mid_transaction_rolls_back() {
+    let handle = boot();
+    {
+        let mut c = Client::connect(&handle);
+        assert_eq!(c.send("begin; set quantity(:a) = 1;"), ["OK", "OK"]);
+        // Connection dropped without commit.
+    }
+    let mut c = Client::connect(&handle);
+    // Give the server thread a moment to observe the disconnect.
+    for _ in 0..50 {
+        if c.send("select quantity(:a);") == ["ROW 100", "END 1"] {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    panic!("abandoned transaction leaked into shared state");
+}
+
+#[test]
+fn session_cap_queues_but_serves_everyone() {
+    let mut db = Amos::new();
+    db.execute("create type item; create function quantity(item i) -> integer;")
+        .unwrap();
+    db.execute("create item instances :a; set quantity(:a) = 0;")
+        .unwrap();
+    let handle = serve(
+        "127.0.0.1:0",
+        SharedEngine::new(db),
+        ServerConfig { max_sessions: 2 },
+    )
+    .unwrap();
+    let handle = Arc::new(handle);
+
+    // 6 clients through a pool of 2: all are eventually served.
+    let mut joins = Vec::new();
+    for i in 0..6 {
+        let handle = Arc::clone(&handle);
+        joins.push(std::thread::spawn(move || {
+            let mut c = Client::connect(&handle);
+            let resp = c.send(&format!("add quantity(:a) = {};", i + 1));
+            assert!(resp[0].starts_with("COMMITTED"), "{resp:?}");
+        }));
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+    let mut c = Client::connect(&handle);
+    let resp = c.send("select quantity(i) for each item i;");
+    assert_eq!(resp.last().unwrap(), "END 7"); // 0 + six adds
+}

@@ -14,8 +14,9 @@
 //! updates pay the Δ-set accumulation cost. The rule layer reads the
 //! accumulated Δ-sets at the deferred check phase and clears them.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::path::Path;
+use std::sync::Mutex;
 
 use amos_types::{Oid, OidGenerator, Tuple, Value};
 
@@ -25,6 +26,7 @@ use crate::log::{LogOp, UpdateLog};
 use crate::oldstate::OldStateView;
 use crate::relation::BaseRelation;
 use crate::snapshot::{self, Snapshot, SnapshotRelation, SNAPSHOT_FILE};
+use crate::txn::TxnVersion;
 use crate::wal::{WalConfig, WalRecord, WalWriter};
 
 /// Identifier of a base relation within a [`Storage`].
@@ -96,6 +98,20 @@ pub struct Storage {
     /// layout knob only — logical content is identical at any setting
     /// (the sorted-run ≡ hash-map proptests pin this).
     seal_threshold: Option<usize>,
+    /// Commit sequence number: bumped by every successful [`commit`]
+    /// (never by `begin`/`rollback`, unlike `epoch`). Snapshot pins and
+    /// [`TxnVersion`]s are keyed by it.
+    commit_seq: u64,
+    /// Net write-sets of committed transactions, oldest first, published
+    /// by [`commit`] *only while at least one snapshot pin is
+    /// registered* — the single-session fast path never pays for
+    /// version retention. Garbage-collected up to the oldest pin.
+    versions: Vec<TxnVersion>,
+    /// Refcounted snapshot pins keyed by the `commit_seq` they hold.
+    /// Interior mutability: sessions pin/unpin through `&Storage` while
+    /// holding only the engine's read lock (commits, which mutate
+    /// `versions`, hold the write lock and therefore never race).
+    pins: Mutex<BTreeMap<u64, usize>>,
 }
 
 impl Storage {
@@ -449,11 +465,103 @@ impl Storage {
                 wal.append(&records)?;
             }
         }
+        self.commit_seq += 1;
+        if self.has_pins() && !self.log.is_empty() {
+            // Fold the physical update log into net per-relation Δ-sets
+            // (rule-action writes from the check phase included) so
+            // pinned sessions can correct their snapshot reads and
+            // validate conflicts against this commit.
+            let mut writes: BTreeMap<RelId, DeltaSet> = BTreeMap::new();
+            for r in self.log.records() {
+                let d = writes.entry(r.rel).or_default();
+                match r.op {
+                    LogOp::Insert => d.apply_insert(r.tuple.clone()),
+                    LogOp::Delete => d.apply_delete(r.tuple.clone()),
+                }
+            }
+            writes.retain(|_, d| !d.is_empty());
+            if !writes.is_empty() {
+                self.versions.push(TxnVersion {
+                    seq: self.commit_seq,
+                    writes: writes.into_iter().collect(),
+                });
+            }
+        }
+        self.gc_versions();
         self.log.clear();
         self.clear_deltas();
         self.txn_open = false;
         self.epoch += 1;
         Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshot pins and committed versions (multi-session isolation)
+    // ------------------------------------------------------------------
+
+    /// The current commit sequence number (bumped by every successful
+    /// commit; `begin`/`rollback` leave it unchanged).
+    pub fn commit_seq(&self) -> u64 {
+        self.commit_seq
+    }
+
+    /// Register a snapshot pin at the current commit sequence and return
+    /// it. While any pin is registered, commits publish [`TxnVersion`]s
+    /// so the pinned reader can reconstruct its snapshot; the caller
+    /// must [`unpin_snapshot`](Storage::unpin_snapshot) the returned
+    /// sequence exactly once.
+    pub fn pin_snapshot(&self) -> u64 {
+        let seq = self.commit_seq;
+        *self
+            .pins
+            .lock()
+            .expect("snapshot pins lock")
+            .entry(seq)
+            .or_insert(0) += 1;
+        seq
+    }
+
+    /// Release one pin taken at `seq`. Retained versions the pin was
+    /// holding are collected at the next commit.
+    pub fn unpin_snapshot(&self, seq: u64) {
+        let mut pins = self.pins.lock().expect("snapshot pins lock");
+        if let Some(n) = pins.get_mut(&seq) {
+            *n -= 1;
+            if *n == 0 {
+                pins.remove(&seq);
+            }
+        }
+    }
+
+    /// Committed versions with `seq` strictly greater than `seq` —
+    /// exactly the corrections a session pinned at `seq` must undo to
+    /// read its snapshot, and the commits it must validate against.
+    pub fn versions_since(&self, seq: u64) -> &[TxnVersion] {
+        let start = self.versions.partition_point(|v| v.seq <= seq);
+        &self.versions[start..]
+    }
+
+    fn has_pins(&self) -> bool {
+        !self.pins.lock().expect("snapshot pins lock").is_empty()
+    }
+
+    /// Drop versions no pinned snapshot can still need (everything at or
+    /// below the oldest pin; everything when no pins remain).
+    fn gc_versions(&mut self) {
+        if self.versions.is_empty() {
+            return;
+        }
+        let min_pin = self
+            .pins
+            .lock()
+            .expect("snapshot pins lock")
+            .keys()
+            .next()
+            .copied();
+        match min_pin {
+            Some(m) => self.versions.retain(|v| v.seq > m),
+            None => self.versions.clear(),
+        }
     }
 
     /// Roll back: undo all physical events in reverse order, restoring

@@ -49,6 +49,7 @@ pub mod oldstate;
 pub mod relation;
 pub mod shard;
 pub mod snapshot;
+pub mod txn;
 pub mod wal;
 
 pub use arrangement::{Arrangement, SortedRun};
@@ -60,4 +61,5 @@ pub use oldstate::{OldStateView, StateEpoch};
 pub use relation::BaseRelation;
 pub use shard::{shard_of, ShardedDelta};
 pub use snapshot::{Snapshot, SnapshotRelation, SNAPSHOT_FILE};
+pub use txn::{ReadOverlay, RelOverlay, TxnVersion};
 pub use wal::{read_wal, read_wal_bytes, WalBatch, WalConfig, WalRecord, WalWriter, WAL_FILE};
