@@ -3,14 +3,17 @@
 //!
 //! ```text
 //! compare --baseline crates/bench/baselines/BENCH_fig6.json \
-//!         --fresh BENCH_fig6.json [--tolerance 0.5] [--scaling-floor 1.5]
+//!         --fresh BENCH_fig6.json [--tolerance 0.5] [--scaling-floor 1.5] \
+//!         [--pipeline-floor 1.2] [--hybrid-epsilon 0.5]
 //! ```
 //!
-//! Deterministic counters (`fired`/`candidates`/`rejected`) must match
-//! the baseline exactly — a drift there is a semantic change, not
-//! noise. Speed *ratios* (naive/incremental, static/adaptive) may sag
-//! by up to `tolerance` (relative) before the gate trips; absolute
-//! milliseconds are never compared, so runner speed doesn't matter.
+//! Deterministic counters (`fired`/`candidates`/`rejected`, and the
+//! row-level `committed`/`aborted`/`fsyncs`/`chose_*` family) must
+//! match the baseline exactly — a drift there is a semantic change, not
+//! noise. Speed *ratios* (naive/incremental, static/adaptive,
+//! serial/concurrent, best/hybrid) may sag by up to `tolerance`
+//! (relative) before the gate trips; absolute milliseconds are never
+//! compared, so runner speed doesn't matter.
 //!
 //! When both reports carry a `"scaling"` sweep (fig7 `--workers`), the
 //! sweep is gated too: counters must agree across every worker count,
@@ -18,40 +21,47 @@
 //! `--scaling-floor F` additionally demands an absolute speedup of F at
 //! ≥4 workers — but speedup gates only bind on runners with enough
 //! hardware threads (`hw_threads >= workers` in the fresh row).
+//!
+//! Server-bench `pipeline=on` rows carry the wire-pipelining ablation
+//! (`unpipelined_ms / pipelined_ms`); `--pipeline-floor F` demands that
+//! speedup reach F at ≥4 sessions, again hardware-conditionally
+//! (`hw_threads >= sessions`). `--hybrid-epsilon E` demands hybrid rows
+//! satisfy `hybrid_ms <= (1+E) × min(incremental_ms, naive_ms)` — an
+//! absolute check on the fresh report alone.
 
-use amos_bench::report::compare_reports_scaled;
+use amos_bench::report::{compare_reports_gated, GateOptions};
 use amos_metrics::json::JsonValue;
 use std::process::ExitCode;
 
 struct Args {
     baseline: String,
     fresh: String,
-    tolerance: f64,
-    scaling_floor: Option<f64>,
+    gates: GateOptions,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut baseline = None;
     let mut fresh = None;
-    let mut tolerance = 0.5;
-    let mut scaling_floor = None;
+    let mut gates = GateOptions {
+        tolerance: 0.5,
+        ..GateOptions::default()
+    };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut grab = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        let parse = |name: &str, v: String| v.parse::<f64>().map_err(|e| format!("{name}: {e}"));
         match flag.as_str() {
             "--baseline" => baseline = Some(grab("--baseline")?),
             "--fresh" => fresh = Some(grab("--fresh")?),
-            "--tolerance" => {
-                tolerance = grab("--tolerance")?
-                    .parse()
-                    .map_err(|e| format!("--tolerance: {e}"))?
-            }
+            "--tolerance" => gates.tolerance = parse("--tolerance", grab("--tolerance")?)?,
             "--scaling-floor" => {
-                scaling_floor = Some(
-                    grab("--scaling-floor")?
-                        .parse()
-                        .map_err(|e| format!("--scaling-floor: {e}"))?,
-                )
+                gates.scaling_floor = Some(parse("--scaling-floor", grab("--scaling-floor")?)?)
+            }
+            "--pipeline-floor" => {
+                gates.pipeline_floor = Some(parse("--pipeline-floor", grab("--pipeline-floor")?)?)
+            }
+            "--hybrid-epsilon" => {
+                gates.hybrid_epsilon = Some(parse("--hybrid-epsilon", grab("--hybrid-epsilon")?)?)
             }
             other => return Err(format!("unknown flag {other}")),
         }
@@ -59,8 +69,7 @@ fn parse_args() -> Result<Args, String> {
     Ok(Args {
         baseline: baseline.ok_or("--baseline is required")?,
         fresh: fresh.ok_or("--fresh is required")?,
-        tolerance,
-        scaling_floor,
+        gates,
     })
 }
 
@@ -74,11 +83,10 @@ fn main() -> ExitCode {
         let args = parse_args()?;
         let baseline = load(&args.baseline)?;
         let fresh = load(&args.fresh)?;
-        let regressions =
-            compare_reports_scaled(&baseline, &fresh, args.tolerance, args.scaling_floor)?;
+        let regressions = compare_reports_gated(&baseline, &fresh, &args.gates)?;
         println!(
             "compare: {} vs {} (tolerance {})",
-            args.baseline, args.fresh, args.tolerance
+            args.baseline, args.fresh, args.gates.tolerance
         );
         Ok(regressions)
     };

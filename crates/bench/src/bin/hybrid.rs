@@ -1,0 +1,132 @@
+//! Hybrid monitoring (§8): per-rule, per-check-phase cost-based choice
+//! between incremental (partial differencing) and naive (recompute +
+//! diff) evaluation, on a mixed workload where neither pure strategy
+//! wins everywhere.
+//!
+//! Each database size runs the same seeded workload — `transactions`
+//! single-item quantity updates (fig. 6 shape, where incremental is
+//! ~O(1)) interleaved with one whole-database update every
+//! [`MASSIVE_EVERY`] transactions (fig. 7 shape, where naive's single
+//! scan beats re-propagating a Δ covering every item) — under all three
+//! monitor modes. The hybrid run additionally records which strategy
+//! the cost model chose at every commit; those `chose_incremental` /
+//! `chose_naive` counts are deterministic for the fixed workload (the
+//! cost model sees exactly the same Δ-set and relation sizes on every
+//! machine), so the bench-regression gate compares them exactly. The
+//! timing claim — hybrid stays within ε of the *better* pure strategy
+//! at every size — is gated by `compare --hybrid-epsilon`.
+//!
+//! ```text
+//! cargo run --release -p amos-bench --bin hybrid -- \
+//!     --json BENCH_hybrid.json [--sizes 10,100,1000] [--transactions 30]
+//! ```
+
+use amos_bench::report::BenchArgs;
+use amos_bench::{time_secs, InventoryWorld};
+use amos_core::{MonitorMode, Strategy};
+use amos_db::engine::NetworkPrep;
+use amos_metrics::{JsonValue, PassMetrics};
+
+const DEFAULT_TRANSACTIONS: usize = 30;
+const DEFAULT_SIZES: &[usize] = &[10, 100, 1_000];
+/// Every Nth transaction is a whole-database (fig. 7 shape) update.
+const MASSIVE_EVERY: usize = 5;
+
+struct HybridRun {
+    ms: f64,
+    chose_incremental: u64,
+    chose_naive: u64,
+    last_pass: Option<PassMetrics>,
+}
+
+/// Run the mixed workload under `mode`, counting the strategies the
+/// hybrid cost model chose (zero for the pure modes, which never
+/// consult it).
+fn run(n_items: usize, mode: MonitorMode, transactions: usize) -> HybridRun {
+    let mut world = InventoryWorld::new(n_items, mode, NetworkPrep::Flat);
+    // Warm up one transaction (index build, first materialization).
+    world.tx_single_quantity_update(0, 10_001);
+    let (mut chose_incremental, mut chose_naive) = (0u64, 0u64);
+    let mut count_choices = |world: &InventoryWorld| {
+        for strategy in world.db.rules().last_strategies().values() {
+            match strategy {
+                Strategy::Incremental => chose_incremental += 1,
+                Strategy::Naive => chose_naive += 1,
+            }
+        }
+    };
+    let secs = time_secs(|| {
+        for i in 0..transactions {
+            if i % MASSIVE_EVERY == 0 {
+                world.tx_massive_update(i as i64);
+            } else {
+                world.tx_single_quantity_update(i % n_items, 10_002 + i as i64);
+            }
+            if mode == MonitorMode::Hybrid {
+                count_choices(&world);
+            }
+        }
+    });
+    HybridRun {
+        ms: secs * 1e3,
+        chose_incremental,
+        chose_naive,
+        last_pass: world.db.last_pass_metrics().cloned(),
+    }
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let transactions = args.transactions.unwrap_or(DEFAULT_TRANSACTIONS);
+    let sizes: Vec<usize> = args.sizes.clone().unwrap_or_else(|| DEFAULT_SIZES.to_vec());
+
+    println!(
+        "# Hybrid monitoring — {transactions} mixed transactions \
+         (1 whole-db update per {MASSIVE_EVERY}), modes incremental / naive / hybrid"
+    );
+    println!(
+        "{:>8} {:>16} {:>12} {:>12} {:>10} {:>10}",
+        "items", "incremental_ms", "naive_ms", "hybrid_ms", "chose_inc", "chose_nve"
+    );
+    let mut rows = Vec::with_capacity(sizes.len());
+    for &n in &sizes {
+        let inc = run(n, MonitorMode::Incremental, transactions);
+        let naive = run(n, MonitorMode::Naive, transactions);
+        let hybrid = run(n, MonitorMode::Hybrid, transactions);
+        println!(
+            "{:>8} {:>16.2} {:>12.2} {:>12.2} {:>10} {:>10}",
+            n, inc.ms, naive.ms, hybrid.ms, hybrid.chose_incremental, hybrid.chose_naive
+        );
+        let mut row = JsonValue::object()
+            .with("n_items", n)
+            .with("incremental_ms", inc.ms)
+            .with("naive_ms", naive.ms)
+            .with("hybrid_ms", hybrid.ms)
+            .with("chose_incremental", hybrid.chose_incremental)
+            .with("chose_naive", hybrid.chose_naive);
+        row = match &hybrid.last_pass {
+            Some(m) => row.with("last_pass", m.to_json()),
+            None => row.with("last_pass", JsonValue::Null),
+        };
+        rows.push(row);
+    }
+    println!();
+    println!("# Expected shape: hybrid tracks min(incremental, naive) at every size.");
+
+    if let Some(path) = &args.json {
+        use std::io::Write as _;
+        let doc = JsonValue::object()
+            .with("bench", "hybrid")
+            .with(
+                "description",
+                "per-rule cost-based strategy selection on a mixed single-update / \
+                 whole-db-update workload: hybrid must track the better of \
+                 incremental and naive at every size",
+            )
+            .with("transactions", transactions)
+            .with("results", JsonValue::Array(rows));
+        let mut file = std::fs::File::create(path).expect("create JSON report");
+        writeln!(file, "{}", doc.to_pretty()).expect("write JSON report");
+        println!("# wrote {}", path.display());
+    }
+}

@@ -218,12 +218,22 @@ pub fn write_report_scaled(
 }
 
 /// The speed *ratio* a result row demonstrates, by report family:
+/// `min(naive, incremental) / hybrid_ms` for the hybrid bench (checked
+/// first — its rows carry all three timings),
 /// `naive_ms / incremental_ms` for the figure sweeps,
 /// `static_ms / adaptive_ms` for the planner bench,
 /// `serial_ms / concurrent_ms` for the multi-session server bench.
 /// `None` when the row carries none of the pairs.
 fn row_ratio(row: &JsonValue) -> Option<(&'static str, f64)> {
     let num = |key: &str| row.get(key).and_then(JsonValue::as_f64);
+    if let (Some(hybrid), Some(naive), Some(inc)) =
+        (num("hybrid_ms"), num("naive_ms"), num("incremental_ms"))
+    {
+        return Some((
+            "best/hybrid",
+            naive.min(inc) / hybrid.max(f64::MIN_POSITIVE),
+        ));
+    }
     if let (Some(naive), Some(inc)) = (num("naive_ms"), num("incremental_ms")) {
         return Some(("naive/incremental", naive / inc.max(f64::MIN_POSITIVE)));
     }
@@ -237,7 +247,8 @@ fn row_ratio(row: &JsonValue) -> Option<(&'static str, f64)> {
 }
 
 /// The key identifying a result row across runs: `scenario` (planner
-/// bench), `n_items` (figure sweeps), or `sessions` (server bench).
+/// bench), `n_items` (figure sweeps), or `sessions` (server bench) —
+/// the server bench additionally splits on its `pipeline` variant.
 fn row_key(row: &JsonValue) -> String {
     row.get("scenario")
         .and_then(JsonValue::as_str)
@@ -248,9 +259,12 @@ fn row_key(row: &JsonValue) -> String {
                 .map(|n| format!("n_items={n}"))
         })
         .or_else(|| {
-            row.get("sessions")
-                .and_then(JsonValue::as_f64)
-                .map(|n| format!("sessions={n}"))
+            row.get("sessions").and_then(JsonValue::as_f64).map(|n| {
+                match row.get("pipeline").and_then(JsonValue::as_str) {
+                    Some(p) => format!("sessions={n} pipeline={p}"),
+                    None => format!("sessions={n}"),
+                }
+            })
         })
         .unwrap_or_else(|| "<unkeyed>".to_owned())
 }
@@ -260,10 +274,38 @@ fn row_key(row: &JsonValue) -> String {
 const EXACT_COUNTERS: [&str; 3] = ["fired", "candidates", "rejected"];
 
 /// Deterministic counters carried directly on a result row (not inside
-/// `last_pass`): the server bench's seeded schedule commits and aborts
-/// exactly the same transactions on every machine, so any drift is a
-/// change in conflict-detection semantics.
-const ROW_EXACT_COUNTERS: [&str; 2] = ["committed", "aborted"];
+/// `last_pass`): the server bench's seeded schedule commits, aborts,
+/// and fsyncs exactly the same transactions on every machine, and the
+/// hybrid bench's cost model sees exactly the same Δ-set and relation
+/// sizes — so any drift is a change in conflict-detection, WAL-flush,
+/// or strategy-selection semantics.
+const ROW_EXACT_COUNTERS: [&str; 5] = [
+    "committed",
+    "aborted",
+    "fsyncs",
+    "chose_incremental",
+    "chose_naive",
+];
+
+/// Optional absolute gates layered on top of the relative comparison —
+/// each applies only to reports that carry the relevant fields.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct GateOptions {
+    /// Allowed *relative* drop in a row's speed ratio (and scaling /
+    /// pipeline speedups) below the baseline's.
+    pub tolerance: f64,
+    /// `--scaling-floor`: absolute `speedup_vs_1` required of scaling
+    /// rows at ≥ 4 workers (hardware-conditional).
+    pub scaling_floor: Option<f64>,
+    /// `--pipeline-floor`: absolute `unpipelined_ms / pipelined_ms`
+    /// speedup required of server-bench `pipeline=on` rows at ≥ 4
+    /// sessions (hardware-conditional: only when the fresh runner has
+    /// `hw_threads >= sessions`).
+    pub pipeline_floor: Option<f64>,
+    /// `--hybrid-epsilon`: fresh hybrid rows must satisfy
+    /// `hybrid_ms <= (1 + ε) × min(incremental_ms, naive_ms)`.
+    pub hybrid_epsilon: Option<f64>,
+}
 
 /// Diff `fresh` against `baseline`; returns the list of regressions
 /// (empty = gate passes). `tolerance` is the allowed *relative* drop in
@@ -295,6 +337,31 @@ pub fn compare_reports_scaled(
     tolerance: f64,
     scaling_floor: Option<f64>,
 ) -> Result<Vec<String>, String> {
+    compare_reports_gated(
+        baseline,
+        fresh,
+        &GateOptions {
+            tolerance,
+            scaling_floor,
+            ..GateOptions::default()
+        },
+    )
+}
+
+/// [`compare_reports_scaled`] with the full gate set ([`GateOptions`]):
+/// on top of the exact-counter and ratio checks, server-bench
+/// `pipeline=on` rows are held to a pipelined-vs-unpipelined speedup
+/// (relative to the baseline, plus the optional absolute
+/// `pipeline_floor` at ≥ 4 sessions) whenever the fresh runner has
+/// `hw_threads >= sessions`, and fresh hybrid rows must stay within
+/// `hybrid_epsilon` of the better pure strategy.
+pub fn compare_reports_gated(
+    baseline: &JsonValue,
+    fresh: &JsonValue,
+    gates: &GateOptions,
+) -> Result<Vec<String>, String> {
+    let tolerance = gates.tolerance;
+    let scaling_floor = gates.scaling_floor;
     let name = |doc: &JsonValue| {
         doc.get("bench")
             .and_then(JsonValue::as_str)
@@ -359,6 +426,63 @@ pub fn compare_reports_scaled(
                     "{bname}[{key}]: {label} ratio fell to {fratio:.2} \
                      (baseline {bratio:.2}, floor {floor:.2})"
                 ));
+            }
+        }
+        // Wire-pipelining speedup (server bench `pipeline=on` rows):
+        // relative to the baseline, plus the optional absolute floor at
+        // ≥ 4 sessions. Both only when the fresh runner has the
+        // hardware threads to actually overlap the sessions — a 1-core
+        // runner cannot demonstrate commit coalescing and is not asked
+        // to (same policy as the fig. 7 scaling gate).
+        let speedup_of = |row: &JsonValue| {
+            let un = row.get("unpipelined_ms").and_then(JsonValue::as_f64)?;
+            let pi = row.get("pipelined_ms").and_then(JsonValue::as_f64)?;
+            Some(un / pi.max(f64::MIN_POSITIVE))
+        };
+        if let Some(fspeed) = speedup_of(frow) {
+            let hw = frow
+                .get("hw_threads")
+                .and_then(JsonValue::as_f64)
+                .unwrap_or(0.0);
+            let sessions = frow
+                .get("sessions")
+                .and_then(JsonValue::as_f64)
+                .unwrap_or(0.0);
+            if hw >= sessions {
+                if let Some(bspeed) = speedup_of(brow) {
+                    let floor = bspeed * (1.0 - tolerance);
+                    if fspeed < floor {
+                        regressions.push(format!(
+                            "{bname}[{key}]: pipeline speedup fell to {fspeed:.2} \
+                             (baseline {bspeed:.2}, floor {floor:.2})"
+                        ));
+                    }
+                }
+                if let Some(abs_floor) = gates.pipeline_floor {
+                    if sessions >= 4.0 && fspeed < abs_floor {
+                        regressions.push(format!(
+                            "{bname}[{key}]: pipeline speedup {fspeed:.2} below the \
+                             absolute floor {abs_floor:.2}"
+                        ));
+                    }
+                }
+            }
+        }
+        // Hybrid ε gate: the cost-based strategy must track the better
+        // pure strategy within the stated margin — a fresh-report-only
+        // absolute check (no baseline involved).
+        if let Some(eps) = gates.hybrid_epsilon {
+            let num = |k: &str| frow.get(k).and_then(JsonValue::as_f64);
+            if let (Some(hybrid), Some(naive), Some(inc)) =
+                (num("hybrid_ms"), num("naive_ms"), num("incremental_ms"))
+            {
+                let best = naive.min(inc);
+                if hybrid > best * (1.0 + eps) {
+                    regressions.push(format!(
+                        "{bname}[{key}]: hybrid_ms {hybrid:.2} exceeds \
+                         (1 + {eps}) × best pure strategy ({best:.2})"
+                    ));
+                }
             }
         }
     }
@@ -680,5 +804,134 @@ mod tests {
         let found = compare_reports(&base, &collapsed, 0.5).unwrap();
         assert_eq!(found.len(), 1, "{found:?}");
         assert!(found[0].contains("serial/concurrent"), "{found:?}");
+    }
+
+    fn pipeline_report(rows: &[(u64, &str, u64, u64, f64, f64)]) -> JsonValue {
+        // (sessions, pipeline, hw_threads, fsyncs, pipelined_ms, unpipelined_ms)
+        let rows: Vec<String> = rows
+            .iter()
+            .map(|(s, p, hw, fs, pi, un)| {
+                format!(
+                    r#"{{"sessions":{s},"pipeline":"{p}","hw_threads":{hw},
+                        "committed":120,"aborted":0,"fsyncs":{fs},
+                        "serial_ms":100.0,"concurrent_ms":60.0,
+                        "pipelined_ms":{pi},"unpipelined_ms":{un}}}"#
+                )
+            })
+            .collect();
+        JsonValue::parse(&format!(
+            r#"{{"bench":"server","results":[{}]}}"#,
+            rows.join(",")
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn pipeline_rows_key_on_sessions_and_variant() {
+        // on/off rows at the same session count are distinct keys: a
+        // report with both must match a baseline with both.
+        let base = pipeline_report(&[(4, "on", 8, 15, 10.0, 20.0), (4, "off", 8, 120, 10.0, 20.0)]);
+        assert!(compare_reports(&base, &base, 0.5).unwrap().is_empty());
+        let only_on = pipeline_report(&[(4, "on", 8, 15, 10.0, 20.0)]);
+        let found = compare_reports(&base, &only_on, 0.5).unwrap();
+        assert!(
+            found
+                .iter()
+                .any(|r| r.contains("pipeline=off") && r.contains("row missing")),
+            "{found:?}"
+        );
+        // fsyncs is an exact counter: coalescing drift is semantic.
+        let drift =
+            pipeline_report(&[(4, "on", 8, 16, 10.0, 20.0), (4, "off", 8, 120, 10.0, 20.0)]);
+        let found = compare_reports(&base, &drift, 0.5).unwrap();
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].contains("fsyncs drifted"), "{found:?}");
+    }
+
+    #[test]
+    fn pipeline_speedup_gates_are_hardware_conditional() {
+        let base = pipeline_report(&[(4, "on", 8, 15, 10.0, 20.0)]); // 2.0x
+        let gates = |floor: Option<f64>| GateOptions {
+            tolerance: 0.5,
+            pipeline_floor: floor,
+            ..GateOptions::default()
+        };
+        // Sagged to 1.25x: inside the 50% relative tolerance.
+        let noisy = pipeline_report(&[(4, "on", 8, 15, 16.0, 20.0)]);
+        assert!(compare_reports_gated(&base, &noisy, &gates(None))
+            .unwrap()
+            .is_empty());
+        // ...but below an absolute floor of 1.5.
+        let found = compare_reports_gated(&base, &noisy, &gates(Some(1.5))).unwrap();
+        assert!(
+            found.iter().any(|r| r.contains("absolute floor")),
+            "{found:?}"
+        );
+        // Collapsed to 0.8x: relative regression even with no floor.
+        let collapsed = pipeline_report(&[(4, "on", 8, 15, 25.0, 20.0)]);
+        let found = compare_reports_gated(&base, &collapsed, &gates(None)).unwrap();
+        assert!(
+            found.iter().any(|r| r.contains("pipeline speedup fell")),
+            "{found:?}"
+        );
+        // A 1-core runner is excused from both speedup gates (exact
+        // counters still bind, so keep them identical here).
+        let one_core = pipeline_report(&[(4, "on", 1, 15, 25.0, 20.0)]);
+        assert!(compare_reports_gated(&base, &one_core, &gates(Some(1.5)))
+            .unwrap()
+            .is_empty());
+    }
+
+    fn hybrid_report(rows: &[(u64, f64, f64, f64, u64, u64)]) -> JsonValue {
+        // (n_items, incremental_ms, naive_ms, hybrid_ms, chose_inc, chose_nve)
+        let rows: Vec<String> = rows
+            .iter()
+            .map(|(n, i, nv, h, ci, cn)| {
+                format!(
+                    r#"{{"n_items":{n},"incremental_ms":{i},"naive_ms":{nv},
+                        "hybrid_ms":{h},"chose_incremental":{ci},"chose_naive":{cn}}}"#
+                )
+            })
+            .collect();
+        JsonValue::parse(&format!(
+            r#"{{"bench":"hybrid","results":[{}]}}"#,
+            rows.join(",")
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn hybrid_epsilon_and_strategy_counters() {
+        let base = hybrid_report(&[(100, 8.0, 5.0, 5.5, 17, 3)]);
+        let eps = |e: Option<f64>| GateOptions {
+            tolerance: 0.5,
+            hybrid_epsilon: e,
+            ..GateOptions::default()
+        };
+        // hybrid 5.5 vs best pure 5.0: within ε = 0.2.
+        assert!(compare_reports_gated(&base, &base, &eps(Some(0.2)))
+            .unwrap()
+            .is_empty());
+        // hybrid 7.0 > 5.0 * 1.2: regression (fresh-only check).
+        let worse = hybrid_report(&[(100, 8.0, 5.0, 7.0, 17, 3)]);
+        let found = compare_reports_gated(&base, &worse, &eps(Some(0.2))).unwrap();
+        assert!(found.iter().any(|r| r.contains("hybrid_ms")), "{found:?}");
+        // Without the flag the same report passes on ratio tolerance.
+        assert!(compare_reports_gated(&base, &worse, &eps(None))
+            .unwrap()
+            .is_empty());
+        // Strategy-choice counters are deterministic: drift is semantic.
+        let drift = hybrid_report(&[(100, 8.0, 5.0, 5.5, 16, 4)]);
+        let found = compare_reports_gated(&base, &drift, &eps(None)).unwrap();
+        assert!(
+            found
+                .iter()
+                .any(|r| r.contains("chose_incremental drifted")),
+            "{found:?}"
+        );
+        assert!(
+            found.iter().any(|r| r.contains("chose_naive drifted")),
+            "{found:?}"
+        );
     }
 }

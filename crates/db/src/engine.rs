@@ -18,7 +18,10 @@ use amos_objectlog::catalog::{Catalog, ForeignFn, PredId, PredKind};
 use amos_objectlog::eval::{DeltaMap, EvalConfig, EvalContext};
 use amos_objectlog::expand::{expand_clause, ExpandOptions};
 use amos_objectlog::plan::compile_clause;
-use amos_storage::{ReadOverlay, RecoveryInfo, RelId, Savepoint, StateEpoch, Storage, WalConfig};
+use amos_storage::{
+    CommitWaiter, ReadOverlay, RecoveryInfo, RelId, Savepoint, StateEpoch, Storage, WalConfig,
+    WalMetrics,
+};
 use amos_types::{Tuple, TypeRegistry, Value};
 
 use crate::error::DbError;
@@ -63,6 +66,12 @@ pub struct EngineOptions {
     /// warn-level findings surface in `explain rule` and the `lint`
     /// CLI command.
     pub lint_level: LintConfig,
+    /// Commit pipelining (on by default): sessions release the engine
+    /// write lock before the WAL fsync and block on a
+    /// [`amos_storage::CommitWaiter`] instead, so independent commits
+    /// share one group fsync. Disable (`--no-pipeline` on the server)
+    /// to restore fsync-under-lock commits.
+    pub commit_pipeline: bool,
 }
 
 impl Default for EngineOptions {
@@ -75,6 +84,7 @@ impl Default for EngineOptions {
             tabling: true,
             adaptive: true,
             lint_level: LintConfig::default(),
+            commit_pipeline: true,
         }
     }
 }
@@ -783,6 +793,21 @@ impl Amos {
         Ok(summary)
     }
 
+    /// Commit with deferred durability (the pipelined session path):
+    /// identical to [`Amos::commit`] — views, check phase, apply — except
+    /// the WAL batch only enters the group-commit buffer. The caller
+    /// must block on the returned [`CommitWaiter`] *after* releasing the
+    /// engine lock; `None` means nothing needed logging (no WAL, or a
+    /// no-op transaction).
+    pub fn commit_deferred_durability(
+        &mut self,
+    ) -> Result<(CheckSummary, Option<CommitWaiter>), DbError> {
+        self.maintain_views()?;
+        let summary = self.rules.check_phase(&self.catalog, &mut self.storage)?;
+        let waiter = self.storage.commit_buffered()?;
+        Ok((summary, waiter))
+    }
+
     /// Run the rule check phase *now*, inside the open transaction —
     /// immediate rule processing (§1). Maintains views, propagates the
     /// Δ-sets accumulated since the last check, and executes triggered
@@ -828,6 +853,12 @@ impl Amos {
     /// Whether a WAL is attached.
     pub fn wal_attached(&self) -> bool {
         self.storage.wal_attached()
+    }
+
+    /// Durability counters of the attached WAL (fsyncs, batch-size
+    /// histogram, woken commit waiters). `None` without a WAL.
+    pub fn wal_metrics(&self) -> Option<WalMetrics> {
+        self.storage.wal_metrics()
     }
 
     /// Write a snapshot of all base relations and truncate the WAL

@@ -35,9 +35,9 @@ pub mod session;
 pub use amos_core::propagate::StrategyParseError;
 pub use amos_core::{CheckLevel, ExecStrategy, MonitorMode, RuleSemantics};
 pub use amos_lint::{Diagnostic, LintCode, LintConfig, Severity, Span};
-pub use amos_storage::{RecoveryInfo, Savepoint, WalConfig};
+pub use amos_storage::{CommitWaiter, RecoveryInfo, Savepoint, WalConfig, WalMetrics};
 pub use amos_types::{Oid, Tuple, Value};
 pub use engine::{Amos, EngineOptions, ExecResult, NetworkPrep, ProcCtx, ProcedureFn};
 pub use error::DbError;
 pub use lint::lint_script;
-pub use session::{Session, SharedEngine};
+pub use session::{CommitMetrics, Session, SharedEngine};

@@ -32,7 +32,9 @@
 
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
+use std::time::Instant;
 
 use amos_amosql::ast::{ProcStmt, Select, Statement};
 use amos_amosql::compiler::compile_select_at;
@@ -42,7 +44,7 @@ use amos_objectlog::catalog::PredKind;
 use amos_objectlog::clause::{Literal, Term};
 use amos_objectlog::eval::{DeltaMap, EvalContext};
 use amos_objectlog::plan::compile_clause;
-use amos_storage::{DeltaSet, ReadOverlay, RelId, StateEpoch, Storage};
+use amos_storage::{CommitWaiter, DeltaSet, ReadOverlay, RelId, StateEpoch, Storage, WalMetrics};
 use amos_types::{Tuple, Value};
 
 use crate::engine::{resolve_stored, Amos, ExecResult, ReadTrace, ScalarEval};
@@ -54,6 +56,28 @@ use crate::error::DbError;
 /// serialized, in the same spirit as the WAL's group commit.
 pub struct SharedEngine {
     inner: RwLock<Amos>,
+    /// Commit-pipeline lock accounting: nanoseconds the engine write
+    /// lock was *held* by session commits (acquisition wait excluded),
+    /// the single longest hold, and the number of commits measured.
+    commit_lock_ns: AtomicU64,
+    commit_lock_ns_max: AtomicU64,
+    commit_lock_count: AtomicU64,
+}
+
+/// Commit-pipeline observability: the WAL's durability counters plus
+/// the engine-lock hold accounting — everything the `concurrent_sessions`
+/// bench exports as `commit` metrics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CommitMetrics {
+    /// WAL durability counters (fsyncs, batch-size histogram, woken
+    /// waiters). `None` without an attached WAL.
+    pub wal: Option<WalMetrics>,
+    /// Total ns the engine write lock was held by session commits.
+    pub lock_hold_ns: u64,
+    /// Longest single commit critical section, ns.
+    pub lock_hold_ns_max: u64,
+    /// Session commits measured (read-only and conflicted included).
+    pub commits: u64,
 }
 
 impl SharedEngine {
@@ -62,7 +86,27 @@ impl SharedEngine {
     pub fn new(db: Amos) -> Arc<SharedEngine> {
         Arc::new(SharedEngine {
             inner: RwLock::new(db),
+            commit_lock_ns: AtomicU64::new(0),
+            commit_lock_ns_max: AtomicU64::new(0),
+            commit_lock_count: AtomicU64::new(0),
         })
+    }
+
+    /// Snapshot the commit-pipeline metrics (WAL durability counters +
+    /// engine-lock hold accounting).
+    pub fn commit_metrics(&self) -> CommitMetrics {
+        CommitMetrics {
+            wal: self.with_read(|eng| eng.wal_metrics()),
+            lock_hold_ns: self.commit_lock_ns.load(Ordering::Relaxed),
+            lock_hold_ns_max: self.commit_lock_ns_max.load(Ordering::Relaxed),
+            commits: self.commit_lock_count.load(Ordering::Relaxed),
+        }
+    }
+
+    fn note_commit_lock_hold(&self, ns: u64) {
+        self.commit_lock_ns.fetch_add(ns, Ordering::Relaxed);
+        self.commit_lock_ns_max.fetch_max(ns, Ordering::Relaxed);
+        self.commit_lock_count.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Open a new session over this engine.
@@ -235,69 +279,108 @@ impl Session {
 
     /// Validate against concurrently committed versions, then apply the
     /// buffered write-set and run the deferred check phase — all under
-    /// the write lock (commit-time check phases are serialized through
-    /// the same path as the WAL group commit).
+    /// the write lock. With [`EngineOptions::commit_pipeline`] on (the
+    /// default), the WAL batch only enters the group-commit buffer
+    /// inside the critical section; the fsync wait happens *after* the
+    /// write lock is released, on the returned [`CommitWaiter`], so
+    /// independent sessions coalesce their durability into one group
+    /// fsync while the next commit already holds the lock.
     fn commit(&mut self) -> Result<ExecResult, DbError> {
         let txn = match self.txn.take() {
             Some(t) => t,
             None => return Err(DbError::Other("no open transaction".to_string())),
         };
-        self.engine.with_write(|eng| {
-            let read_only = txn.writes.values().all(DeltaSet::is_empty);
-            if read_only {
-                // A read-only transaction serializes at its snapshot
-                // point; nothing to validate, nothing to apply.
-                eng.storage().unpin_snapshot(txn.begin_seq);
-                return Ok(ExecResult::Committed(CheckSummary {
+        let engine = Arc::clone(&self.engine);
+        let (result, waiter) = engine.with_write(|eng| {
+            let start = Instant::now();
+            let out = Self::commit_critical(eng, &txn);
+            engine.note_commit_lock_hold(start.elapsed().as_nanos() as u64);
+            out
+        })?;
+        // Off-lock durability wait: the engine state (and this commit's
+        // rule firings) are already published; only the fsync
+        // acknowledgment is pending. On error the batch's durability is
+        // unknown — surface it, the transaction is not silently lost
+        // (it stays queued for the next flush / shutdown).
+        if let Some(w) = waiter {
+            w.wait().map_err(DbError::from)?;
+        }
+        Ok(result)
+    }
+
+    /// The commit critical section (runs under the engine write lock):
+    /// validate → apply write-set → deferred check phase → frame the
+    /// WAL batch. Returns the statement result plus the durability
+    /// waiter to block on after the lock is released.
+    fn commit_critical(
+        eng: &mut Amos,
+        txn: &OpenTxn,
+    ) -> Result<(ExecResult, Option<CommitWaiter>), DbError> {
+        let read_only = txn.writes.values().all(DeltaSet::is_empty);
+        if read_only {
+            // A read-only transaction serializes at its snapshot
+            // point; nothing to validate, nothing to apply.
+            eng.storage().unpin_snapshot(txn.begin_seq);
+            return Ok((
+                ExecResult::Committed(CheckSummary {
                     executed: Vec::new(),
                     failed: Vec::new(),
                     passes: 0,
-                }));
+                }),
+                None,
+            ));
+        }
+        if let Some(relation) = validate(eng, txn) {
+            eng.storage().unpin_snapshot(txn.begin_seq);
+            return Err(DbError::TxnConflict { relation });
+        }
+        // First committer: replay the net write-set inside a normal
+        // storage transaction (Δ-sets accumulate for monitored
+        // relations; the WAL sees one group-committed batch).
+        eng.storage_mut().begin()?;
+        let mut rels: Vec<RelId> = txn.writes.keys().copied().collect();
+        rels.sort();
+        let mut applied: Result<(), DbError> = Ok(());
+        'apply: for rel in rels {
+            let d = &txn.writes[&rel];
+            let mut minus: Vec<&Tuple> = d.minus().iter().collect();
+            minus.sort();
+            let mut plus: Vec<&Tuple> = d.plus().iter().collect();
+            plus.sort();
+            for t in minus {
+                if let Err(e) = eng.storage_mut().delete(rel, t) {
+                    applied = Err(e.into());
+                    break 'apply;
+                }
             }
-            if let Some(relation) = validate(eng, &txn) {
+            for t in plus {
+                if let Err(e) = eng.storage_mut().insert(rel, t.clone()) {
+                    applied = Err(e.into());
+                    break 'apply;
+                }
+            }
+        }
+        let pipelined = eng.options.commit_pipeline;
+        let committed = applied.and_then(|()| {
+            if pipelined {
+                eng.commit_deferred_durability()
+            } else {
+                eng.commit().map(|summary| (summary, None))
+            }
+        });
+        match committed {
+            Ok((summary, waiter)) => {
                 eng.storage().unpin_snapshot(txn.begin_seq);
-                return Err(DbError::TxnConflict { relation });
+                Ok((ExecResult::Committed(summary), waiter))
             }
-            // First committer: replay the net write-set inside a normal
-            // storage transaction (Δ-sets accumulate for monitored
-            // relations; the WAL sees one group-committed batch).
-            eng.storage_mut().begin()?;
-            let mut rels: Vec<RelId> = txn.writes.keys().copied().collect();
-            rels.sort();
-            let mut applied: Result<(), DbError> = Ok(());
-            'apply: for rel in rels {
-                let d = &txn.writes[&rel];
-                let mut minus: Vec<&Tuple> = d.minus().iter().collect();
-                minus.sort();
-                let mut plus: Vec<&Tuple> = d.plus().iter().collect();
-                plus.sort();
-                for t in minus {
-                    if let Err(e) = eng.storage_mut().delete(rel, t) {
-                        applied = Err(e.into());
-                        break 'apply;
-                    }
+            Err(e) => {
+                if eng.storage().in_transaction() {
+                    let _ = eng.storage_mut().rollback();
                 }
-                for t in plus {
-                    if let Err(e) = eng.storage_mut().insert(rel, t.clone()) {
-                        applied = Err(e.into());
-                        break 'apply;
-                    }
-                }
+                eng.storage().unpin_snapshot(txn.begin_seq);
+                Err(e)
             }
-            match applied.and_then(|()| eng.commit()) {
-                Ok(summary) => {
-                    eng.storage().unpin_snapshot(txn.begin_seq);
-                    Ok(ExecResult::Committed(summary))
-                }
-                Err(e) => {
-                    if eng.storage().in_transaction() {
-                        let _ = eng.storage_mut().rollback();
-                    }
-                    eng.storage().unpin_snapshot(txn.begin_seq);
-                    Err(e)
-                }
-            }
-        })
+        }
     }
 
     // ------------------------------------------------------------------

@@ -52,7 +52,7 @@ fn drive(engine: &Arc<SharedEngine>) -> Vec<String> {
     let mut s2 = engine.session();
     let mut s3 = engine.session();
     let mut committed = Vec::new();
-    let mut run = |s: &mut amos_db::Session, group: &str, log: &mut Vec<String>| match s
+    let run = |s: &mut amos_db::Session, group: &str, log: &mut Vec<String>| match s
         .execute(&format!("begin; {group} commit;"))
     {
         Ok(_) => log.push(group.to_string()),
@@ -159,4 +159,144 @@ fn recovery_adopts_exactly_the_committed_prefix() {
         prefixes_seen.len() > 2,
         "sweep too coarse: {prefixes_seen:?}"
     );
+}
+
+/// The same sweep through the *coalesced* sync path: `group_commit = 3`
+/// with pipelining off buffers batches in memory and writes them three
+/// at a time, so the crash lands inside a multi-commit fsync group.
+/// The acked-prefix invariant is unchanged — recovery adopts exactly
+/// the complete frames on disk, commits whose group never flushed are
+/// lost whole, and the torn frame is rejected whole, never partially.
+#[test]
+fn crash_mid_coalesced_fsync_adopts_whole_groups_only() {
+    let mut prefixes_seen = std::collections::BTreeSet::new();
+    for crash_after in 1..=13u64 {
+        let dir = tmpdir(&format!("g{crash_after}"));
+        let mut db = Amos::new();
+        db.attach_wal(&dir, WalConfig::grouped(3)).unwrap();
+        // Sync path: the driver thread must not block on its own
+        // durability, or groups would never grow past one batch.
+        db.options.commit_pipeline = false;
+        schema(&mut db);
+        db.checkpoint().unwrap();
+        db.set_fault_plan(Arc::new(FaultPlan::wal(WalFault::CrashAfterRecords(
+            crash_after,
+        ))));
+        let engine = SharedEngine::new(db);
+
+        let committed = drive(&engine);
+        assert_eq!(committed.len(), 6);
+        drop(engine);
+
+        let mut db2 = Amos::new();
+        let info = db2.attach_wal(&dir, WalConfig::default()).unwrap();
+        let adopted = info.batches_replayed as usize;
+        assert!(
+            adopted <= committed.len(),
+            "recovered more batches than commits"
+        );
+        assert_eq!(
+            quantities(&db2),
+            prefix_state(&committed, adopted),
+            "crash after {crash_after} records inside a coalesced group: \
+             recovered state is not the serial replay of the first \
+             {adopted} commits"
+        );
+        assert!(
+            !quantities(&db2)
+                .iter()
+                .any(|t| t[1] == amos_db::Value::Int(99)),
+            "aborted transaction leaked into recovery"
+        );
+        prefixes_seen.insert(adopted);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    assert!(
+        prefixes_seen.len() > 2,
+        "sweep too coarse: {prefixes_seen:?}"
+    );
+}
+
+/// Crash inside a *pipelined* group commit: three threads commit
+/// disjoint keys simultaneously, the leader coalesces their batches
+/// into one flush, and the injected fault kills the disk partway
+/// through the group's records. The members that reached the disk in
+/// full are recovered; the rest are lost whole — no key ever recovers
+/// to a torn or foreign value.
+#[test]
+fn pipelined_group_crash_loses_unwritten_members_whole() {
+    let mut adopted_seen = std::collections::BTreeSet::new();
+    for crash_after in 1..=7u64 {
+        let dir = tmpdir(&format!("t{crash_after}"));
+        let mut db = Amos::new();
+        db.attach_wal(
+            &dir,
+            WalConfig {
+                group_commit: 3,
+                max_delay_us: 2_000_000,
+            },
+        )
+        .unwrap();
+        schema(&mut db);
+        db.checkpoint().unwrap();
+        db.set_fault_plan(Arc::new(FaultPlan::wal(WalFault::CrashAfterRecords(
+            crash_after,
+        ))));
+        let engine = SharedEngine::new(db);
+
+        let barrier = Arc::new(std::sync::Barrier::new(3));
+        let mut handles = Vec::new();
+        for t in 0..3usize {
+            let engine = Arc::clone(&engine);
+            let barrier = Arc::clone(&barrier);
+            handles.push(std::thread::spawn(move || {
+                let mut s = engine.session();
+                s.execute(&format!("begin; set quantity(:i{t}) = {};", 1000 + t))
+                    .unwrap();
+                barrier.wait();
+                // The in-memory engine survives the dead disk: the
+                // commit still succeeds (and its batch may or may not
+                // have reached the file).
+                s.execute("commit;").unwrap();
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        drop(engine);
+
+        let mut db2 = Amos::new();
+        let info = db2.attach_wal(&dir, WalConfig::default()).unwrap();
+        let adopted = info.batches_replayed as usize;
+        assert!(adopted <= 3, "recovered more batches than commits");
+
+        // Each key is either untouched (its commit's frame was lost
+        // whole) or carries exactly its committed value — and the
+        // number of new-valued keys equals the adopted frame count.
+        let mut new_values = 0usize;
+        for tuple in quantities(&db2) {
+            let v = match &tuple[1] {
+                amos_db::Value::Int(v) => *v,
+                other => panic!("non-integer quantity: {other:?}"),
+            };
+            let initial = (100..100 + N_ITEMS as i64).contains(&v);
+            let committed = (1000..1003).contains(&v);
+            assert!(
+                initial || committed,
+                "crash after {crash_after}: torn or foreign value {v}"
+            );
+            if committed {
+                new_values += 1;
+            }
+        }
+        assert_eq!(
+            new_values, adopted,
+            "crash after {crash_after}: adopted {adopted} frames but \
+             {new_values} keys carry committed values"
+        );
+        adopted_seen.insert(adopted);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    // Record-granular crash points must split at least one group.
+    assert!(adopted_seen.len() > 1, "sweep too coarse: {adopted_seen:?}");
 }

@@ -11,11 +11,19 @@
 //! write-sets, commit-time validation); the companion stress harness in
 //! `concurrency_stress.rs` separately cross-validates against a naive
 //! monitor.
+//!
+//! The concurrent run additionally commits through a real group-commit
+//! WAL (pipelined durability path), and after the schedule drains the
+//! log is replayed into a fresh engine: recovery must reproduce the
+//! engine's committed storage state exactly — every acknowledged commit
+//! durable, nothing else.
 
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
 use amos_core::rules::CheckSummary;
-use amos_db::{Amos, CheckLevel, ExecResult, SharedEngine, Value};
+use amos_db::{Amos, CheckLevel, ExecResult, SharedEngine, Value, WalConfig};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -26,8 +34,18 @@ fn item(i: usize) -> String {
     format!(":i{i}")
 }
 
-fn build(level: CheckLevel) -> (Amos, Arc<Mutex<Vec<Value>>>) {
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("amos-piso-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn build(level: CheckLevel, wal: Option<&Path>) -> (Amos, Arc<Mutex<Vec<Value>>>) {
     let mut db = Amos::new();
+    if let Some(dir) = wal {
+        db.attach_wal(dir, WalConfig::grouped(4)).unwrap();
+    }
     db.set_check_level(level);
     let noted: Arc<Mutex<Vec<Value>>> = Arc::new(Mutex::new(Vec::new()));
     let sink = noted.clone();
@@ -57,7 +75,25 @@ fn build(level: CheckLevel) -> (Amos, Arc<Mutex<Vec<Value>>>) {
         db.execute(&format!("set threshold({name}) = 55;")).unwrap();
     }
     db.execute("activate low();").unwrap();
+    if wal.is_some() {
+        // Truncate setup-era records so recovery replays exactly the
+        // workload's commits on top of the checkpoint snapshot.
+        db.checkpoint().unwrap();
+    }
     (db, noted)
+}
+
+/// Storage-level contents of the stored functions — recovery replays
+/// the WAL below the catalog, so equivalence is checked on the base
+/// relations themselves.
+fn storage_dump(db: &Amos) -> Vec<BTreeSet<amos_types::Tuple>> {
+    ["quantity", "threshold"]
+        .iter()
+        .map(|f| {
+            let rel = db.storage().relation_id(f).unwrap();
+            db.storage().relation(rel).scan().cloned().collect()
+        })
+        .collect()
 }
 
 fn gen_txn(rng: &mut StdRng) -> Vec<String> {
@@ -105,9 +141,10 @@ fn dump(engine: &Arc<SharedEngine>) -> Vec<amos_types::Tuple> {
     out
 }
 
-/// Concurrent run: K sessions advanced in a seeded random interleaving.
-fn concurrent(seed: u64, k: usize, level: CheckLevel) -> History {
-    let (db, noted) = build(level);
+/// Concurrent run: K sessions advanced in a seeded random interleaving,
+/// committing through a group-commit WAL in `wal_dir`.
+fn concurrent(seed: u64, k: usize, level: CheckLevel, wal_dir: &Path) -> History {
+    let (db, noted) = build(level, Some(wal_dir));
     let engine = SharedEngine::new(db);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut sessions: Vec<_> = (0..k).map(|_| engine.session()).collect();
@@ -148,6 +185,21 @@ fn concurrent(seed: u64, k: usize, level: CheckLevel) -> History {
     drop(sessions);
     let state = dump(&engine);
     let noted = noted.lock().unwrap().clone();
+
+    // Recovery equivalence: replaying the WAL into a fresh engine must
+    // reproduce the committed storage state bit-for-bit — every
+    // acknowledged commit durable, aborted transactions invisible.
+    let final_storage = engine.with_read(storage_dump);
+    drop(engine);
+    let mut recovered = Amos::new();
+    recovered.attach_wal(wal_dir, WalConfig::default()).unwrap();
+    assert_eq!(
+        storage_dump(&recovered),
+        final_storage,
+        "WAL replay diverged from the engine's committed state \
+         (seed {seed}, k {k}, {level:?})"
+    );
+
     History {
         committed,
         noted,
@@ -159,7 +211,7 @@ fn concurrent(seed: u64, k: usize, level: CheckLevel) -> History {
 /// Serial twin: the committed groups replayed in commit order on an
 /// identically configured single-session engine.
 fn serial(committed: &[String], level: CheckLevel) -> History {
-    let (mut db, noted) = build(level);
+    let (mut db, noted) = build(level, None);
     let mut summaries = Vec::new();
     for group in committed {
         let results = db.execute(&format!("begin; {group} commit;")).unwrap();
@@ -182,7 +234,9 @@ proptest! {
     #[test]
     fn committed_history_is_serializable(seed in 0u64..10_000, k in 1usize..=8) {
         for level in [CheckLevel::Raw, CheckLevel::Nervous, CheckLevel::Strict] {
-            let conc = concurrent(seed, k, level);
+            let dir = tmpdir(&format!("{seed}-{k}-{level:?}"));
+            let conc = concurrent(seed, k, level, &dir);
+            let _ = std::fs::remove_dir_all(&dir);
             let twin = serial(&conc.committed, level);
             prop_assert_eq!(
                 &conc.state, &twin.state,

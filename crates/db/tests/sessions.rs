@@ -6,7 +6,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use amos_db::{Amos, DbError, ExecResult, SharedEngine, Value};
+use amos_db::{Amos, DbError, ExecResult, SharedEngine, Value, WalConfig};
 use amos_types::Tuple;
 
 const SCHEMA: &str = r#"
@@ -324,6 +324,92 @@ fn concurrent_threads_hot_key_all_increments_survive() {
     assert_eq!(ints(&rows), [100 - (threads * per) as i64]);
     // (aborts may be 0 on a fast machine; just exercise the counter.)
     let _ = total_aborts;
+}
+
+/// Three sessions commit simultaneously through the pipelined commit
+/// path: the critical sections serialize (validate/apply/check under
+/// the write lock), but all three durability waits coalesce into a
+/// single group — one fsync covers the whole group, and the two
+/// non-leader waiters are acknowledged without ever touching the file.
+#[test]
+fn pipelined_group_commit_coalesces_fsyncs() {
+    let dir = std::env::temp_dir().join(format!("amos-sess-gc-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let mut db = Amos::new();
+    // A generous leader delay so the test doesn't depend on scheduler
+    // timing: the first committer parks until the other two arrive.
+    db.attach_wal(
+        &dir,
+        WalConfig {
+            group_commit: 3,
+            max_delay_us: 2_000_000,
+        },
+    )
+    .unwrap();
+    db.execute(SCHEMA).unwrap();
+    db.execute(
+        r#"
+        create item instances :a, :b, :c;
+        set quantity(:a) = 100;
+        set quantity(:b) = 200;
+        set quantity(:c) = 300;
+    "#,
+    )
+    .unwrap();
+    // Flush + truncate so the deltas below count only the workload.
+    db.checkpoint().unwrap();
+    let eng = SharedEngine::new(db);
+
+    let before = eng.commit_metrics();
+    let barrier = Arc::new(std::sync::Barrier::new(3));
+    let mut handles = Vec::new();
+    for key in ["a", "b", "c"] {
+        let eng = Arc::clone(&eng);
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            let mut s = eng.session();
+            s.execute(&format!("begin; set quantity(:{key}) = 7;"))
+                .unwrap();
+            barrier.wait();
+            s.execute("commit;").unwrap();
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let after = eng.commit_metrics();
+
+    assert_eq!(after.commits - before.commits, 3);
+    assert!(after.lock_hold_ns > before.lock_hold_ns);
+    let (b, a) = (before.wal.unwrap(), after.wal.unwrap());
+    assert_eq!(a.batches - b.batches, 3);
+    assert_eq!(
+        a.fsyncs - b.fsyncs,
+        1,
+        "three pipelined commits must share one fsync"
+    );
+    assert_eq!(
+        a.waiters_woken - b.waiters_woken,
+        2,
+        "two followers must be acknowledged by the leader's flush"
+    );
+    assert!(a.max_group >= 3, "group never formed: {a:?}");
+
+    // Acked ⇒ durable: recovery sees all three writes.
+    drop(eng);
+    let mut db2 = Amos::new();
+    db2.attach_wal(&dir, WalConfig::default()).unwrap();
+    let rel = db2.storage().relation_id("quantity").unwrap();
+    let sevens = db2
+        .storage()
+        .relation(rel)
+        .scan()
+        .filter(|t| t[1] == Value::Int(7))
+        .count();
+    assert_eq!(sevens, 3, "an acknowledged commit was not durable");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

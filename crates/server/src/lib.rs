@@ -27,6 +27,22 @@
 //! retry — `ERR retryable <msg>`. After every input line the server
 //! writes `READY`. Disconnecting mid-transaction rolls the transaction
 //! back (the session's `Drop` unpins its snapshot).
+//!
+//! # Statement pipelining
+//!
+//! Clients may stream many lines without waiting for `READY` between
+//! them. With [`ServerConfig::pipeline`] on (the default) the server
+//! greedily drains every *already-buffered* line after finishing one,
+//! executes them strictly in arrival order, and flushes the whole burst
+//! of response groups in one write — `N` statements per round trip
+//! instead of one, and `N` commits entering the engine back-to-back so
+//! the WAL group-commit coordinator can coalesce their fsyncs. Response
+//! order is the line order even when a mid-burst statement fails with
+//! `ERR`: every line still gets its response group and its `READY`, so
+//! the client can pair requests to responses by counting `READY`s. At
+//! most [`ServerConfig::max_pipeline`] lines are drained per burst;
+//! beyond that the server flushes and returns to the socket, so a
+//! client that never reads cannot buffer responses without bound.
 
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -43,11 +59,21 @@ pub struct ServerConfig {
     /// (in the accept loop, before a session is created) until a slot
     /// frees up. The pool bounds engine-lock contention, not memory.
     pub max_sessions: usize,
+    /// Statement pipelining: greedily execute every already-buffered
+    /// input line and flush the burst's responses in one write.
+    pub pipeline: bool,
+    /// Pipelining backpressure: lines drained per burst before the
+    /// server flushes and yields back to the socket.
+    pub max_pipeline: usize,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        ServerConfig { max_sessions: 64 }
+        ServerConfig {
+            max_sessions: 64,
+            pipeline: true,
+            max_pipeline: 128,
+        }
     }
 }
 
@@ -133,8 +159,9 @@ pub fn serve(
             slots.acquire();
             let engine = Arc::clone(&engine);
             let slots = Arc::clone(&slots);
+            let config = config.clone();
             std::thread::spawn(move || {
-                let _ = serve_connection(stream, &engine);
+                let _ = serve_connection(stream, &engine, &config);
                 slots.release();
             });
         }
@@ -146,15 +173,24 @@ pub fn serve(
     })
 }
 
-fn serve_connection(stream: TcpStream, engine: &Arc<SharedEngine>) -> std::io::Result<()> {
+fn serve_connection(
+    stream: TcpStream,
+    engine: &Arc<SharedEngine>,
+    config: &ServerConfig,
+) -> std::io::Result<()> {
     let mut session = engine.session();
-    let reader = BufReader::new(stream.try_clone()?);
+    let mut reader = BufReader::new(stream.try_clone()?);
     let mut w = BufWriter::new(stream);
     writeln!(w, "HELLO amos-pdiff {}", env!("CARGO_PKG_VERSION"))?;
     writeln!(w, "READY")?;
     w.flush()?;
-    for line in reader.lines() {
-        let line = line?;
+    let mut line = String::new();
+    let mut burst = 0usize;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break; // EOF
+        }
         let src = line.trim();
         if !src.is_empty() {
             match session.execute(src) {
@@ -167,8 +203,21 @@ fn serve_connection(stream: TcpStream, engine: &Arc<SharedEngine>) -> std::io::R
             }
         }
         writeln!(w, "READY")?;
-        w.flush()?;
+        burst += 1;
+        // Pipelining: when the client has already streamed more lines,
+        // keep executing without flushing — the whole burst's responses
+        // go out in one write. `BufReader::buffer()` only inspects bytes
+        // already read from the socket, so this never blocks; a complete
+        // buffered line is required, since `read_line` would otherwise
+        // block waiting for its terminator.
+        let more_buffered =
+            config.pipeline && burst < config.max_pipeline && reader.buffer().contains(&b'\n');
+        if !more_buffered {
+            w.flush()?;
+            burst = 0;
+        }
     }
+    w.flush()?;
     Ok(())
     // `session` drops here: an open transaction is rolled back and its
     // snapshot pin released.

@@ -167,7 +167,10 @@ fn session_cap_queues_but_serves_everyone() {
     let handle = serve(
         "127.0.0.1:0",
         SharedEngine::new(db),
-        ServerConfig { max_sessions: 2 },
+        ServerConfig {
+            max_sessions: 2,
+            ..ServerConfig::default()
+        },
     )
     .unwrap();
     let handle = Arc::new(handle);

@@ -1,0 +1,210 @@
+//! Statement-pipelining protocol edge cases: clients that stream many
+//! lines before reading anything back. The server must execute bursts
+//! strictly in arrival order, pair every input line with exactly one
+//! response group + `READY` (errors included), honor the
+//! `max_pipeline` backpressure cap, and roll back a transaction whose
+//! connection dies mid-burst.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use amos_db::{Amos, SharedEngine};
+use amos_server::{serve, ServerConfig, ServerHandle};
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(handle: &ServerHandle) -> Client {
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        let mut c = Client {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        };
+        let hello = c.read_line();
+        assert!(hello.starts_with("HELLO amos-pdiff"), "{hello}");
+        assert_eq!(c.read_line(), "READY");
+        c
+    }
+
+    fn read_line(&mut self) -> String {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).unwrap();
+        line.trim_end().to_string()
+    }
+
+    /// Stream every line in one write, without reading anything back.
+    fn pipeline(&mut self, lines: &[String]) {
+        let burst: String = lines.iter().map(|l| format!("{l}\n")).collect();
+        self.writer.write_all(burst.as_bytes()).unwrap();
+        self.writer.flush().unwrap();
+    }
+
+    /// Read one response group (everything up to and including `READY`).
+    fn read_group(&mut self) -> Vec<String> {
+        let mut out = Vec::new();
+        loop {
+            let line = self.read_line();
+            if line == "READY" {
+                return out;
+            }
+            out.push(line);
+        }
+    }
+
+    /// Classic request/response send for setup and verification.
+    fn send(&mut self, script: &str) -> Vec<String> {
+        self.pipeline(&[script.to_string()]);
+        self.read_group()
+    }
+}
+
+fn boot_with(config: ServerConfig, n_items: usize) -> ServerHandle {
+    let mut db = Amos::new();
+    db.execute("create type item; create function quantity(item i) -> integer;")
+        .unwrap();
+    let names: Vec<String> = (0..n_items).map(|i| format!(":k{i}")).collect();
+    db.execute(&format!("create item instances {};", names.join(", ")))
+        .unwrap();
+    for name in &names {
+        db.execute(&format!("set quantity({name}) = 100;")).unwrap();
+    }
+    serve("127.0.0.1:0", SharedEngine::new(db), config).unwrap()
+}
+
+/// K clients pipeline interleaved write/read bursts concurrently; each
+/// connection's responses must arrive in its own line order, so every
+/// `select` observes the `set` pipelined just before it.
+#[test]
+fn interleaved_pipelined_clients_stay_ordered() {
+    let k = 4;
+    let per = 16;
+    let handle = Arc::new(boot_with(ServerConfig::default(), k));
+
+    let mut joins = Vec::new();
+    for c in 0..k {
+        let handle = Arc::clone(&handle);
+        joins.push(std::thread::spawn(move || {
+            let mut client = Client::connect(&handle);
+            let mut lines = Vec::new();
+            for v in 0..per {
+                lines.push(format!("set quantity(:k{c}) = {};", 1000 + v));
+                lines.push(format!("select quantity(:k{c});"));
+            }
+            client.pipeline(&lines);
+            for v in 0..per {
+                assert_eq!(client.read_group(), ["COMMITTED rules=0 failed=0"]);
+                assert_eq!(
+                    client.read_group(),
+                    [format!("ROW {}", 1000 + v), "END 1".to_string()],
+                    "client {c}: pipelined responses out of order"
+                );
+            }
+        }));
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+
+    // Every client's last write is the one that stuck.
+    let mut c = Client::connect(&handle);
+    for i in 0..k {
+        assert_eq!(
+            c.send(&format!("select quantity(:k{i});")),
+            [format!("ROW {}", 1000 + per - 1), "END 1".to_string()]
+        );
+    }
+}
+
+/// A connection that dies in the middle of a pipelined burst — after
+/// the server may already have executed its `begin` and buffered
+/// writes — must roll its open transaction back.
+#[test]
+fn disconnect_mid_pipeline_rolls_back() {
+    let handle = boot_with(ServerConfig::default(), 1);
+    {
+        let mut c = Client::connect(&handle);
+        c.pipeline(&[
+            "begin;".to_string(),
+            "set quantity(:k0) = 1;".to_string(),
+            "set quantity(:k0) = 2;".to_string(),
+        ]);
+        // Wait for the first response so the burst has definitely been
+        // received, then vanish without ever committing.
+        assert_eq!(c.read_group(), ["OK"]);
+    }
+    let mut c = Client::connect(&handle);
+    for _ in 0..50 {
+        if c.send("select quantity(:k0);") == ["ROW 100", "END 1"] {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    panic!("abandoned pipelined transaction leaked into shared state");
+}
+
+/// A burst far larger than `max_pipeline`: the server must flush at
+/// least every `max_pipeline` lines (so a slow reader cannot force
+/// unbounded response buffering), and still answer every line in
+/// order.
+#[test]
+fn oversized_pipeline_is_flushed_in_bounded_bursts() {
+    let handle = boot_with(
+        ServerConfig {
+            max_pipeline: 4,
+            ..ServerConfig::default()
+        },
+        1,
+    );
+    let mut c = Client::connect(&handle);
+    let total = 300;
+    let lines: Vec<String> = (0..total)
+        .map(|v| format!("set quantity(:k0) = {v}; select quantity(:k0);"))
+        .collect();
+    c.pipeline(&lines);
+    for v in 0..total {
+        assert_eq!(
+            c.read_group(),
+            [
+                "COMMITTED rules=0 failed=0".to_string(),
+                format!("ROW {v}"),
+                "END 1".to_string()
+            ],
+            "line {v}: burst-capped pipeline lost response ordering"
+        );
+    }
+    assert_eq!(
+        c.send("select quantity(:k0);"),
+        [format!("ROW {}", total - 1), "END 1".to_string()]
+    );
+}
+
+/// Errors mid-burst don't desynchronize the stream: every line still
+/// gets exactly one response group and one `READY`, in line order, and
+/// statements after the failure execute normally.
+#[test]
+fn err_mid_pipeline_keeps_response_order() {
+    let handle = boot_with(ServerConfig::default(), 1);
+    let mut c = Client::connect(&handle);
+    c.pipeline(&[
+        "set quantity(:k0) = 1;".to_string(),
+        "select nonsense(:k0);".to_string(), // unknown function
+        "set quantity(:k0) = 2;".to_string(),
+        "select quantity(:k0;".to_string(), // syntax error
+        "select quantity(:k0);".to_string(),
+    ]);
+    assert_eq!(c.read_group(), ["COMMITTED rules=0 failed=0"]);
+    let g = c.read_group();
+    assert_eq!(g.len(), 1, "{g:?}");
+    assert!(g[0].starts_with("ERR "), "{g:?}");
+    assert_eq!(c.read_group(), ["COMMITTED rules=0 failed=0"]);
+    let g = c.read_group();
+    assert_eq!(g.len(), 1, "{g:?}");
+    assert!(g[0].starts_with("ERR "), "{g:?}");
+    // The last select pairs with the last line, not with a leftover
+    // response from an earlier one.
+    assert_eq!(c.read_group(), ["ROW 2", "END 1"]);
+}

@@ -27,7 +27,7 @@ use crate::oldstate::OldStateView;
 use crate::relation::BaseRelation;
 use crate::snapshot::{self, Snapshot, SnapshotRelation, SNAPSHOT_FILE};
 use crate::txn::TxnVersion;
-use crate::wal::{WalConfig, WalRecord, WalWriter};
+use crate::wal::{CommitWaiter, WalConfig, WalMetrics, WalRecord, WalWriter};
 
 /// Identifier of a base relation within a [`Storage`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -447,9 +447,24 @@ impl Storage {
     /// On a WAL write failure the transaction stays open and nothing is
     /// discarded — the caller may retry the commit or roll back.
     pub fn commit(&mut self) -> Result<(), StorageError> {
+        self.commit_inner(false).map(|_| ())
+    }
+
+    /// Commit with *deferred durability*: the WAL batch is framed into
+    /// the group-commit buffer but not written or synced. Returns a
+    /// [`CommitWaiter`] (when a WAL is attached and the transaction
+    /// wrote anything) for the caller to block on **after** releasing
+    /// whatever lock serializes commits — that off-lock wait is the
+    /// commit pipeline's point.
+    pub fn commit_buffered(&mut self) -> Result<Option<CommitWaiter>, StorageError> {
+        self.commit_inner(true)
+    }
+
+    fn commit_inner(&mut self, buffered: bool) -> Result<Option<CommitWaiter>, StorageError> {
         if !self.txn_open {
             return Err(StorageError::NoOpenTransaction);
         }
+        let mut waiter = None;
         if let Some(wal) = &mut self.wal {
             if !self.log.is_empty() {
                 let records: Vec<WalRecord> = self
@@ -462,7 +477,11 @@ impl Storage {
                         tuple: r.tuple.clone(),
                     })
                     .collect();
-                wal.append(&records)?;
+                if buffered {
+                    waiter = Some(wal.append_buffered(&records));
+                } else {
+                    wal.append(&records)?;
+                }
             }
         }
         self.commit_seq += 1;
@@ -492,7 +511,7 @@ impl Storage {
         self.clear_deltas();
         self.txn_open = false;
         self.epoch += 1;
-        Ok(())
+        Ok(waiter)
     }
 
     // ------------------------------------------------------------------
@@ -756,6 +775,12 @@ impl Storage {
             Some(w) => w.flush(),
             None => Ok(()),
         }
+    }
+
+    /// Durability counters of the attached WAL (fsyncs, group sizes,
+    /// woken commit waiters). `None` when no WAL is attached.
+    pub fn wal_metrics(&self) -> Option<WalMetrics> {
+        self.wal.as_ref().map(|w| w.metrics())
     }
 
     /// Checkpoint: atomically write a snapshot of every relation plus

@@ -62,4 +62,7 @@ pub use relation::BaseRelation;
 pub use shard::{shard_of, ShardedDelta};
 pub use snapshot::{Snapshot, SnapshotRelation, SNAPSHOT_FILE};
 pub use txn::{ReadOverlay, RelOverlay, TxnVersion};
-pub use wal::{read_wal, read_wal_bytes, WalBatch, WalConfig, WalRecord, WalWriter, WAL_FILE};
+pub use wal::{
+    read_wal, read_wal_bytes, CommitWaiter, WalBatch, WalConfig, WalMetrics, WalRecord, WalWriter,
+    GROUP_HIST_BUCKETS, WAL_FILE,
+};

@@ -35,10 +35,24 @@
 //! fills (or on [`WalWriter::flush`]/drop). This trades a bounded
 //! durability window (the buffered batches) for fewer fsyncs; the default
 //! of 1 makes every commit durable before `commit()` returns.
+//!
+//! Cross-session commit pipeline: [`WalWriter::append_buffered`] frames a
+//! batch into the shared group buffer *without* flushing and hands back a
+//! [`CommitWaiter`]. The committing session releases the engine lock and
+//! then blocks in [`CommitWaiter::wait`], where the first waiter becomes
+//! the **leader**: it drains every pending framed batch, issues one
+//! `write + fsync` for the whole group, and wakes every covered waiter —
+//! followers never touch the file. Because batches enter the buffer in
+//! `commit_seq` order under the engine lock and the leader writes them in
+//! that order, the on-disk log is always a sequence-ordered prefix of the
+//! acknowledged commits (the ack-prefix recovery invariant).
 
 use std::fs::{File, OpenOptions};
 use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 use amos_types::{Oid, Tuple, Value};
 
@@ -47,8 +61,6 @@ use crate::log::LogOp;
 
 #[cfg(feature = "fault-injection")]
 use crate::fault::{FaultPlan, WalFault};
-#[cfg(feature = "fault-injection")]
-use std::sync::Arc;
 
 /// File name of the log inside a WAL directory.
 pub const WAL_FILE: &str = "wal.log";
@@ -383,38 +395,172 @@ pub fn read_wal_bytes(bytes: &[u8]) -> Result<WalReadResult, StorageError> {
 #[derive(Debug, Clone)]
 pub struct WalConfig {
     /// Number of batches buffered before a physical write + sync. 1 (the
-    /// default) makes every commit durable before it returns.
+    /// default) makes every commit durable before it returns. In the
+    /// pipelined commit path this is the *target group size*: a flush
+    /// leader stops waiting for stragglers once this many batches are
+    /// pending.
     pub group_commit: usize,
+    /// How long a pipelined flush leader waits (microseconds) for the
+    /// group to reach `group_commit` batches before writing whatever is
+    /// pending. 0 (the default) flushes immediately — groups then form
+    /// only from commits that were already pending, i.e. under actual
+    /// concurrency.
+    pub max_delay_us: u64,
 }
 
 impl Default for WalConfig {
     fn default() -> Self {
-        WalConfig { group_commit: 1 }
+        WalConfig {
+            group_commit: 1,
+            max_delay_us: 0,
+        }
     }
 }
 
-/// Append-only WAL writer with group commit.
+impl WalConfig {
+    /// A config with the given group size and no leader delay.
+    pub fn grouped(group_commit: usize) -> Self {
+        WalConfig {
+            group_commit,
+            max_delay_us: 0,
+        }
+    }
+}
+
+/// Number of buckets in the group-size histogram: group sizes 1, 2,
+/// 3–4, 5–8, 9–16, 17+.
+pub const GROUP_HIST_BUCKETS: usize = 6;
+
+fn hist_bucket(group: u64) -> usize {
+    match group {
+        0 | 1 => 0,
+        2 => 1,
+        3..=4 => 2,
+        5..=8 => 3,
+        9..=16 => 4,
+        _ => 5,
+    }
+}
+
+/// Durability-side counters of a WAL writer, snapshot by
+/// [`WalWriter::metrics`]. All counters are cumulative since the writer
+/// was opened.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct WalMetrics {
+    /// Successful `fsync` calls.
+    pub fsyncs: u64,
+    /// Batches made durable (across all fsyncs).
+    pub batches: u64,
+    /// Largest batch group covered by one fsync.
+    pub max_group: u64,
+    /// Histogram of batches-per-fsync: buckets 1, 2, 3–4, 5–8, 9–16,
+    /// 17+.
+    pub group_hist: [u64; GROUP_HIST_BUCKETS],
+    /// Commit waiters acknowledged by *another* session's flush (group
+    /// commit followers — they never touched the file).
+    pub waiters_woken: u64,
+}
+
+#[derive(Debug, Default)]
+struct WalCounters {
+    fsyncs: AtomicU64,
+    batches: AtomicU64,
+    max_group: AtomicU64,
+    group_hist: [AtomicU64; GROUP_HIST_BUCKETS],
+    waiters_woken: AtomicU64,
+}
+
+impl WalCounters {
+    fn record_sync(&self, group: u64) {
+        self.fsyncs.fetch_add(1, Ordering::Relaxed);
+        self.batches.fetch_add(group, Ordering::Relaxed);
+        self.max_group.fetch_max(group, Ordering::Relaxed);
+        self.group_hist[hist_bucket(group)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> WalMetrics {
+        let mut group_hist = [0u64; GROUP_HIST_BUCKETS];
+        for (out, bucket) in group_hist.iter_mut().zip(&self.group_hist) {
+            *out = bucket.load(Ordering::Relaxed);
+        }
+        WalMetrics {
+            fsyncs: self.fsyncs.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            max_group: self.max_group.load(Ordering::Relaxed),
+            group_hist,
+            waiters_woken: self.waiters_woken.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One framed batch awaiting the group write.
 #[derive(Debug)]
-pub struct WalWriter {
+struct PendingBatch {
+    seq: u64,
+    frame: Vec<u8>,
+    rec_ends: Vec<usize>,
+}
+
+/// The physical file and its torn-tail bookkeeping. Only one thread
+/// touches the disk at a time (the flush leader, or the writer itself
+/// under the engine lock), serialized by the mutex around this.
+#[derive(Debug)]
+struct DiskCore {
     file: File,
-    path: PathBuf,
-    next_seq: u64,
-    config: WalConfig,
-    /// Framed batches awaiting the group write: `(seq, frame, rec_ends)`.
-    pending: Vec<(u64, Vec<u8>, Vec<usize>)>,
     /// File length up to the last fully-written frame. A failed
     /// `write_all` (ENOSPC, EIO) can leave torn bytes past this point;
-    /// [`WalWriter::repair_torn_tail`] truncates back to it so a retried
-    /// append lands on a clean boundary instead of after unreadable
-    /// debris.
+    /// `repair_torn_tail` truncates back to it so a retried append lands
+    /// on a clean boundary instead of after unreadable debris.
     good_len: u64,
     /// Set when a failed write may have left torn bytes past `good_len`.
     needs_repair: bool,
     /// Set when frames were written but not yet `sync_data`ed (a failed
     /// group flush); the next flush syncs even with nothing pending.
     dirty: bool,
+    /// Highest sequence number whose frame was fully handed to the file
+    /// (or logically dropped by a crashed fault plan).
+    written_seq: u64,
+    /// Frames physically written since the last successful sync — the
+    /// group size the next fsync will cover.
+    unsynced: u64,
     #[cfg(feature = "fault-injection")]
     faults: Option<Arc<FaultPlan>>,
+}
+
+/// Leader/follower coordination state for the group buffer.
+#[derive(Debug, Default)]
+struct GroupState {
+    /// Framed batches awaiting the group write, in sequence order.
+    pending: Vec<PendingBatch>,
+    /// Highest sequence number acknowledged durable (covered by a
+    /// completed flush round).
+    durable_seq: u64,
+    /// A leader is currently flushing off-lock.
+    leader: bool,
+    /// Sticky error from the last failed flush round, cleared by the
+    /// next successful one. Waiters not yet durable observe it and fail
+    /// their commit's durability wait instead of spinning on a dead
+    /// disk.
+    error: Option<String>,
+}
+
+/// State shared between the [`WalWriter`] (owned by storage, used under
+/// the engine lock) and the off-lock [`CommitWaiter`]s.
+#[derive(Debug)]
+struct WalShared {
+    group: Mutex<GroupState>,
+    cv: Condvar,
+    disk: Mutex<DiskCore>,
+    counters: WalCounters,
+}
+
+/// Append-only WAL writer with group commit.
+#[derive(Debug)]
+pub struct WalWriter {
+    shared: Arc<WalShared>,
+    path: PathBuf,
+    next_seq: u64,
+    config: WalConfig,
 }
 
 impl WalWriter {
@@ -446,17 +592,30 @@ impl WalWriter {
             }
         }
         let good_len = file.seek(SeekFrom::End(0))?;
+        let last_seq = read.last_seq();
+        let shared = Arc::new(WalShared {
+            group: Mutex::new(GroupState {
+                durable_seq: last_seq,
+                ..GroupState::default()
+            }),
+            cv: Condvar::new(),
+            disk: Mutex::new(DiskCore {
+                file,
+                good_len,
+                needs_repair: false,
+                dirty: false,
+                written_seq: last_seq,
+                unsynced: 0,
+                #[cfg(feature = "fault-injection")]
+                faults: None,
+            }),
+            counters: WalCounters::default(),
+        });
         let writer = WalWriter {
-            file,
+            shared,
             path,
-            next_seq: read.last_seq() + 1,
+            next_seq: last_seq + 1,
             config,
-            pending: Vec::new(),
-            good_len,
-            needs_repair: false,
-            dirty: false,
-            #[cfg(feature = "fault-injection")]
-            faults: None,
         };
         Ok((writer, read))
     }
@@ -476,7 +635,7 @@ impl WalWriter {
     /// Attach a fault plan; subsequent writes consult it.
     #[cfg(feature = "fault-injection")]
     pub fn set_fault_plan(&mut self, plan: Arc<FaultPlan>) {
-        self.faults = Some(plan);
+        self.shared.disk.lock().expect("wal disk lock").faults = Some(plan);
     }
 
     /// Path of the log file.
@@ -487,6 +646,12 @@ impl WalWriter {
     /// Sequence number the next appended batch will carry.
     pub fn next_seq(&self) -> u64 {
         self.next_seq
+    }
+
+    /// Snapshot of the durability counters (fsyncs, group sizes, woken
+    /// waiters) since this writer was opened.
+    pub fn metrics(&self) -> WalMetrics {
+        self.shared.counters.snapshot()
     }
 
     /// Append one committed batch. With `group_commit` = 1 the batch is
@@ -502,14 +667,54 @@ impl WalWriter {
         let seq = self.next_seq;
         let (frame, rec_ends) = frame_batch(seq, records);
         self.next_seq += 1;
-        self.pending.push((seq, frame, rec_ends));
-        if self.pending.len() >= self.config.group_commit {
+        let filled = {
+            let mut st = self.shared.group.lock().expect("wal group lock");
+            st.pending.push(PendingBatch {
+                seq,
+                frame,
+                rec_ends,
+            });
+            st.pending.len() >= self.config.group_commit
+        };
+        if filled {
             if let Err(e) = self.flush() {
-                self.pending.retain(|(s, _, _)| *s != seq);
+                self.shared
+                    .group
+                    .lock()
+                    .expect("wal group lock")
+                    .pending
+                    .retain(|b| b.seq != seq);
                 return Err(e);
             }
         }
         Ok(seq)
+    }
+
+    /// Frame one committed batch into the shared group buffer *without*
+    /// flushing, and return a [`CommitWaiter`] for the off-lock
+    /// durability wait. Called under the engine lock, so batches enter
+    /// the buffer in commit order; the caller releases the lock and then
+    /// blocks in [`CommitWaiter::wait`].
+    pub fn append_buffered(&mut self, records: &[WalRecord]) -> CommitWaiter {
+        let seq = self.next_seq;
+        let (frame, rec_ends) = frame_batch(seq, records);
+        self.next_seq += 1;
+        {
+            let mut st = self.shared.group.lock().expect("wal group lock");
+            st.pending.push(PendingBatch {
+                seq,
+                frame,
+                rec_ends,
+            });
+        }
+        // Wake a parked flush leader: its delay window ends early once
+        // the group reaches the configured size.
+        self.shared.cv.notify_all();
+        CommitWaiter {
+            shared: Arc::clone(&self.shared),
+            seq,
+            config: self.config.clone(),
+        }
     }
 
     /// Write and sync every buffered batch.
@@ -520,39 +725,41 @@ impl WalWriter {
     /// tail and then re-attempts the writes — a retried commit is
     /// recoverable, not silently lost behind an unreadable frame.
     pub fn flush(&mut self) -> Result<(), StorageError> {
-        if self.pending.is_empty() {
-            if self.dirty {
-                self.file.sync_data()?;
-                self.dirty = false;
+        loop {
+            let st = self.shared.group.lock().expect("wal group lock");
+            if st.leader {
+                // An off-lock commit waiter is mid-flush; let it finish,
+                // then re-check what is left.
+                let _unused = self.shared.cv.wait(st).expect("wal group lock");
+                continue;
             }
-            return Ok(());
+            return run_leader_round(&self.shared, st, None);
         }
-        self.repair_torn_tail()?;
-        let mut pending = std::mem::take(&mut self.pending);
-        let mut done = 0;
-        while done < pending.len() {
-            let (seq, frame, rec_ends) = &pending[done];
-            match self.write_batch(*seq, frame, rec_ends) {
-                Ok(wrote) => {
-                    self.dirty |= wrote;
-                    done += 1;
-                }
-                Err(e) => {
-                    // Keep the failed batch and everything after it for
-                    // the retry.
-                    pending.drain(..done);
-                    self.pending = pending;
-                    return Err(e);
-                }
-            }
-        }
-        if self.dirty {
-            self.file.sync_data()?;
-            self.dirty = false;
-        }
-        Ok(())
     }
 
+    /// Truncate the log after a checkpoint: every batch up to and
+    /// including `last_seq` is captured by the snapshot, so the log
+    /// restarts empty (sequence numbering continues).
+    pub fn truncate_after_checkpoint(&mut self) -> Result<(), StorageError> {
+        self.flush()?;
+        let mut disk = self.shared.disk.lock().expect("wal disk lock");
+        disk.file.set_len(WAL_MAGIC.len() as u64)?;
+        disk.file.sync_all()?;
+        disk.file.seek(SeekFrom::End(0))?;
+        disk.good_len = WAL_MAGIC.len() as u64;
+        disk.needs_repair = false;
+        disk.dirty = false;
+        Ok(())
+    }
+}
+
+impl Drop for WalWriter {
+    fn drop(&mut self) {
+        let _ = self.flush();
+    }
+}
+
+impl DiskCore {
     /// Truncate torn bytes a failed write left past the last complete
     /// frame, repositioning for append. No-op unless a write failed.
     fn repair_torn_tail(&mut self) -> Result<(), StorageError> {
@@ -566,18 +773,14 @@ impl WalWriter {
     }
 
     /// Physically write one framed batch, honoring any fault plan.
-    /// Returns whether bytes reached the file.
     #[allow(unused_variables)]
-    fn write_batch(
-        &mut self,
-        seq: u64,
-        frame: &[u8],
-        rec_ends: &[usize],
-    ) -> Result<bool, StorageError> {
+    fn write_batch(&mut self, batch: &PendingBatch) -> Result<(), StorageError> {
+        let (seq, frame, rec_ends) = (batch.seq, &batch.frame, &batch.rec_ends);
         #[cfg(feature = "fault-injection")]
         if let Some(plan) = self.faults.clone() {
             if plan.is_crashed() {
-                return Ok(false); // writes after the crash vanish
+                self.written_seq = seq;
+                return Ok(()); // writes after the crash vanish
             }
             if plan.take_io_error(seq) {
                 return Err(StorageError::Io("injected I/O error".into()));
@@ -608,7 +811,8 @@ impl WalWriter {
                         self.file.write_all(&frame[..keep])?;
                         self.file.sync_data()?;
                         plan.mark_crashed();
-                        return Ok(false);
+                        self.written_seq = seq;
+                        return Ok(());
                     }
                     plan.note_records_written(nrecs);
                 }
@@ -617,7 +821,8 @@ impl WalWriter {
                     self.file.write_all(&frame[..keep])?;
                     self.file.sync_data()?;
                     plan.mark_crashed();
-                    return Ok(false);
+                    self.written_seq = seq;
+                    return Ok(());
                 }
                 _ => {}
             }
@@ -629,27 +834,157 @@ impl WalWriter {
             return Err(e.into());
         }
         self.good_len += frame.len() as u64;
-        Ok(true)
-    }
-
-    /// Truncate the log after a checkpoint: every batch up to and
-    /// including `last_seq` is captured by the snapshot, so the log
-    /// restarts empty (sequence numbering continues).
-    pub fn truncate_after_checkpoint(&mut self) -> Result<(), StorageError> {
-        self.flush()?;
-        self.file.set_len(WAL_MAGIC.len() as u64)?;
-        self.file.sync_all()?;
-        self.file.seek(SeekFrom::End(0))?;
-        self.good_len = WAL_MAGIC.len() as u64;
-        self.needs_repair = false;
-        self.dirty = false;
+        self.written_seq = seq;
+        self.unsynced += 1;
+        self.dirty = true;
         Ok(())
     }
 }
 
-impl Drop for WalWriter {
-    fn drop(&mut self) {
-        let _ = self.flush();
+/// One leader flush round over the group buffer. The caller holds the
+/// group lock with no other leader active; the round drains the pending
+/// batches, releases the group lock, performs the write + fsync under
+/// the disk lock, then re-acquires the group lock to publish the new
+/// durable sequence (or the error) and wake every waiter.
+///
+/// With `delay` set (a pipelined [`CommitWaiter`] whose group has not
+/// reached `group_commit` yet), the leader first parks up to
+/// `max_delay_us` for stragglers; appends wake it early once the group
+/// fills.
+fn run_leader_round(
+    shared: &WalShared,
+    mut st: MutexGuard<'_, GroupState>,
+    delay: Option<&WalConfig>,
+) -> Result<(), StorageError> {
+    st.leader = true;
+    if let Some(config) = delay {
+        if config.max_delay_us > 0 {
+            let deadline = Instant::now() + Duration::from_micros(config.max_delay_us);
+            while st.pending.len() < config.group_commit.max(1) {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (next, timeout) = shared
+                    .cv
+                    .wait_timeout(st, deadline - now)
+                    .expect("wal group lock");
+                st = next;
+                if timeout.timed_out() {
+                    break;
+                }
+            }
+        }
+    }
+    let batch: Vec<PendingBatch> = std::mem::take(&mut st.pending);
+    drop(st);
+
+    let mut disk = shared.disk.lock().expect("wal disk lock");
+    let mut failed: Option<(usize, StorageError)> = None;
+    if let Err(e) = disk.repair_torn_tail() {
+        failed = Some((0, e));
+    }
+    if failed.is_none() {
+        for (i, b) in batch.iter().enumerate() {
+            if let Err(e) = disk.write_batch(b) {
+                failed = Some((i, e));
+                break;
+            }
+        }
+    }
+    if failed.is_none() && disk.dirty {
+        match disk.file.sync_data() {
+            Ok(()) => {
+                shared.counters.record_sync(disk.unsynced);
+                disk.unsynced = 0;
+                disk.dirty = false;
+            }
+            Err(e) => failed = Some((batch.len(), e.into())),
+        }
+    }
+    let synced_seq = if failed.is_none() {
+        disk.written_seq
+    } else {
+        0 // unused on the error path
+    };
+    drop(disk);
+
+    let mut st = shared.group.lock().expect("wal group lock");
+    st.leader = false;
+    let result = match failed {
+        None => {
+            st.durable_seq = st.durable_seq.max(synced_seq);
+            st.error = None;
+            Ok(())
+        }
+        Some((written, e)) => {
+            // Batches from the failed one onward go back to the front of
+            // the buffer (appends that raced in have higher sequence
+            // numbers), preserving write order for the retry.
+            let mut rest: Vec<PendingBatch> = batch.into_iter().skip(written).collect();
+            rest.append(&mut st.pending);
+            st.pending = rest;
+            st.error = Some(e.to_string());
+            Err(e)
+        }
+    };
+    drop(st);
+    shared.cv.notify_all();
+    result
+}
+
+/// The durability half of a pipelined commit: a handle on one appended
+/// batch, blocked on until that batch's sequence is covered by a group
+/// flush. The first waiter to arrive becomes the flush leader (one
+/// `write + fsync` for every pending batch); the rest are followers and
+/// never touch the file.
+#[derive(Debug)]
+pub struct CommitWaiter {
+    shared: Arc<WalShared>,
+    seq: u64,
+    config: WalConfig,
+}
+
+impl CommitWaiter {
+    /// The commit sequence this waiter acknowledges.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Block until this commit's batch is durable (covered by a group
+    /// fsync). Must be called *after* releasing the engine lock — that
+    /// is the point of the split.
+    ///
+    /// On `Err` the batch's durability is unknown: the flush round
+    /// covering it failed, the batch stays queued, and a later retry (or
+    /// shutdown flush) may still land it — the same at-least-once
+    /// ambiguity any group-commit log has on a mid-group I/O error.
+    pub fn wait(self) -> Result<(), StorageError> {
+        let mut led = false;
+        let mut st = self.shared.group.lock().expect("wal group lock");
+        loop {
+            if st.durable_seq >= self.seq {
+                if !led {
+                    self.shared
+                        .counters
+                        .waiters_woken
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                return Ok(());
+            }
+            if let Some(msg) = &st.error {
+                return Err(StorageError::Io(format!(
+                    "group commit flush failed (durability unknown): {msg}"
+                )));
+            }
+            if st.leader {
+                st = self.shared.cv.wait(st).expect("wal group lock");
+                continue;
+            }
+            led = true;
+            run_leader_round(&self.shared, st, Some(&self.config))?;
+            st = self.shared.group.lock().expect("wal group lock");
+        }
     }
 }
 
@@ -774,7 +1109,7 @@ mod tests {
         let dir = tmpdir("group");
         let path = dir.join(WAL_FILE);
         {
-            let (mut w, _) = WalWriter::open(&dir, WalConfig { group_commit: 3 }).unwrap();
+            let (mut w, _) = WalWriter::open(&dir, WalConfig::grouped(3)).unwrap();
             w.append(&[rec("q", LogOp::Insert, tuple![1])]).unwrap();
             w.append(&[rec("q", LogOp::Insert, tuple![2])]).unwrap();
             assert_eq!(

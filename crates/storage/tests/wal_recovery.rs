@@ -268,7 +268,7 @@ fn group_commit_batches_survive_flush() {
     {
         let mut db = Storage::new();
         let q = db.create_relation("q", 2).unwrap();
-        db.attach_wal(&dir, WalConfig { group_commit: 3 }).unwrap();
+        db.attach_wal(&dir, WalConfig::grouped(3)).unwrap();
         for i in 0..5 {
             db.begin().unwrap();
             db.insert(q, tuple![i, i * 10]).unwrap();
