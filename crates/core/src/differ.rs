@@ -127,9 +127,9 @@ pub fn generate_differentials(
         for (li, lit) in clause.body.iter().enumerate() {
             let Literal::Pred {
                 pred,
-                args,
                 negated,
                 epoch,
+                ..
             } = lit
             else {
                 continue;
@@ -155,31 +155,8 @@ pub fn generate_differentials(
                 }
             };
             for &seed in seeds {
-                // Output polarity: positive occurrence keeps the seed's
-                // polarity; negation flips it.
-                let output = if *negated { seed.flipped() } else { seed };
-                // "Rest" epoch: insertions evaluate new, deletions old.
-                let rest_epoch = match output {
-                    Polarity::Plus => StateEpoch::New,
-                    Polarity::Minus => StateEpoch::Old,
-                };
-                let mut body = Vec::with_capacity(clause.body.len());
-                for (lj, other) in clause.body.iter().enumerate() {
-                    if lj == li {
-                        body.push(Literal::Delta {
-                            pred: *pred,
-                            polarity: seed,
-                            args: args.clone(),
-                        });
-                    } else {
-                        body.push(retarget(other, rest_epoch));
-                    }
-                }
-                let dclause = Clause {
-                    n_vars: clause.n_vars,
-                    head: clause.head.clone(),
-                    body,
-                };
+                let (dclause, output) = differenced_clause(clause, li, seed)
+                    .expect("literal checked to be a relation occurrence");
                 let plan = compile_clause(catalog, &dclause, &HashSet::new())?;
                 ensure_plan_indexes(catalog, &plan, storage);
                 // Index every probe pattern adaptive re-optimization
@@ -200,6 +177,60 @@ pub fn generate_differentials(
         }
     }
     Ok(out)
+}
+
+/// The §4.3–§4.5 substitution as a pure function: replace the relation
+/// occurrence at `literal_index` with a Δ-literal of polarity `seed` and
+/// re-target the remaining relation literals to the epoch the output
+/// polarity requires. Returns the differential clause and the output
+/// polarity (`seed` for positive occurrences, flipped for negated ones),
+/// or `None` if the literal is not a relation occurrence.
+///
+/// [`generate_differentials`] compiles its result into plans; the
+/// conformance verifier (`amos_core::verify`) calls it directly to
+/// reconstruct what the builder should have emitted.
+pub fn differenced_clause(
+    clause: &Clause,
+    literal_index: usize,
+    seed: Polarity,
+) -> Option<(Clause, Polarity)> {
+    let Literal::Pred {
+        pred,
+        args,
+        negated,
+        ..
+    } = clause.body.get(literal_index)?
+    else {
+        return None;
+    };
+    // Output polarity: positive occurrence keeps the seed's polarity;
+    // negation flips it.
+    let output = if *negated { seed.flipped() } else { seed };
+    // "Rest" epoch: insertions evaluate new, deletions old.
+    let rest_epoch = match output {
+        Polarity::Plus => StateEpoch::New,
+        Polarity::Minus => StateEpoch::Old,
+    };
+    let mut body = Vec::with_capacity(clause.body.len());
+    for (lj, other) in clause.body.iter().enumerate() {
+        if lj == literal_index {
+            body.push(Literal::Delta {
+                pred: *pred,
+                polarity: seed,
+                args: args.clone(),
+            });
+        } else {
+            body.push(retarget(other, rest_epoch));
+        }
+    }
+    Some((
+        Clause {
+            n_vars: clause.n_vars,
+            head: clause.head.clone(),
+            body,
+        },
+        output,
+    ))
 }
 
 /// Re-annotate a literal with the epoch the differential requires.

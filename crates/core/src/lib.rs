@@ -54,8 +54,9 @@ pub mod network;
 pub mod propagate;
 pub mod rules;
 pub mod shard;
+pub mod verify;
 
-pub use adaptive::{AdaptivePlanner, LiveStats, StatsFingerprint};
+pub use adaptive::{AdaptivePlanner, LiveStats, StaticBounds, StatsFingerprint};
 pub use aggregate::{AggFn, AggregateView};
 pub use differ::{generate_differentials, DiffId, DiffScope, Differential};
 pub use error::CoreError;

@@ -76,6 +76,10 @@ pub struct PropagationNetwork {
     /// Display names of differentials pruned as statically dead (Δ₋ on
     /// append-only relations, statically-false bodies) — lint pass L004.
     pruned: Vec<String>,
+    /// Display names of differentials pruned because abstract
+    /// interpretation proved their body empty — lint pass L007. Disjoint
+    /// from `pruned` (syntactic pruning runs first).
+    pruned_semantic: Vec<String>,
 }
 
 impl PropagationNetwork {
@@ -93,6 +97,21 @@ impl PropagationNetwork {
         conditions: &[PredId],
         scope: DiffScope,
     ) -> Result<Self, CoreError> {
+        PropagationNetwork::build_with(catalog, storage, conditions, scope, true)
+    }
+
+    /// [`PropagationNetwork::build`] with semantic (L007) pruning made
+    /// explicit. `semantic: false` keeps only the syntactic L004 pruning
+    /// — the ablation knob the pruning-equivalence proptest flips to
+    /// compare pruned and unpruned networks.
+    pub fn build_with(
+        catalog: &Catalog,
+        storage: &mut Storage,
+        conditions: &[PredId],
+        scope: DiffScope,
+        semantic: bool,
+    ) -> Result<Self, CoreError> {
+        let analysis = semantic.then(|| amos_lint::absint::analyze(catalog));
         let mut net = PropagationNetwork {
             conditions: conditions.to_vec(),
             ..Default::default()
@@ -171,6 +190,19 @@ impl PropagationNetwork {
                     net.pruned.push(d.display_name(catalog));
                     continue;
                 }
+                // L007 semantic pruning: the abstract interpreter can
+                // prove bodies empty that no single-clause syntactic
+                // check sees (e.g. a bound contradicting an influent's
+                // inferred head interval). Sound — an empty differential
+                // can never contribute tuples — so dropping it preserves
+                // propagation semantics exactly (see the
+                // pruning-equivalence proptest).
+                if let Some(analysis) = &analysis {
+                    if analysis.clause_provably_empty(catalog, &d.clause) {
+                        net.pruned_semantic.push(d.display_name(catalog));
+                        continue;
+                    }
+                }
                 let did = DiffId(net.differentials.len() as u32);
                 let influent_node = net.by_pred[&d.influent];
                 net.nodes[influent_node.0 as usize].out_diffs.push(did);
@@ -225,6 +257,56 @@ impl PropagationNetwork {
     /// Number of differentials pruned as statically dead.
     pub fn pruned_count(&self) -> usize {
         self.pruned.len()
+    }
+
+    /// Display names of differentials pruned as provably empty by
+    /// abstract interpretation (L007).
+    pub fn pruned_semantic(&self) -> &[String] {
+        &self.pruned_semantic
+    }
+
+    /// Drop differential `id` from the network, as if the builder had
+    /// forgotten to emit it. Testing hook for the conformance verifier's
+    /// mutation tests — never called by production code.
+    #[doc(hidden)]
+    pub fn testing_remove_differential(&mut self, id: DiffId) {
+        let idx = id.0 as usize;
+        self.differentials.remove(idx);
+        self.shard_keys.remove(idx);
+        for node in &mut self.nodes {
+            node.out_diffs.retain(|d| *d != id);
+            for d in &mut node.out_diffs {
+                if d.0 > id.0 {
+                    d.0 -= 1;
+                }
+            }
+        }
+    }
+
+    /// Emit differential `id` a second time, as if the builder had
+    /// double-counted a contribution path. Testing hook.
+    #[doc(hidden)]
+    pub fn testing_duplicate_differential(&mut self, id: DiffId) {
+        let d = self.differentials[id.0 as usize].clone();
+        let key = self.shard_keys[id.0 as usize].clone();
+        let dup = DiffId(self.differentials.len() as u32);
+        let influent_node = self.by_pred[&d.influent];
+        self.nodes[influent_node.0 as usize].out_diffs.push(dup);
+        self.differentials.push(d);
+        self.shard_keys.push(key);
+    }
+
+    /// Overwrite a node's breadth-first level. Testing hook.
+    #[doc(hidden)]
+    pub fn testing_set_node_level(&mut self, pred: PredId, level: usize) {
+        let id = self.by_pred[&pred];
+        self.nodes[id.0 as usize].level = level;
+    }
+
+    /// Overwrite a differential's shard key. Testing hook.
+    #[doc(hidden)]
+    pub fn testing_set_shard_key(&mut self, id: DiffId, key: ShardKey) {
+        self.shard_keys[id.0 as usize] = key;
     }
 
     /// The stored predicates at the bottom of the network — the

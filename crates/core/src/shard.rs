@@ -48,15 +48,25 @@ impl ShardKey {
     /// No such position — the Δ-literal is join-free — means
     /// [`ShardKey::Broadcast`].
     pub fn for_differential(diff: &Differential) -> ShardKey {
-        let Some(Literal::Delta { args, .. }) = diff.clause.body.get(diff.literal_index) else {
+        ShardKey::for_delta_literal(&diff.clause, diff.literal_index)
+    }
+
+    /// The key for the Δ-literal at `literal_index` of a differential
+    /// clause. Split out from [`ShardKey::for_differential`] so the
+    /// conformance verifier can recompute expected keys from
+    /// reconstructed clauses without compiling plans.
+    pub fn for_delta_literal(
+        clause: &amos_objectlog::clause::Clause,
+        literal_index: usize,
+    ) -> ShardKey {
+        let Some(Literal::Delta { args, .. }) = clause.body.get(literal_index) else {
             return ShardKey::Broadcast;
         };
-        let elsewhere: std::collections::HashSet<_> = diff
-            .clause
+        let elsewhere: std::collections::HashSet<_> = clause
             .body
             .iter()
             .enumerate()
-            .filter(|(i, _)| *i != diff.literal_index)
+            .filter(|(i, _)| *i != literal_index)
             .flat_map(|(_, lit)| lit.vars())
             .collect();
         let cols: Vec<usize> = args

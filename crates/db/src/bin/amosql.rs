@@ -9,11 +9,12 @@
 //! `print` procedure is pre-registered so rule actions can produce
 //! output. `.help` lists shell commands.
 //!
-//! `amosql lint [--deny-lints] <file.osql>…` statically analyzes
-//! scripts instead of opening the shell: findings print as
-//! `file:line:col: severity[code]: message`, and the exit status is 1
-//! when any deny-level finding is reported (`--deny-lints` escalates
-//! every warning).
+//! `amosql lint [--deny-lints] [--format text|json] <file.osql>…`
+//! statically analyzes scripts instead of opening the shell: findings
+//! print as `file:line:col: severity[code]: message` (or as one JSON
+//! array with `--format json`, for CI artifacts), and the exit status
+//! is 1 when any deny-level finding is reported (`--deny-lints`
+//! escalates every warning).
 
 use std::io::{self, BufRead, Write};
 
@@ -35,9 +36,11 @@ snapshot + WAL from <dir> on startup); --static-plans disables
 statistics-driven adaptive differential planning; --strategy
 <serial|parallel|sharded:N> picks the propagation execution strategy
 (sharded:N partitions each wave-front level across N workers).
-Subcommands: `amosql lint [--deny-lints] <file.osql>...` statically
-analyzes scripts (safety, stratification, termination, dead
-differentials, unsatisfiable conditions) without executing them.
+Subcommands: `amosql lint [--deny-lints] [--format text|json]
+<file.osql>...` statically analyzes scripts (safety, stratification,
+termination, dead differentials, unsatisfiable conditions, type
+errors, empty/subsumed/foldable conditions) without executing them;
+--format json emits one machine-readable array for CI artifacts.
 Everything else is AMOSQL, e.g.:
   create type item;
   create function quantity(item i) -> integer;
@@ -166,28 +169,44 @@ fn render_strategy_error(value: &str, e: &amos_db::StrategyParseError) -> String
     )
 }
 
-/// `amosql lint [--deny-lints] <file.osql>…` — never returns.
+/// `amosql lint [--deny-lints] [--format text|json] <file.osql>…` —
+/// never returns.
 fn run_lint() -> ! {
     let mut config = LintConfig::default();
     let mut files: Vec<String> = Vec::new();
-    for arg in std::env::args().skip(2) {
+    let mut json = false;
+    let mut args = std::env::args().skip(2);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--deny-lints" => {
                 config.deny_warnings();
             }
+            "--format" => {
+                match args.next().as_deref() {
+                    Some("text") => json = false,
+                    Some("json") => json = true,
+                    other => {
+                        eprintln!(
+                            "--format requires `text` or `json` (got {})",
+                            other.map_or("nothing".to_string(), |o| format!("`{o}`"))
+                        );
+                        std::process::exit(2);
+                    }
+                };
+            }
             flag if flag.starts_with("--") => {
-                eprintln!("unknown flag `{flag}` (supported: --deny-lints)");
+                eprintln!("unknown flag `{flag}` (supported: --deny-lints, --format text|json)");
                 std::process::exit(2);
             }
             file => files.push(file.to_string()),
         }
     }
     if files.is_empty() {
-        eprintln!("usage: amosql lint [--deny-lints] <file.osql>...");
+        eprintln!("usage: amosql lint [--deny-lints] [--format text|json] <file.osql>...");
         std::process::exit(2);
     }
     let mut any_deny = false;
-    let mut findings = 0usize;
+    let mut report: Vec<(String, Vec<amos_db::Diagnostic>)> = Vec::new();
     for file in &files {
         let src = match std::fs::read_to_string(file) {
             Ok(s) => s,
@@ -199,10 +218,12 @@ fn run_lint() -> ! {
         match amos_db::lint_script(&src, &config) {
             Ok(diags) => {
                 for d in &diags {
-                    println!("{}", d.render(file));
+                    if !json {
+                        println!("{}", d.render(file));
+                    }
                     any_deny |= d.severity == Severity::Deny;
                 }
-                findings += diags.len();
+                report.push((file.clone(), diags));
             }
             Err(e) => {
                 eprintln!("{file}: error: {e}");
@@ -210,7 +231,9 @@ fn run_lint() -> ! {
             }
         }
     }
-    if findings == 0 {
+    if json {
+        print!("{}", amos_db::diagnostics_report_json(&report));
+    } else if report.iter().all(|(_, d)| d.is_empty()) {
         println!("no lint findings in {} file(s)", files.len());
     }
     std::process::exit(if any_deny { 1 } else { 0 });

@@ -12,7 +12,9 @@ use amos_amosql::ParseError;
 use amos_core::aggregate::{AggFn, AggregateView};
 use amos_core::maintained::{MaintainedAggregate, SourceDeltas, UserView};
 use amos_core::propagate::ExecStrategy;
-use amos_core::rules::{ActionFn, CheckSummary, MonitorMode, RuleManager, RuleSemantics};
+use amos_core::rules::{
+    ActionFn, CheckSummary, MonitorMode, RuleManager, RuleSemantics, StrategyPin,
+};
 use amos_lint::{Diagnostic, LintConfig, RuleFacts, RuleWrite, Span};
 use amos_objectlog::catalog::{Catalog, ForeignFn, PredId, PredKind};
 use amos_objectlog::eval::{DeltaMap, EvalConfig, EvalContext};
@@ -72,6 +74,13 @@ pub struct EngineOptions {
     /// share one group fsync. Disable (`--no-pipeline` on the server)
     /// to restore fsync-under-lock commits.
     pub commit_pipeline: bool,
+    /// Abstract-interpretation pruning (on by default): differentials
+    /// whose differenced clause is provably empty under the interval /
+    /// constant analysis (L007) are dropped from the network, and the
+    /// inferred column bounds feed the adaptive planner as static NDV
+    /// floors. The conformance verifier mirrors the same entitlements,
+    /// so pruned networks still verify.
+    pub semantic_pruning: bool,
 }
 
 impl Default for EngineOptions {
@@ -85,6 +94,7 @@ impl Default for EngineOptions {
             adaptive: true,
             lint_level: LintConfig::default(),
             commit_pipeline: true,
+            semantic_pruning: true,
         }
     }
 }
@@ -173,6 +183,7 @@ impl Amos {
         if !options.adaptive {
             rules.set_adaptive(false);
         }
+        rules.semantic_pruning = options.semantic_pruning;
         Amos {
             storage: Storage::new(),
             catalog: Catalog::new(),
@@ -476,6 +487,35 @@ impl Amos {
             &conds,
             &|r| self.span_of_rule(r),
         ));
+        out.extend(amos_lint::absint::check_types(
+            config,
+            &self.catalog,
+            &self.types,
+            None,
+            &|p| self.span_of_pred(p),
+        ));
+        let analysis = amos_lint::absint::analyze(&self.catalog);
+        out.extend(amos_lint::absint::check_provably_empty(
+            config,
+            &self.catalog,
+            &analysis,
+            &conds,
+            &|r| self.span_of_rule(r),
+        ));
+        out.extend(amos_lint::absint::check_subsumption(
+            config,
+            &self.catalog,
+            &analysis,
+            &conds,
+            &|r| self.span_of_rule(r),
+        ));
+        out.extend(amos_lint::absint::check_const_fold(
+            config,
+            &self.catalog,
+            &analysis,
+            &conds,
+            &|r| self.span_of_rule(r),
+        ));
         out
     }
 
@@ -521,6 +561,44 @@ impl Amos {
                 self.span_of_rule(r)
             })
             .into_iter()
+            .filter(|d| d.rule.as_deref() == Some(name)),
+        );
+        out.extend(amos_lint::absint::check_types(
+            config,
+            &self.catalog,
+            &self.types,
+            Some(&[info.condition]),
+            &|p| self.span_of_pred(p),
+        ));
+        // The abstract-interpretation condition passes run over the
+        // full rule set (L008 compares conditions pairwise) and are
+        // filtered down to findings anchored on this rule.
+        let analysis = amos_lint::absint::analyze(&self.catalog);
+        let conds = self.rule_conditions();
+        let spans = |r: &str| self.span_of_rule(r);
+        out.extend(
+            amos_lint::absint::check_provably_empty(
+                config,
+                &self.catalog,
+                &analysis,
+                &conds,
+                &spans,
+            )
+            .into_iter()
+            .chain(amos_lint::absint::check_subsumption(
+                config,
+                &self.catalog,
+                &analysis,
+                &conds,
+                &spans,
+            ))
+            .chain(amos_lint::absint::check_const_fold(
+                config,
+                &self.catalog,
+                &analysis,
+                &conds,
+                &spans,
+            ))
             .filter(|d| d.rule.as_deref() == Some(name)),
         );
         Ok(out)
@@ -719,8 +797,29 @@ impl Amos {
                     return Err(DbError::Lint(diags));
                 }
                 let params = self.eval_args(&args)?;
+                let params = Tuple::new(params);
                 self.rules
-                    .activate(id, Tuple::new(params), &self.catalog, &mut self.storage)?;
+                    .activate(id, params.clone(), &self.catalog, &mut self.storage)?;
+                // Conformance gate: the rebuilt network must agree with
+                // the differencing calculus (one Δ₊/Δ₋ per influent
+                // occurrence, monotone levels, consistent shard keys).
+                // A violation means the compiler produced a network that
+                // could lose or double-count updates — roll the
+                // activation back rather than monitor with it.
+                let violations = amos_core::verify::verify_network(
+                    &self.catalog,
+                    &self.storage,
+                    self.rules.network(),
+                    self.rules.scope,
+                    self.options.semantic_pruning,
+                );
+                if !violations.is_empty() {
+                    self.rules
+                        .deactivate(id, &params, &self.catalog, &mut self.storage)?;
+                    return Err(DbError::Conformance(
+                        violations.iter().map(ToString::to_string).collect(),
+                    ));
+                }
                 Ok(ExecResult::Ok)
             }
             Statement::Deactivate { rule, args } => {
@@ -738,6 +837,22 @@ impl Amos {
             }
             Statement::ExplainSelect(sel) => Ok(ExecResult::Text(self.explain_select(&sel)?)),
             Statement::ExplainRule(name) => Ok(ExecResult::Text(self.explain_rule(&name)?)),
+            Statement::MonitorRule { rule, pin } => {
+                let id = self.rules.rule_id(&rule)?;
+                let pin = match pin.as_str() {
+                    "naive" => StrategyPin::Naive,
+                    "incremental" => StrategyPin::Incremental,
+                    "auto" => StrategyPin::Auto,
+                    other => {
+                        return Err(DbError::Other(format!(
+                            "unknown monitoring strategy `{other}`"
+                        )))
+                    }
+                };
+                self.rules
+                    .pin_strategy(&self.catalog, &self.storage, id, pin)?;
+                Ok(ExecResult::Ok)
+            }
             Statement::Begin => {
                 self.storage.begin()?;
                 Ok(ExecResult::Ok)
@@ -1142,6 +1257,7 @@ impl Amos {
             rule.semantics,
             rule.priority,
         ));
+        out.push_str(&format!("monitor strategy: {}\n", self.rules.pin(id)));
         if let Some(reason) = self.rules.quarantine_reason(id) {
             out.push_str(&format!(
                 "  QUARANTINED: {reason}\n  (the action failed; updates were rolled back to the \

@@ -27,6 +27,11 @@ pub enum DbError {
     Value(ValueError),
     /// Deny-level lint findings refused an `activate`.
     Lint(Vec<Diagnostic>),
+    /// The compiled propagation network failed conformance verification
+    /// against the differencing calculus (`amos_core::verify`) — an
+    /// `activate` was rolled back rather than installing a network that
+    /// could lose or double-count updates.
+    Conformance(Vec<String>),
     /// Commit-time validation detected a conflicting concurrent commit
     /// (first-committer-wins): the transaction was aborted and its
     /// buffered writes discarded. Retryable — replaying the same
@@ -60,6 +65,13 @@ impl fmt::Display for DbError {
                 write!(f, "lint: rule refused by static analysis")?;
                 for d in diags {
                     write!(f, "\n  {d}")?;
+                }
+                Ok(())
+            }
+            DbError::Conformance(violations) => {
+                write!(f, "conformance: network rejected at activation")?;
+                for v in violations {
+                    write!(f, "\n  {v}")?;
                 }
                 Ok(())
             }

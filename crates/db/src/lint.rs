@@ -11,8 +11,8 @@
 //! **every** unsafe variable under its source name (the catalog's own
 //! range-restriction check stops at the first and rejects the clause).
 //! Once the catalog is loaded, the full catalog-level passes
-//! (L002–L005) run under the caller's configuration via
-//! [`Amos::lint_all`].
+//! (L002–L005 plus the abstract-interpretation passes L006–L009) run
+//! under the caller's configuration via [`Amos::lint_all`].
 //!
 //! This is what `amosql lint [--deny-lints] file…` runs per file.
 

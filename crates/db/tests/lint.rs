@@ -145,7 +145,7 @@ fn explain_rule_includes_lint_findings() {
 // ---------------------------------------------------------------------
 
 #[test]
-fn lint_script_reports_all_five_codes_with_spans() {
+fn lint_script_reports_all_nine_codes_with_spans() {
     let diags = amos_db::lint_script(BAD_RULES, &LintConfig::default()).unwrap();
     for code in [
         LintCode::L001,
@@ -153,6 +153,10 @@ fn lint_script_reports_all_five_codes_with_spans() {
         LintCode::L003,
         LintCode::L004,
         LintCode::L005,
+        LintCode::L006,
+        LintCode::L007,
+        LintCode::L008,
+        LintCode::L009,
     ] {
         let found: Vec<_> = diags.iter().filter(|d| d.code == code).collect();
         assert!(!found.is_empty(), "no {code} finding in:\n{diags:#?}");

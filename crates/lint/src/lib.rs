@@ -15,11 +15,22 @@
 //! | L003 | triggering-graph termination (action-writes → condition-influents cycles; self-disactivating rules) |
 //! | L004 | dead differentials (Δ₋ on append-only relations, statically-false clause bodies) |
 //! | L005 | unsatisfiable / subsumed conditions (constant folding, contradictory bounds, duplicate conditions) |
+//! | L006 | type mismatch in clause bodies and comparisons (abstract type domain) |
+//! | L007 | provably-empty differential (interval/constant fixpoint over the catalog) |
+//! | L008 | cross-rule condition subsumption (one condition implies another) |
+//! | L009 | constant-foldable subcondition (folded residual shown) |
+//!
+//! L001–L005 are syntactic, per-clause passes. L006–L009 sit on the
+//! [`absint`] abstract-interpretation engine: a product domain of type,
+//! constant, and integer-interval abstractions per predicate argument,
+//! propagated to fixpoint across the whole catalog in Tarjan SCC order.
 //!
 //! The crate is a leaf over `amos-objectlog`/`amos-storage`: pure
 //! analysis, no engine types. The engine supplies rule facts
 //! ([`RuleFacts`]) and an append-only oracle; the network builder in
-//! `amos-core` performs the actual L004 pruning.
+//! `amos-core` performs the actual L004/L007 pruning.
+
+pub mod absint;
 
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -73,77 +84,77 @@ impl fmt::Display for Severity {
     }
 }
 
-/// Stable lint pass codes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub enum LintCode {
-    /// Safety / range restriction.
-    L001,
-    /// Stratification.
-    L002,
-    /// Triggering-graph termination.
-    L003,
-    /// Dead differentials.
-    L004,
-    /// Unsatisfiable / subsumed conditions.
-    L005,
+/// Declarative registry of lint codes: one line per code declares the
+/// variant, its one-line description, and its default severity, and the
+/// macro derives every table that used to be maintained by hand —
+/// `all()`, `parse()`, `describe()`, `index()`, `Display`, and the
+/// [`LintConfig`] default-severity array. Adding a code is one line.
+macro_rules! lint_codes {
+    ($($(#[$meta:meta])* $code:ident => $title:literal, $default:ident;)+) => {
+        /// Stable lint pass codes.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub enum LintCode {
+            $($(#[$meta])* #[doc = $title] $code,)+
+        }
+
+        impl LintCode {
+            /// Number of registered codes.
+            pub const COUNT: usize = [$(LintCode::$code),+].len();
+
+            /// All codes, in order.
+            pub fn all() -> [LintCode; Self::COUNT] {
+                [$(LintCode::$code),+]
+            }
+
+            /// Parse a code name like `"L001"` (case-insensitive).
+            pub fn parse(s: &str) -> Option<LintCode> {
+                $(if s.eq_ignore_ascii_case(stringify!($code)) {
+                    return Some(LintCode::$code);
+                })+
+                None
+            }
+
+            /// One-line pass description.
+            pub fn describe(self) -> &'static str {
+                match self { $(LintCode::$code => $title,)+ }
+            }
+
+            /// Severity before any configuration overrides.
+            pub fn default_severity(self) -> Severity {
+                match self { $(LintCode::$code => Severity::$default,)+ }
+            }
+
+            fn index(self) -> usize {
+                self as usize
+            }
+        }
+
+        impl fmt::Display for LintCode {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(match self { $(LintCode::$code => stringify!($code),)+ })
+            }
+        }
+
+        impl Default for LintConfig {
+            fn default() -> Self {
+                LintConfig {
+                    levels: [$(Severity::$default),+],
+                }
+            }
+        }
+    };
 }
 
-impl LintCode {
-    /// All codes, in order.
-    pub fn all() -> [LintCode; 5] {
-        [
-            LintCode::L001,
-            LintCode::L002,
-            LintCode::L003,
-            LintCode::L004,
-            LintCode::L005,
-        ]
-    }
-
-    /// Parse `"L001"` … `"L005"` (case-insensitive).
-    pub fn parse(s: &str) -> Option<LintCode> {
-        match s.to_ascii_uppercase().as_str() {
-            "L001" => Some(LintCode::L001),
-            "L002" => Some(LintCode::L002),
-            "L003" => Some(LintCode::L003),
-            "L004" => Some(LintCode::L004),
-            "L005" => Some(LintCode::L005),
-            _ => None,
-        }
-    }
-
-    /// One-line pass description.
-    pub fn describe(self) -> &'static str {
-        match self {
-            LintCode::L001 => "safety / range restriction",
-            LintCode::L002 => "stratification",
-            LintCode::L003 => "triggering-graph termination",
-            LintCode::L004 => "dead differentials",
-            LintCode::L005 => "unsatisfiable or subsumed condition",
-        }
-    }
-
-    fn index(self) -> usize {
-        match self {
-            LintCode::L001 => 0,
-            LintCode::L002 => 1,
-            LintCode::L003 => 2,
-            LintCode::L004 => 3,
-            LintCode::L005 => 4,
-        }
-    }
-}
-
-impl fmt::Display for LintCode {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
-            LintCode::L001 => "L001",
-            LintCode::L002 => "L002",
-            LintCode::L003 => "L003",
-            LintCode::L004 => "L004",
-            LintCode::L005 => "L005",
-        })
-    }
+lint_codes! {
+    L001 => "safety / range restriction", Deny;
+    L002 => "stratification", Deny;
+    L003 => "triggering-graph termination", Warn;
+    L004 => "dead differentials", Warn;
+    L005 => "unsatisfiable or subsumed condition", Warn;
+    L006 => "type mismatch", Deny;
+    L007 => "provably-empty differential", Warn;
+    L008 => "cross-rule condition subsumption", Warn;
+    L009 => "constant-foldable subcondition", Warn;
 }
 
 /// One finding.
@@ -200,35 +211,83 @@ impl fmt::Display for Diagnostic {
     }
 }
 
-/// Per-code severity configuration.
-///
-/// Defaults: L001/L002 deny (an unsafe or non-stratifiable rule cannot
-/// be monitored correctly), L003/L004/L005 warn (suspicious but
-/// executable).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct LintConfig {
-    levels: [Severity; 5],
-}
-
-impl Default for LintConfig {
-    fn default() -> Self {
-        LintConfig {
-            levels: [
-                Severity::Deny, // L001
-                Severity::Deny, // L002
-                Severity::Warn, // L003
-                Severity::Warn, // L004
-                Severity::Warn, // L005
-            ],
+/// Escape a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
         }
     }
+    out
+}
+
+/// Serialize diagnostics as a machine-readable JSON array (for
+/// `amosql lint --format json` and the CI lint-gate artifact). Hand
+/// rolled — the workspace carries no serialization dependency — and
+/// stable: one object per finding with `file`, `code`, `severity`,
+/// `line`/`col` (null when unknown), `rule` (null when unknown),
+/// `message`, and the human `rendered` form.
+pub fn diagnostics_to_json(file: &str, diags: &[Diagnostic]) -> String {
+    diagnostics_report_json(&[(file.to_string(), diags.to_vec())])
+}
+
+/// Multi-file variant of [`diagnostics_to_json`]: one flat JSON array
+/// over every `(file, findings)` pair, in input order.
+pub fn diagnostics_report_json(entries: &[(String, Vec<Diagnostic>)]) -> String {
+    let mut out = String::from("[");
+    let mut i = 0usize;
+    for (file, diags) in entries {
+        for d in diags {
+            if i > 0 {
+                out.push(',');
+            }
+            i += 1;
+            let (line, col) = match d.span {
+                Some(s) => (s.line.to_string(), s.col.to_string()),
+                None => ("null".to_string(), "null".to_string()),
+            };
+            let rule = match &d.rule {
+                Some(r) => format!("\"{}\"", json_escape(r)),
+                None => "null".to_string(),
+            };
+            out.push_str(&format!(
+                "\n  {{\"file\": \"{}\", \"code\": \"{}\", \"severity\": \"{}\", \
+                 \"line\": {line}, \"col\": {col}, \"rule\": {rule}, \
+                 \"message\": \"{}\", \"rendered\": \"{}\"}}",
+                json_escape(file),
+                d.code,
+                d.severity,
+                json_escape(&d.message),
+                json_escape(&d.render(file)),
+            ));
+        }
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Per-code severity configuration.
+///
+/// Defaults come from the `lint_codes!` registry: passes whose findings
+/// make a rule impossible to monitor correctly (L001/L002/L006) deny,
+/// the rest warn (suspicious but executable).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintConfig {
+    levels: [Severity; LintCode::COUNT],
 }
 
 impl LintConfig {
     /// A configuration with every pass set to `severity`.
     pub fn uniform(severity: Severity) -> Self {
         LintConfig {
-            levels: [severity; 5],
+            levels: [severity; LintCode::COUNT],
         }
     }
 
@@ -1251,5 +1310,37 @@ mod tests {
         };
         assert_eq!(d.render("bad.osql"), "bad.osql:3:7: deny[L002]: cycle [r]");
         assert!(has_deny(&[d]));
+    }
+
+    #[test]
+    fn json_output_is_stable_and_escaped() {
+        let diags = vec![
+            Diagnostic {
+                code: LintCode::L002,
+                severity: Severity::Deny,
+                span: Some(Span::new(3, 7)),
+                rule: Some("r".into()),
+                message: "cycle".into(),
+            },
+            Diagnostic {
+                code: LintCode::L006,
+                severity: Severity::Deny,
+                span: None,
+                rule: None,
+                message: "constant \"oops\"\nhas wrong type".into(),
+            },
+        ];
+        let json = diagnostics_to_json("bad.osql", &diags);
+        assert_eq!(
+            json,
+            "[\n  {\"file\": \"bad.osql\", \"code\": \"L002\", \"severity\": \"deny\", \
+             \"line\": 3, \"col\": 7, \"rule\": \"r\", \"message\": \"cycle\", \
+             \"rendered\": \"bad.osql:3:7: deny[L002]: cycle [r]\"},\n  \
+             {\"file\": \"bad.osql\", \"code\": \"L006\", \"severity\": \"deny\", \
+             \"line\": null, \"col\": null, \"rule\": null, \
+             \"message\": \"constant \\\"oops\\\"\\nhas wrong type\", \
+             \"rendered\": \"bad.osql: deny[L006]: constant \\\"oops\\\"\\nhas wrong type\"}\n]\n"
+        );
+        assert_eq!(diagnostics_to_json("a.osql", &[]), "[\n]\n");
     }
 }

@@ -17,6 +17,23 @@ use std::fmt;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TypeId(pub u32);
 
+impl TypeId {
+    /// The root type `object`. [`TypeRegistry::new`] always registers the
+    /// built-ins first and in this order, so these ids are stable across
+    /// every registry and may be used without a registry in hand (the
+    /// abstract interpreter in `amos-lint` relies on this to recognise
+    /// integer-typed columns).
+    pub const OBJECT: TypeId = TypeId(0);
+    /// The built-in `boolean` scalar type.
+    pub const BOOLEAN: TypeId = TypeId(1);
+    /// The built-in `integer` scalar type.
+    pub const INTEGER: TypeId = TypeId(2);
+    /// The built-in `real` scalar type.
+    pub const REAL: TypeId = TypeId(3);
+    /// The built-in `charstring` scalar type.
+    pub const CHARSTRING: TypeId = TypeId(4);
+}
+
 /// Metadata about one registered type.
 #[derive(Debug, Clone)]
 pub struct TypeDef {
@@ -162,8 +179,14 @@ mod tests {
     #[test]
     fn builtins_preregistered() {
         let reg = TypeRegistry::new();
-        for name in ["object", "boolean", "integer", "real", "charstring"] {
-            let id = reg.lookup(name).unwrap();
+        for (name, id) in [
+            ("object", TypeId::OBJECT),
+            ("boolean", TypeId::BOOLEAN),
+            ("integer", TypeId::INTEGER),
+            ("real", TypeId::REAL),
+            ("charstring", TypeId::CHARSTRING),
+        ] {
+            assert_eq!(reg.lookup(name).unwrap(), id);
             assert!(reg.def(id).builtin);
         }
     }
